@@ -1,0 +1,55 @@
+// Command fedgpo-report runs the full experiment suite and emits a
+// markdown report (the generator behind EXPERIMENTS.md).
+//
+// Usage:
+//
+//	fedgpo-report [-quick] [-only fig9,fig12] > EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fedgpo/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced fleet and seeds")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	opts := exp.Default()
+	if *quick {
+		opts = exp.Quick()
+	}
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	fmt.Println("# FedGPO reproduction report")
+	fmt.Println()
+	fmt.Printf("Generated %s; fleet scale: %s.\n\n",
+		time.Now().Format("2006-01-02"), scaleLabel(*quick))
+	for _, e := range exp.Registry() {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table := e.Run(opts)
+		fmt.Print(table.Markdown())
+		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", e.ID, time.Since(start).Seconds())
+	}
+}
+
+func scaleLabel(quick bool) string {
+	if quick {
+		return "quick (20 devices, 1 seed)"
+	}
+	return "paper (200 devices)"
+}

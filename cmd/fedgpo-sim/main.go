@@ -1,0 +1,52 @@
+// Command fedgpo-sim runs one of the paper's experiments by id and
+// prints its table.
+//
+// Usage:
+//
+//	fedgpo-sim -exp fig9 [-quick] [-list]
+//
+// The -quick flag shrinks the deployment (20 devices, 1 seed) for a
+// fast smoke run; the default reproduces the paper-scale 200-device
+// deployment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fedgpo/internal/exp"
+)
+
+func main() {
+	expID := flag.String("exp", "", "experiment id (see -list)")
+	quick := flag.Bool("quick", false, "reduced fleet and seeds for a fast run")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("available experiments:")
+		for _, e := range exp.Registry() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Description)
+		}
+		if *expID == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	e, err := exp.ByID(*expID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := exp.Default()
+	if *quick {
+		opts = exp.Quick()
+	}
+	start := time.Now()
+	table := e.Run(opts)
+	fmt.Print(table.String())
+	fmt.Printf("(%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
+}

@@ -1,0 +1,93 @@
+// Command fedgpo-sweep runs raw (B, E, K) grid sweeps of the simulator
+// for one workload and prints convergence round, energy, and PPW per
+// setting — the data generator behind the paper's Figures 1, 2 and 7.
+//
+// Usage:
+//
+//	fedgpo-sweep -workload CNN-MNIST [-noniid] [-variance] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedgpo/internal/exp"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/workload"
+)
+
+func main() {
+	wname := flag.String("workload", "CNN-MNIST", "workload name (CNN-MNIST, LSTM-Shakespeare, MobileNet-ImageNet)")
+	noniid := flag.Bool("noniid", false, "use the Dirichlet(0.1) non-IID partition")
+	variance := flag.Bool("variance", false, "enable interference + unstable network")
+	quick := flag.Bool("quick", false, "reduced fleet for a fast run")
+	flag.Parse()
+
+	w, err := workload.ByName(*wname)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var s exp.Scenario
+	switch {
+	case *noniid && *variance:
+		s = exp.RealisticNonIID(w)
+	case *noniid:
+		s = exp.NonIIDScenario(w)
+	case *variance:
+		s = exp.Realistic(w)
+	default:
+		s = exp.Ideal(w)
+	}
+	opts := exp.Default()
+	if *quick {
+		opts = exp.Quick()
+	}
+	if opts.FleetSize > 0 {
+		s.FleetSize = opts.FleetSize
+	}
+
+	fmt.Printf("workload=%s scenario=%s fleet=%d\n", w.Name, s.Name, s.FleetSize)
+	fmt.Printf("%-12s %10s %12s %14s %10s\n", "(B,E,K)", "converged", "conv round", "energy (kJ)", "PPW")
+	for _, p := range fl.AllParams() {
+		// Keep the full grid tractable: sweep the B axis at the default
+		// (E, K), the E axis at the default (B, K), the K axis at the
+		// default (B, E), plus the paper's named optima.
+		if !onAxis(p) {
+			continue
+		}
+		res := fl.Run(s.Config(1), fl.NewStatic(p))
+		conv := "-"
+		if res.Converged {
+			conv = fmt.Sprint(res.ConvergenceRound)
+		}
+		fmt.Printf("%-12s %10v %12s %14.0f %10.3g\n",
+			p.String(), res.Converged, conv, res.EnergyToConvergenceJ/1000, res.PPW)
+	}
+}
+
+// onAxis keeps the sweep to the three axes through (8, 10, 20) plus the
+// paper-named optima.
+func onAxis(p fl.Params) bool {
+	base := fl.Params{B: 8, E: 10, K: 20}
+	axes := 0
+	if p.B != base.B {
+		axes++
+	}
+	if p.E != base.E {
+		axes++
+	}
+	if p.K != base.K {
+		axes++
+	}
+	if axes <= 1 {
+		return true
+	}
+	for _, named := range []fl.Params{{B: 4, E: 20, K: 20}, {B: 8, E: 5, K: 10}, {B: 1, E: 10, K: 20}} {
+		if p == named {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,56 @@
+// Quickstart: run FedGPO on a simulated FedAvg deployment and compare
+// it against a fixed-parameter baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"fedgpo/internal/core"
+	"fedgpo/internal/data"
+	"fedgpo/internal/device"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/interfere"
+	"fedgpo/internal/netsim"
+	"fedgpo/internal/workload"
+)
+
+func main() {
+	// 1. Pick a workload (CNN on an MNIST-like task) and build the
+	//    paper's 200-device fleet (30 high-end / 70 mid / 100 low-end).
+	w := workload.CNNMNIST()
+	fleet := device.NewFleet(device.PaperComposition())
+
+	// 2. Describe the deployment: IID data, stable network, a
+	//    co-running app interfering on a random half of the devices.
+	cfg := fl.Config{
+		Workload:               w,
+		Fleet:                  fleet,
+		Partition:              data.IID(len(fleet), w.NumClasses, w.SamplesPerDevice),
+		Channel:                netsim.StableChannel(),
+		Interference:           interfere.Paper(),
+		MaxRounds:              400,
+		AggregationOverheadSec: 10,
+		Seed:                   1,
+		StopAtConvergence:      true,
+	}
+
+	// 3. Run FedAvg with a fixed (B, E, K) = (8, 10, 20).
+	fixed := fl.Run(cfg, fl.NewStatic(fl.Params{B: 8, E: 10, K: 20}))
+
+	// 4. Run FedGPO: warm up its Q-tables on a separate run, then
+	//    evaluate the frozen policy (the paper's steady-state setting).
+	warm := cfg
+	warm.Seed = 999
+	warm.MaxRounds = 120
+	fedgpo := fl.Run(cfg, core.Pretrained(core.DefaultConfig(), warm))
+
+	fmt.Println("controller      conv round   energy (kJ)    avg round   final acc")
+	for _, r := range []fl.Result{fixed, fedgpo} {
+		fmt.Printf("%-14s %11d %13.0f %11.1fs %10.1f%%\n",
+			r.Controller, r.ConvergenceRound, r.EnergyToConvergenceJ/1000,
+			r.AvgRoundSeconds, 100*r.FinalAccuracy)
+	}
+	fmt.Printf("\nFedGPO energy efficiency (PPW) vs fixed: %.2fx\n", fedgpo.PPW/fixed.PPW)
+}

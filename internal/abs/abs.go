@@ -1,0 +1,238 @@
+// Package abs implements the ABS baseline (Ma et al., "Adaptive Batch
+// Size for Federated Learning in Resource-Constrained Edge Computing",
+// paper reference [49]): a deep-RL agent that adjusts only the local
+// minibatch size B round-by-round, leaving E and K at their defaults.
+//
+// The agent is a small DQN built on internal/nn: a two-layer MLP maps a
+// round-state feature vector to Q-values over the discrete B choices,
+// trained from an experience-replay buffer against a periodically
+// synchronized target network. The paper's comparison notes ABS "does
+// not adjust E and K, which helps to deal with the straggler problem
+// and data heterogeneity" — that structural limitation is exactly what
+// this implementation reproduces.
+package abs
+
+import (
+	"fedgpo/internal/device"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/nn"
+	"fedgpo/internal/stats"
+)
+
+// Config tunes the ABS agent.
+type Config struct {
+	// FixedE and FixedK are the parameters ABS does not adapt.
+	FixedE, FixedK int
+	// Hidden is the MLP hidden width.
+	Hidden int
+	// LR is the Adam learning rate of the Q-network.
+	LR float64
+	// Gamma is the RL discount factor.
+	Gamma float64
+	// Epsilon is the exploration rate (annealed to EpsilonMin).
+	Epsilon, EpsilonMin, EpsilonDecay float64
+	// ReplayCap and BatchSize size the experience replay.
+	ReplayCap, BatchSize int
+	// TargetSync is how many updates between target-network syncs.
+	TargetSync int
+	// Seed drives initialization and exploration.
+	Seed int64
+}
+
+// DefaultConfig returns the operating point used in the experiments.
+func DefaultConfig() Config {
+	return Config{
+		FixedE: 10, FixedK: 20,
+		Hidden: 24, LR: 0.005, Gamma: 0.3,
+		Epsilon: 0.5, EpsilonMin: 0.05, EpsilonDecay: 0.97,
+		ReplayCap: 256, BatchSize: 16, TargetSync: 10,
+		Seed: 1,
+	}
+}
+
+const stateDim = 5
+
+type transition struct {
+	state  []float64
+	action int
+	reward float64
+	next   []float64
+}
+
+// Controller is the ABS policy; it implements fl.Controller.
+type Controller struct {
+	cfg     Config
+	rng     *stats.RNG
+	bValues []int
+
+	qNet, target *nn.Sequential
+	opt          nn.Optimizer
+	replay       []transition
+	updates      int
+
+	energyNorm *stats.EMA
+	lastState  []float64
+	lastAction int
+	epsilon    float64
+}
+
+var _ fl.Controller = (*Controller)(nil)
+
+// New builds an ABS controller.
+func New(cfg Config) *Controller {
+	if cfg.FixedE == 0 { // zero-value convenience
+		cfg = DefaultConfig()
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	build := func(r *stats.RNG) *nn.Sequential {
+		return nn.NewSequential(
+			nn.NewDense(stateDim, cfg.Hidden, r),
+			&nn.ReLU{},
+			nn.NewDense(cfg.Hidden, len(fl.BValues()), r),
+		)
+	}
+	netRNG := rng.Split()
+	q := build(netRNG)
+	t := build(stats.NewRNG(cfg.Seed)) // structure only; synced below
+	nn.LoadParams(t, nn.ParamSnapshot(q))
+	return &Controller{
+		cfg:        cfg,
+		rng:        rng,
+		bValues:    fl.BValues(),
+		qNet:       q,
+		target:     t,
+		opt:        nn.NewAdam(cfg.LR),
+		energyNorm: stats.NewEMA(0.2),
+		lastAction: -1,
+		epsilon:    cfg.Epsilon,
+	}
+}
+
+// Name identifies the controller.
+func (c *Controller) Name() string { return "ABS" }
+
+// stateVector summarizes the observation for the Q-network.
+func stateVector(obs fl.Observation) []float64 {
+	interfered, badNet := 0.0, 0.0
+	for _, st := range obs.States {
+		if st.Interference.CPUUsage > 0 || st.Interference.MemUsage > 0 {
+			interfered++
+		}
+		if !st.Network.Regular() {
+			badNet++
+		}
+	}
+	n := float64(len(obs.States))
+	if n == 0 {
+		n = 1
+	}
+	return []float64{
+		obs.PrevAccuracy,
+		interfered / n,
+		badNet / n,
+		float64(obs.Round%50) / 50,
+		1,
+	}
+}
+
+// Plan selects B via the epsilon-greedy Q-network; E and K stay fixed.
+func (c *Controller) Plan(obs fl.Observation) fl.Plan {
+	state := stateVector(obs)
+	var action int
+	if c.rng.Bernoulli(c.epsilon) {
+		action = c.rng.Intn(len(c.bValues))
+	} else {
+		qv := c.qNet.Forward(nn.FromSlice(append([]float64(nil), state...), 1, stateDim))
+		action = stats.ArgMax(qv.Data)
+	}
+	c.lastState = state
+	c.lastAction = action
+	lp := fl.LocalParams{B: c.bValues[action], E: c.cfg.FixedE}
+	return fl.Plan{K: c.cfg.FixedK, Local: func(device.Device, fl.DeviceState) fl.LocalParams {
+		return lp
+	}}
+}
+
+// Observe computes the reward (energy-normalized, improvement-gated,
+// the same scalar objective shape the other adaptive baselines use),
+// stores the transition, and trains the DQN from replay.
+func (c *Controller) Observe(res fl.RoundResult) {
+	if c.lastAction < 0 {
+		return
+	}
+	eNorm := 10.0
+	if avg := c.energyNorm.Add(res.EnergyGlobalJ); avg > 0 {
+		eNorm = 10 * res.EnergyGlobalJ / avg
+	}
+	accPct := res.Accuracy * 100
+	prevPct := res.PrevAccuracy * 100
+	var reward float64
+	if accPct <= prevPct {
+		reward = accPct - 100
+	} else {
+		headroom := 100 - prevPct
+		if headroom < 1e-9 {
+			headroom = 1e-9
+		}
+		reward = -eNorm + 20*(100*(accPct-prevPct)/headroom)
+	}
+	next := append([]float64(nil), c.lastState...)
+	next[0] = res.Accuracy
+	c.push(transition{state: c.lastState, action: c.lastAction, reward: reward, next: next})
+	c.train()
+	c.lastAction = -1
+	c.epsilon = c.epsilon * c.cfg.EpsilonDecay
+	if c.epsilon < c.cfg.EpsilonMin {
+		c.epsilon = c.cfg.EpsilonMin
+	}
+}
+
+func (c *Controller) push(t transition) {
+	if len(c.replay) >= c.cfg.ReplayCap {
+		copy(c.replay, c.replay[1:])
+		c.replay = c.replay[:len(c.replay)-1]
+	}
+	c.replay = append(c.replay, t)
+}
+
+// train runs one minibatch DQN update.
+func (c *Controller) train() {
+	if len(c.replay) < c.cfg.BatchSize {
+		return
+	}
+	n := c.cfg.BatchSize
+	actions := len(c.bValues)
+	xs := nn.NewTensor(n, stateDim)
+	nexts := nn.NewTensor(n, stateDim)
+	batch := make([]transition, n)
+	for i := 0; i < n; i++ {
+		batch[i] = c.replay[c.rng.Intn(len(c.replay))]
+		copy(xs.Data[i*stateDim:(i+1)*stateDim], batch[i].state)
+		copy(nexts.Data[i*stateDim:(i+1)*stateDim], batch[i].next)
+	}
+	// Targets from the frozen network.
+	nextQ := c.target.Forward(nexts)
+	targets := nn.NewTensor(n, actions)
+	mask := make([]bool, n*actions)
+	for i := 0; i < n; i++ {
+		maxNext := nextQ.Data[i*actions]
+		for j := 1; j < actions; j++ {
+			if nextQ.Data[i*actions+j] > maxNext {
+				maxNext = nextQ.Data[i*actions+j]
+			}
+		}
+		idx := i*actions + batch[i].action
+		targets.Data[idx] = batch[i].reward + c.cfg.Gamma*maxNext
+		mask[idx] = true
+	}
+	pred := c.qNet.Forward(xs)
+	_, grad := nn.MaskedMSE(pred, targets, mask)
+	c.qNet.ZeroGrads()
+	c.qNet.Backward(grad)
+	c.opt.Step(c.qNet.Params())
+
+	c.updates++
+	if c.updates%c.cfg.TargetSync == 0 {
+		nn.LoadParams(c.target, nn.ParamSnapshot(c.qNet))
+	}
+}

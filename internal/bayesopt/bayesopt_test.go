@@ -1,0 +1,169 @@
+package bayesopt
+
+import (
+	"math"
+	"testing"
+
+	"fedgpo/internal/stats"
+)
+
+// grid1D builds candidates at n evenly spaced points in [0,1].
+func grid1D(n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{float64(i) / float64(n-1)}
+	}
+	return out
+}
+
+func TestNewPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(nil, DefaultConfig(), stats.NewRNG(1)) },
+		func() { New([][]float64{{0}, {0, 1}}, DefaultConfig(), stats.NewRNG(1)) },
+		func() {
+			c := DefaultConfig()
+			c.LengthScale = 0
+			New(grid1D(3), c, stats.NewRNG(1))
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: want panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFindsMaximumOfSmoothFunction(t *testing.T) {
+	// f(x) = -(x-0.7)^2 peaks at x=0.7; BO should concentrate there.
+	cand := grid1D(21)
+	f := func(x float64) float64 { return -(x - 0.7) * (x - 0.7) }
+	opt := New(cand, DefaultConfig(), stats.NewRNG(1))
+	counts := make([]int, len(cand))
+	for i := 0; i < 60; i++ {
+		idx := opt.Suggest()
+		counts[idx]++
+		noise := stats.NewRNG(int64(i)).Gaussian(0, 0.001)
+		opt.Observe(idx, f(cand[idx][0])+noise)
+	}
+	// The most-evaluated candidate in the last stretch should be near
+	// 0.7 (index 14 of 0..20).
+	lateBest := 0
+	for i := 40; i < 60; i++ {
+		_ = i
+	}
+	for i, c := range counts {
+		if c > counts[lateBest] {
+			lateBest = i
+		}
+	}
+	x := cand[lateBest][0]
+	if math.Abs(x-0.7) > 0.2 {
+		t.Errorf("BO concentrated at x=%v, want near 0.7 (counts=%v)", x, counts)
+	}
+}
+
+func TestColdStartIsRandomButValid(t *testing.T) {
+	opt := New(grid1D(5), DefaultConfig(), stats.NewRNG(2))
+	for i := 0; i < 20; i++ {
+		idx := opt.Suggest()
+		if idx < 0 || idx >= 5 {
+			t.Fatalf("suggestion %d out of range", idx)
+		}
+	}
+	if opt.Observations() != 0 {
+		t.Error("no observations should be recorded yet")
+	}
+}
+
+func TestWindowCapsObservations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = 10
+	opt := New(grid1D(5), cfg, stats.NewRNG(3))
+	for i := 0; i < 30; i++ {
+		opt.Observe(i%5, float64(i))
+	}
+	if got := opt.Observations(); got != 10 {
+		t.Errorf("window kept %d observations, want 10", got)
+	}
+}
+
+func TestObservePanicsOnBadIndex(t *testing.T) {
+	opt := New(grid1D(3), DefaultConfig(), stats.NewRNG(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	opt.Observe(3, 1)
+}
+
+func TestCholeskyRoundTrip(t *testing.T) {
+	a := [][]float64{
+		{4, 2, 0.6},
+		{2, 5, 1.2},
+		{0.6, 1.2, 3},
+	}
+	l, ok := cholesky(a)
+	if !ok {
+		t.Fatal("SPD matrix rejected")
+	}
+	// Check L·Lᵀ == A.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			sum := 0.0
+			for k := 0; k < 3; k++ {
+				sum += l[i][k] * l[j][k]
+			}
+			if math.Abs(sum-a[i][j]) > 1e-9 {
+				t.Errorf("LL^T[%d][%d] = %v, want %v", i, j, sum, a[i][j])
+			}
+		}
+	}
+	// Solve check: (LLᵀ)x = b.
+	b := []float64{1, 2, 3}
+	x := choleskySolve(l, b)
+	for i := 0; i < 3; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			sum += a[i][j] * x[j]
+		}
+		if math.Abs(sum-b[i]) > 1e-9 {
+			t.Errorf("solve residual at %d: %v vs %v", i, sum, b[i])
+		}
+	}
+	if _, ok := cholesky([][]float64{{-1}}); ok {
+		t.Error("non-SPD matrix should be rejected")
+	}
+}
+
+func TestEIProperties(t *testing.T) {
+	// Higher mean -> higher EI at equal sigma.
+	if expectedImprovement(1, 0.5, 0, 0.01) <= expectedImprovement(0.5, 0.5, 0, 0.01) {
+		t.Error("EI should increase with posterior mean")
+	}
+	// Zero sigma -> zero EI.
+	if expectedImprovement(10, 0, 0, 0.01) != 0 {
+		t.Error("EI with zero sigma should be 0")
+	}
+	// EI is non-negative.
+	if expectedImprovement(-5, 0.1, 0, 0.01) < 0 {
+		t.Error("EI must be non-negative")
+	}
+}
+
+func TestNormalHelpers(t *testing.T) {
+	if math.Abs(stdNormCDF(0)-0.5) > 1e-12 {
+		t.Error("CDF(0) != 0.5")
+	}
+	if math.Abs(stdNormPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Error("PDF(0) wrong")
+	}
+	if stdNormCDF(5) < 0.999 || stdNormCDF(-5) > 0.001 {
+		t.Error("CDF tails wrong")
+	}
+}

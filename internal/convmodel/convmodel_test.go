@@ -1,0 +1,296 @@
+package convmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fedgpo/internal/stats"
+	"fedgpo/internal/workload"
+)
+
+func idealInputs(w workload.Workload) RoundInputs {
+	return RoundInputs{
+		MeanB:        w.Learn.OptimalB,
+		MeanE:        w.Learn.OptimalE,
+		K:            int(w.Learn.OptimalK),
+		Skew:         0,
+		Coverage:     1,
+		DataFraction: 1,
+	}
+}
+
+func runToConvergence(w workload.Workload, in RoundInputs, maxRounds int, seed int64) (int, float64) {
+	m := New(w, stats.NewRNG(seed))
+	tr := NewTracker(w)
+	for r := 1; r <= maxRounds; r++ {
+		acc := m.Step(in)
+		if tr.Observe(acc) {
+			return tr.ConvergenceRound(), acc
+		}
+	}
+	return -1, m.Accuracy()
+}
+
+func TestIdealSettingsConverge(t *testing.T) {
+	for _, w := range workload.All() {
+		round, acc := runToConvergence(w, idealInputs(w), 400, 1)
+		if round < 0 {
+			t.Errorf("%s: did not converge in 400 rounds (acc=%v)", w.Name, acc)
+			continue
+		}
+		if round < 5 {
+			t.Errorf("%s: converged suspiciously fast (round %d)", w.Name, round)
+		}
+	}
+}
+
+func TestBatchEffectivenessShape(t *testing.T) {
+	// Peak at the optimum, symmetric fall-off in log space.
+	peak := BatchEffectiveness(8, 8, 1.3)
+	if math.Abs(peak-1) > 1e-12 {
+		t.Errorf("peak = %v, want 1", peak)
+	}
+	lo := BatchEffectiveness(2, 8, 1.3)
+	hi := BatchEffectiveness(32, 8, 1.3)
+	if math.Abs(lo-hi) > 1e-12 {
+		t.Errorf("log-symmetric points differ: %v vs %v", lo, hi)
+	}
+	if BatchEffectiveness(1, 8, 1.3) >= BatchEffectiveness(4, 8, 1.3) {
+		t.Error("effectiveness should fall with distance from the optimum")
+	}
+	// Sub-1 batch clamps.
+	if BatchEffectiveness(0, 8, 1.3) != BatchEffectiveness(1, 8, 1.3) {
+		t.Error("B < 1 should clamp to 1")
+	}
+}
+
+func TestEpochEffectivenessShape(t *testing.T) {
+	// Rising (diminishing) before the optimum.
+	if !(EpochEffectiveness(1, 10, 0.35) < EpochEffectiveness(5, 10, 0.35) &&
+		EpochEffectiveness(5, 10, 0.35) < EpochEffectiveness(10, 10, 0.35)) {
+		t.Error("epoch effectiveness should rise toward the optimum")
+	}
+	if got := EpochEffectiveness(10, 10, 0.35); got != 1 {
+		t.Errorf("optimum effectiveness = %v, want 1", got)
+	}
+	// Over-fitting decay past the optimum.
+	if EpochEffectiveness(20, 10, 0.35) >= 1 {
+		t.Error("past-optimum effectiveness should decay")
+	}
+	// Floor.
+	if got := EpochEffectiveness(1000, 10, 0.35); got != 0.15 {
+		t.Errorf("floor = %v, want 0.15", got)
+	}
+}
+
+func TestParticipantEffectiveness(t *testing.T) {
+	if ParticipantEffectiveness(0, 20, 1) != 0 {
+		t.Error("zero participants should contribute nothing")
+	}
+	if !(ParticipantEffectiveness(5, 20, 1) < ParticipantEffectiveness(20, 20, 1)) {
+		t.Error("more participants should help up to the optimum")
+	}
+	// Saturation past the optimum.
+	if ParticipantEffectiveness(40, 20, 1) != ParticipantEffectiveness(20, 20, 1) {
+		t.Error("K past the optimum should saturate")
+	}
+	// Coverage matters.
+	if !(ParticipantEffectiveness(20, 20, 0.2) < ParticipantEffectiveness(20, 20, 1)) {
+		t.Error("low class coverage should hurt")
+	}
+}
+
+func TestSkewPenaltyAmplifiedByK(t *testing.T) {
+	// Fig. 7's K mechanism: larger K admits more non-IID participants.
+	base := SkewPenalty(0.6, 0.55, 10, 20)
+	moreK := SkewPenalty(0.6, 0.55, 20, 20)
+	if !(moreK < base) {
+		t.Errorf("larger K should deepen the skew penalty: %v vs %v", moreK, base)
+	}
+	if SkewPenalty(0, 0.55, 20, 20) != 1 {
+		t.Error("no skew, no penalty")
+	}
+	if p := SkewPenalty(1, 10, 30, 20); p != 0.03 {
+		t.Errorf("penalty floor = %v, want 0.03", p)
+	}
+}
+
+func TestDriftShiftsEpochOptimum(t *testing.T) {
+	// Fig. 7's E mechanism: under skew the epoch sweet spot slides
+	// down and over-fitting steepens.
+	if got := DriftedOptimalE(10, 0); got != 10 {
+		t.Errorf("no skew should keep the optimum: %v", got)
+	}
+	if got := DriftedOptimalE(10, 0.75); got >= 7 {
+		t.Errorf("heavy skew should pull the optimum well below 10: %v", got)
+	}
+	if DriftedOptimalE(1, 1) < 1 {
+		t.Error("drifted optimum must floor at 1")
+	}
+	if DriftedOverfit(0.35, 0.8) <= 0.35 {
+		t.Error("skew should steepen over-fitting")
+	}
+	// The end-to-end effect: at heavy skew, E=5 must beat E=10.
+	w := workload.CNNMNIST()
+	in5 := idealInputs(w)
+	in5.Skew = 0.75
+	in5.MeanE = 5
+	in10 := in5
+	in10.MeanE = 10
+	m := New(w, stats.NewRNG(1))
+	if m.Gain(in5) <= m.Gain(in10) {
+		t.Errorf("under heavy skew E=5 should out-gain E=10: %v vs %v",
+			m.Gain(in5), m.Gain(in10))
+	}
+	// And under no skew, E=10 must beat E=5 (Fig. 1).
+	iid5 := idealInputs(w)
+	iid5.MeanE = 5
+	if m.Gain(iid5) >= m.Gain(idealInputs(w)) {
+		t.Error("under IID the full epoch optimum should win")
+	}
+}
+
+func TestConvergenceUShapeInB(t *testing.T) {
+	// Fig. 1: the convergence round is U-shaped in B with the minimum
+	// at the workload optimum.
+	w := workload.CNNMNIST()
+	in := idealInputs(w)
+	rounds := map[float64]int{}
+	for _, b := range []float64{1, 8, 32} {
+		in.MeanB = b
+		r, _ := runToConvergence(w, in, 4000, 7)
+		if r < 0 {
+			t.Fatalf("B=%v did not converge", b)
+		}
+		rounds[b] = r
+	}
+	if !(rounds[8] < rounds[1] && rounds[8] < rounds[32]) {
+		t.Errorf("convergence rounds not U-shaped: %v", rounds)
+	}
+}
+
+func TestNonIIDSlowsConvergence(t *testing.T) {
+	w := workload.CNNMNIST()
+	iid := idealInputs(w)
+	skewed := iid
+	skewed.Skew = 0.6
+	skewed.Coverage = 0.8
+	rIID, _ := runToConvergence(w, iid, 2000, 3)
+	rSkew, _ := runToConvergence(w, skewed, 2000, 3)
+	if rIID < 0 || rSkew < 0 {
+		t.Fatalf("runs did not converge: %d %d", rIID, rSkew)
+	}
+	if rSkew <= rIID {
+		t.Errorf("non-IID should slow convergence: %d <= %d", rSkew, rIID)
+	}
+}
+
+func TestStragglerDropsSlowConvergence(t *testing.T) {
+	w := workload.CNNMNIST()
+	full := idealInputs(w)
+	dropped := full
+	dropped.DataFraction = 0.5
+	rFull, _ := runToConvergence(w, full, 2000, 5)
+	rDrop, _ := runToConvergence(w, dropped, 2000, 5)
+	if rFull < 0 || rDrop < 0 {
+		t.Fatal("runs did not converge")
+	}
+	if rDrop <= rFull {
+		t.Errorf("dropping half the data should slow convergence: %d <= %d", rDrop, rFull)
+	}
+}
+
+func TestStepDeterministicPerSeed(t *testing.T) {
+	w := workload.CNNMNIST()
+	in := idealInputs(w)
+	m1, m2 := New(w, stats.NewRNG(11)), New(w, stats.NewRNG(11))
+	for i := 0; i < 50; i++ {
+		if a, b := m1.Step(in), m2.Step(in); a != b {
+			t.Fatalf("same-seed models diverged at round %d", i)
+		}
+	}
+}
+
+func TestAccuracyBounded(t *testing.T) {
+	w := workload.CNNMNIST()
+	f := func(seed int64, bRaw, eRaw, kRaw, skewRaw uint8) bool {
+		in := RoundInputs{
+			MeanB:        float64(bRaw%32) + 1,
+			MeanE:        float64(eRaw%20) + 1,
+			K:            int(kRaw%20) + 1,
+			Skew:         float64(skewRaw%101) / 100,
+			Coverage:     1 - float64(skewRaw%101)/200,
+			DataFraction: 1,
+		}
+		m := New(w, stats.NewRNG(seed))
+		for i := 0; i < 100; i++ {
+			acc := m.Step(in)
+			if acc < 0 || acc > w.Learn.MaxAccuracy+1e-12 || math.IsNaN(acc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerWindowSemantics(t *testing.T) {
+	tr := &Tracker{Target: 0.9, Band: 0.01, Window: 3, converged: -1}
+	seq := []float64{0.5, 0.91, 0.92, 0.3, 0.90, 0.93, 0.95}
+	var convergedAt int
+	for i, acc := range seq {
+		if tr.Observe(acc) && convergedAt == 0 {
+			convergedAt = i + 1
+		}
+	}
+	// The streak 0.90,0.93,0.95 starts at observation 5.
+	if !tr.Converged() || tr.ConvergenceRound() != 5 {
+		t.Errorf("convergence round = %d, want 5", tr.ConvergenceRound())
+	}
+	if convergedAt != 7 {
+		t.Errorf("Observe returned true first at %d, want 7 (end of window)", convergedAt)
+	}
+}
+
+func TestTrackerNeverConvergesBelowBand(t *testing.T) {
+	tr := &Tracker{Target: 0.9, Band: 0.01, Window: 3, converged: -1}
+	for i := 0; i < 100; i++ {
+		if tr.Observe(0.85) {
+			t.Fatal("should not converge below band")
+		}
+	}
+	if tr.ConvergenceRound() != -1 {
+		t.Error("unconverged round should be -1")
+	}
+}
+
+func TestGainComposesMonotonically(t *testing.T) {
+	// Any single degradation must not increase the gain.
+	w := workload.CNNMNIST()
+	m := New(w, stats.NewRNG(1))
+	base := m.Gain(idealInputs(w))
+	worse := []RoundInputs{}
+	in := idealInputs(w)
+	in.MeanB = 32
+	worse = append(worse, in)
+	in = idealInputs(w)
+	in.MeanE = 1
+	worse = append(worse, in)
+	in = idealInputs(w)
+	in.K = 1
+	worse = append(worse, in)
+	in = idealInputs(w)
+	in.Skew = 0.8
+	worse = append(worse, in)
+	in = idealInputs(w)
+	in.DataFraction = 0.3
+	worse = append(worse, in)
+	for i, wIn := range worse {
+		if g := m.Gain(wIn); g >= base {
+			t.Errorf("degradation %d did not reduce gain: %v >= %v", i, g, base)
+		}
+	}
+}

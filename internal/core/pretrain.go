@@ -1,0 +1,36 @@
+package core
+
+import "fedgpo/internal/fl"
+
+// Pretrained builds a FedGPO controller whose Q-tables have already
+// been trained on a warm-up run of the given deployment, then frozen to
+// pure exploitation.
+//
+// This mirrors the paper's deployment model: §5.4 reports that the
+// shared Q-tables converge within 30–40 aggregation rounds, that FedGPO
+// runs ~24% below Fixed (Best) efficiency during that learning phase,
+// and that the headline gains materialize "after the convergence". The
+// shared tables are server-side infrastructure that persists across FL
+// tasks, so a production FedGPO enters any given training run with the
+// learning phase already amortized. Experiments evaluate both variants:
+// Pretrained (steady state, the paper's headline comparison) and a cold
+// New controller (which pays the learning phase inside the measured
+// run).
+//
+// warmup is the deployment to learn on — typically the same scenario
+// with a different seed. The warm-up runs without stopping at
+// convergence so the tables see the full accuracy trajectory.
+func Pretrained(cfg Config, warmup fl.Config) *Controller {
+	ctrl := New(cfg)
+	// Learn with exploration enabled for the entire warm-up.
+	ctrl.cfg.FreezeAfterRounds = 0
+	ctrl.cfg.FreezeThreshold = 0
+	w := warmup
+	w.StopAtConvergence = false
+	fl.Run(w, ctrl)
+	ctrl.FinishLearning()
+	// Restore the caller's freeze policy for any further learning.
+	ctrl.cfg.FreezeAfterRounds = cfg.FreezeAfterRounds
+	ctrl.cfg.FreezeThreshold = cfg.FreezeThreshold
+	return ctrl
+}

@@ -1,0 +1,158 @@
+// Package core implements FedGPO, the paper's contribution: a
+// reinforcement-learning global-parameter optimizer that, each FedAvg
+// aggregation round, observes the execution state of the federation
+// (neural-network architecture, per-device co-running interference,
+// network stability, and data-class composition — paper Table 1),
+// selects per-device (B, E) and a global K from the discrete action
+// space of paper Table 2 via epsilon-greedy Q-learning over shared
+// per-category Q-tables (paper Algorithm 2), and learns from the
+// energy/accuracy reward of paper Eq. 1.
+package core
+
+import (
+	"strings"
+
+	"fedgpo/internal/fl"
+	"fedgpo/internal/workload"
+)
+
+// Discretization bands from paper Table 1. Band values are single
+// characters to keep Q-table keys (and the §5.4 memory footprint)
+// small.
+
+// ConvBand discretizes S_CONV: small (<10), medium (<20), large (<30),
+// larger (>=30; the paper's table lists ">=40" leaving 30–39 unmapped —
+// we close the gap at 30). We additionally add a "none" band for
+// zero-conv architectures: without it the Table 1 bands cannot
+// distinguish a small CNN from a pure-recurrent model.
+func ConvBand(n int) byte {
+	switch {
+	case n == 0:
+		return 'n'
+	case n < 10:
+		return 's'
+	case n < 20:
+		return 'm'
+	case n < 30:
+		return 'l'
+	default:
+		return 'x'
+	}
+}
+
+// FCBand discretizes S_FC: small (<10), large (>=10).
+func FCBand(n int) byte {
+	if n < 10 {
+		return 's'
+	}
+	return 'l'
+}
+
+// RCBand discretizes S_RC: small (<5), medium (<10), large (>=10),
+// with an extra "none" band for zero recurrent layers (see ConvBand).
+func RCBand(n int) byte {
+	switch {
+	case n == 0:
+		return 'n'
+	case n < 5:
+		return 's'
+	case n < 10:
+		return 'm'
+	default:
+		return 'l'
+	}
+}
+
+// UsageBand discretizes S_Co_CPU / S_Co_MEM from a usage fraction in
+// [0,1]: none (0%), small (<25%), medium (<75%), large (<=100%).
+func UsageBand(frac float64) byte {
+	pct := frac * 100
+	switch {
+	case pct <= 0:
+		return 'n'
+	case pct < 25:
+		return 's'
+	case pct < 75:
+		return 'm'
+	default:
+		return 'l'
+	}
+}
+
+// NetworkBand discretizes S_Network: regular (>40Mbps), bad (<=40Mbps).
+func NetworkBand(regular bool) byte {
+	if regular {
+		return 'r'
+	}
+	return 'b'
+}
+
+// DataBand discretizes S_Data from the class-coverage percentage
+// (0..100): small (<25%), medium (<100%), large (=100%).
+func DataBand(classFractionPct float64) byte {
+	switch {
+	case classFractionPct < 25:
+		return 's'
+	case classFractionPct < 100:
+		return 'm'
+	default:
+		return 'l'
+	}
+}
+
+// ArchKey encodes the workload's architecture states (S_CONV, S_FC,
+// S_RC). It is constant within a run but keeps Q-tables transferable
+// across workloads, which is how shared tables "expedite the design
+// space exploration" (§3.3).
+func ArchKey(w workload.Workload) string {
+	var b strings.Builder
+	b.Grow(3)
+	b.WriteByte(ConvBand(w.ConvLayers))
+	b.WriteByte(FCBand(w.FCLayers))
+	b.WriteByte(RCBand(w.RCLayers))
+	return b.String()
+}
+
+// DeviceStateKey encodes one device's full Table 1 state for the
+// per-category (B, E) Q-tables.
+func DeviceStateKey(w workload.Workload, st fl.DeviceState) string {
+	var b strings.Builder
+	b.Grow(7)
+	b.WriteString(ArchKey(w))
+	b.WriteByte(UsageBand(st.Interference.CPUUsage))
+	b.WriteByte(UsageBand(st.Interference.MemUsage))
+	b.WriteByte(NetworkBand(st.Network.Regular()))
+	b.WriteByte(DataBand(st.ClassFraction))
+	return b.String()
+}
+
+// GlobalStateKey encodes the fleet-level state the K-selection agent
+// conditions on: the architecture plus banded fleet fractions of
+// interfered devices, bad-network devices, and the mean data-class
+// coverage.
+func GlobalStateKey(w workload.Workload, states []fl.DeviceState) string {
+	interfered, badNet, classPct := 0, 0, 0.0
+	for _, st := range states {
+		if st.Interference.CPUUsage > 0 || st.Interference.MemUsage > 0 {
+			interfered++
+		}
+		if !st.Network.Regular() {
+			badNet++
+		}
+		classPct += st.ClassFraction
+	}
+	n := len(states)
+	intfFrac, badFrac, meanClass := 0.0, 0.0, 0.0
+	if n > 0 {
+		intfFrac = float64(interfered) / float64(n)
+		badFrac = float64(badNet) / float64(n)
+		meanClass = classPct / float64(n)
+	}
+	var b strings.Builder
+	b.Grow(6)
+	b.WriteString(ArchKey(w))
+	b.WriteByte(UsageBand(intfFrac))
+	b.WriteByte(UsageBand(badFrac))
+	b.WriteByte(DataBand(meanClass))
+	return b.String()
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"fedgpo/internal/device"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/netsim"
+	"fedgpo/internal/workload"
+)
+
+func TestConvBandTable1(t *testing.T) {
+	cases := []struct {
+		n    int
+		want byte
+	}{{0, 'n'}, {1, 's'}, {9, 's'}, {10, 'm'}, {19, 'm'}, {20, 'l'}, {29, 'l'}, {30, 'x'}, {50, 'x'}}
+	for _, c := range cases {
+		if got := ConvBand(c.n); got != c.want {
+			t.Errorf("ConvBand(%d) = %c, want %c", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFCAndRCBands(t *testing.T) {
+	if FCBand(9) != 's' || FCBand(10) != 'l' {
+		t.Error("FC band thresholds wrong")
+	}
+	if RCBand(0) != 'n' || RCBand(4) != 's' || RCBand(5) != 'm' || RCBand(9) != 'm' || RCBand(10) != 'l' {
+		t.Error("RC band thresholds wrong")
+	}
+}
+
+func TestUsageBandTable1(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want byte
+	}{{0, 'n'}, {0.01, 's'}, {0.24, 's'}, {0.25, 'm'}, {0.74, 'm'}, {0.75, 'l'}, {1.0, 'l'}}
+	for _, c := range cases {
+		if got := UsageBand(c.frac); got != c.want {
+			t.Errorf("UsageBand(%v) = %c, want %c", c.frac, got, c.want)
+		}
+	}
+}
+
+func TestNetworkAndDataBands(t *testing.T) {
+	if NetworkBand(true) != 'r' || NetworkBand(false) != 'b' {
+		t.Error("network band wrong")
+	}
+	if DataBand(10) != 's' || DataBand(24.9) != 's' || DataBand(25) != 'm' ||
+		DataBand(99.9) != 'm' || DataBand(100) != 'l' {
+		t.Error("data band thresholds wrong")
+	}
+}
+
+func TestArchKeysDistinguishWorkloads(t *testing.T) {
+	keys := map[string]string{}
+	for _, w := range workload.All() {
+		k := ArchKey(w)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("workloads %s and %s share arch key %q", prev, w.Name, k)
+		}
+		keys[k] = w.Name
+	}
+}
+
+func TestDeviceStateKeyReflectsAllSignals(t *testing.T) {
+	w := workload.CNNMNIST()
+	base := fl.DeviceState{
+		Network:       netsim.Condition{BandwidthMbps: 80},
+		ClassFraction: 100,
+	}
+	k0 := DeviceStateKey(w, base)
+
+	st := base
+	st.Interference = device.Interference{CPUUsage: 0.5}
+	if DeviceStateKey(w, st) == k0 {
+		t.Error("CPU interference should change the state key")
+	}
+	st = base
+	st.Interference = device.Interference{MemUsage: 0.5}
+	if DeviceStateKey(w, st) == k0 {
+		t.Error("memory interference should change the state key")
+	}
+	st = base
+	st.Network = netsim.Condition{BandwidthMbps: 10}
+	if DeviceStateKey(w, st) == k0 {
+		t.Error("bad network should change the state key")
+	}
+	st = base
+	st.ClassFraction = 10
+	if DeviceStateKey(w, st) == k0 {
+		t.Error("data composition should change the state key")
+	}
+	// Bands, not raw values: two conditions in the same band collide.
+	a, b := base, base
+	a.Interference = device.Interference{CPUUsage: 0.30}
+	b.Interference = device.Interference{CPUUsage: 0.60}
+	if DeviceStateKey(w, a) != DeviceStateKey(w, b) {
+		t.Error("same-band conditions should share a key (discretization)")
+	}
+}
+
+func TestGlobalStateKeyAggregates(t *testing.T) {
+	w := workload.CNNMNIST()
+	clean := make([]fl.DeviceState, 10)
+	for i := range clean {
+		clean[i] = fl.DeviceState{
+			Network:       netsim.Condition{BandwidthMbps: 80},
+			ClassFraction: 100,
+		}
+	}
+	k0 := GlobalStateKey(w, clean)
+
+	half := append([]fl.DeviceState(nil), clean...)
+	for i := 0; i < 5; i++ {
+		half[i].Interference = device.Interference{CPUUsage: 0.5}
+	}
+	if GlobalStateKey(w, half) == k0 {
+		t.Error("fleet-wide interference should change the global key")
+	}
+
+	badNet := append([]fl.DeviceState(nil), clean...)
+	for i := 0; i < 5; i++ {
+		badNet[i].Network = netsim.Condition{BandwidthMbps: 10}
+	}
+	if GlobalStateKey(w, badNet) == k0 {
+		t.Error("fleet-wide bad network should change the global key")
+	}
+
+	if GlobalStateKey(w, nil) == "" {
+		t.Error("empty fleet should still produce a key")
+	}
+}

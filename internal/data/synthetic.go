@@ -1,0 +1,113 @@
+package data
+
+import "fedgpo/internal/stats"
+
+// Labeled is one training example for the real-training path
+// (internal/nn): a flat feature vector and an integer class label.
+type Labeled struct {
+	X []float64
+	Y int
+}
+
+// GaussianBlobs generates a linearly-separable synthetic classification
+// dataset: perClass samples for each of `classes` classes, where class c
+// is an isotropic Gaussian blob around a deterministic center in
+// `dim`-dimensional space. spread controls the class overlap (larger =
+// harder). This stands in for MNIST-like data in the examples and nn
+// tests: it exercises the identical training code path with a
+// controllable difficulty.
+func GaussianBlobs(classes, dim, perClass int, spread float64, rng *stats.RNG) []Labeled {
+	if classes <= 0 || dim <= 0 || perClass <= 0 {
+		panic("data: GaussianBlobs arguments must be positive")
+	}
+	out := make([]Labeled, 0, classes*perClass)
+	for c := 0; c < classes; c++ {
+		center := blobCenter(c, classes, dim)
+		for i := 0; i < perClass; i++ {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = rng.Gaussian(center[j], spread)
+			}
+			out = append(out, Labeled{X: x, Y: c})
+		}
+	}
+	// Shuffle so minibatches mix classes.
+	idx := make([]int, len(out))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(idx)
+	shuffled := make([]Labeled, len(out))
+	for i, j := range idx {
+		shuffled[i] = out[j]
+	}
+	return shuffled
+}
+
+// blobCenter places class centers on the corners of a scaled hypercube
+// pattern so any two classes are well separated.
+func blobCenter(class, classes, dim int) []float64 {
+	center := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		// Deterministic ±2 pattern derived from the class index bits.
+		if (class>>(uint(j)%31))&1 == 1 {
+			center[j] = 2
+		} else {
+			center[j] = -2
+		}
+		// Break symmetry between classes that share low bits.
+		center[j] += float64((class*(j+3))%5) * 0.7
+	}
+	return center
+}
+
+// SplitByPartition materializes per-device datasets from a Partition:
+// device d receives Counts[d][c] samples of class c, drawn from
+// per-class pools generated with GaussianBlobs-style sampling. dim and
+// spread control the synthetic feature space.
+func SplitByPartition(p Partition, dim int, spread float64, rng *stats.RNG) [][]Labeled {
+	out := make([][]Labeled, p.NumDevices())
+	for d := range out {
+		shard := make([]Labeled, 0, p.DeviceSamples(d))
+		for c, n := range p.Counts[d] {
+			center := blobCenter(c, p.NumClasses, dim)
+			for i := 0; i < n; i++ {
+				x := make([]float64, dim)
+				for j := range x {
+					x[j] = rng.Gaussian(center[j], spread)
+				}
+				shard = append(shard, Labeled{X: x, Y: c})
+			}
+		}
+		out[d] = shard
+	}
+	return out
+}
+
+// TrainTestSplit splits a dataset into a training and test portion with
+// the given test fraction (clamped to [0,1]); the split is
+// deterministic given the RNG.
+func TrainTestSplit(ds []Labeled, testFrac float64, rng *stats.RNG) (train, test []Labeled) {
+	if testFrac < 0 {
+		testFrac = 0
+	}
+	if testFrac > 1 {
+		testFrac = 1
+	}
+	idx := make([]int, len(ds))
+	for i := range idx {
+		idx[i] = i
+	}
+	rng.Shuffle(idx)
+	nTest := int(float64(len(ds)) * testFrac)
+	test = make([]Labeled, 0, nTest)
+	train = make([]Labeled, 0, len(ds)-nTest)
+	for i, j := range idx {
+		if i < nTest {
+			test = append(test, ds[j])
+		} else {
+			train = append(train, ds[j])
+		}
+	}
+	return train, test
+}

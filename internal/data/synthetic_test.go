@@ -1,0 +1,119 @@
+package data
+
+import (
+	"testing"
+
+	"fedgpo/internal/stats"
+)
+
+func TestGaussianBlobsShapeAndLabels(t *testing.T) {
+	ds := GaussianBlobs(4, 8, 25, 0.5, stats.NewRNG(1))
+	if len(ds) != 100 {
+		t.Fatalf("dataset size = %d, want 100", len(ds))
+	}
+	counts := map[int]int{}
+	for _, s := range ds {
+		if len(s.X) != 8 {
+			t.Fatalf("feature dim = %d, want 8", len(s.X))
+		}
+		if s.Y < 0 || s.Y >= 4 {
+			t.Fatalf("label %d out of range", s.Y)
+		}
+		counts[s.Y]++
+	}
+	for c := 0; c < 4; c++ {
+		if counts[c] != 25 {
+			t.Errorf("class %d count = %d, want 25", c, counts[c])
+		}
+	}
+}
+
+func TestGaussianBlobsSeparable(t *testing.T) {
+	// A nearest-centroid classifier should get near-perfect accuracy at
+	// low spread — this guarantees the nn examples have signal to learn.
+	ds := GaussianBlobs(3, 6, 50, 0.3, stats.NewRNG(2))
+	centroids := make([][]float64, 3)
+	n := make([]int, 3)
+	for i := range centroids {
+		centroids[i] = make([]float64, 6)
+	}
+	for _, s := range ds {
+		for j, v := range s.X {
+			centroids[s.Y][j] += v
+		}
+		n[s.Y]++
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(n[c])
+		}
+	}
+	correct := 0
+	for _, s := range ds {
+		best, bestD := -1, 0.0
+		for c := range centroids {
+			d := 0.0
+			for j := range s.X {
+				diff := s.X[j] - centroids[c][j]
+				d += diff * diff
+			}
+			if best == -1 || d < bestD {
+				best, bestD = c, d
+			}
+		}
+		if best == s.Y {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(ds)); acc < 0.95 {
+		t.Errorf("nearest-centroid accuracy = %v, want >= 0.95 (blobs should be separable)", acc)
+	}
+}
+
+func TestGaussianBlobsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GaussianBlobs(0, 4, 10, 1, stats.NewRNG(1))
+}
+
+func TestSplitByPartitionMatchesCounts(t *testing.T) {
+	p := Dirichlet(6, 5, 40, 0.1, stats.NewRNG(3))
+	shards := SplitByPartition(p, 4, 0.5, stats.NewRNG(4))
+	if len(shards) != 6 {
+		t.Fatalf("shard count = %d", len(shards))
+	}
+	for d, shard := range shards {
+		if len(shard) != p.DeviceSamples(d) {
+			t.Errorf("device %d shard size = %d, want %d", d, len(shard), p.DeviceSamples(d))
+		}
+		classCounts := make([]int, 5)
+		for _, s := range shard {
+			classCounts[s.Y]++
+		}
+		for c := range classCounts {
+			if classCounts[c] != p.Counts[d][c] {
+				t.Errorf("device %d class %d = %d, want %d", d, c, classCounts[c], p.Counts[d][c])
+			}
+		}
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	ds := GaussianBlobs(2, 4, 50, 0.5, stats.NewRNG(5))
+	train, test := TrainTestSplit(ds, 0.2, stats.NewRNG(6))
+	if len(test) != 20 || len(train) != 80 {
+		t.Fatalf("split = %d/%d, want 80/20", len(train), len(test))
+	}
+	// Clamping.
+	tr, te := TrainTestSplit(ds, -1, stats.NewRNG(7))
+	if len(te) != 0 || len(tr) != 100 {
+		t.Error("negative fraction should clamp to 0")
+	}
+	tr, te = TrainTestSplit(ds, 2, stats.NewRNG(8))
+	if len(tr) != 0 || len(te) != 100 {
+		t.Error("fraction > 1 should clamp to 1")
+	}
+}

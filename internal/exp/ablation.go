@@ -1,0 +1,188 @@
+package exp
+
+import (
+	"fmt"
+
+	"fedgpo/internal/core"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/workload"
+)
+
+// fedgpoVariantFactory builds warm-started FedGPO controllers with a
+// customized configuration.
+func fedgpoVariantFactory(s Scenario, mutate func(*core.Config)) fl.ControllerFactory {
+	return func() fl.Controller {
+		cfg := core.DefaultConfig()
+		mutate(&cfg)
+		warmCfg := s.Config(warmupSeed)
+		warmCfg.MaxRounds = minInt(150, warmCfg.MaxRounds)
+		return core.Pretrained(cfg, warmCfg)
+	}
+}
+
+// AblationEpsilon reproduces the paper's footnote-3 sensitivity study:
+// exploration probability ϵ ∈ {0.1, 0.5, 0.9}. High ϵ keeps choosing
+// random parameters, hurting both convergence and energy.
+func AblationEpsilon(o Options) Table {
+	w := workload.CNNMNIST()
+	s := o.apply(Realistic(w))
+	t := Table{
+		ID:     "abl-eps",
+		Title:  "FedGPO sensitivity to exploration probability ϵ (paper footnote 3)",
+		Header: []string{"epsilon", "PPW (norm to eps=0.1)", "conv round", "accuracy"},
+	}
+	var base float64
+	for i, eps := range []float64{0.1, 0.5, 0.9} {
+		sum := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(c *core.Config) {
+			c.RL.Epsilon = eps
+			// The sensitivity question is about exploration during
+			// operation, so the freeze is disabled.
+			c.FreezeAfterRounds = 0
+		}), o.seeds())
+		if i == 0 {
+			base = sum.MeanPPW
+		}
+		t.AddRow(fmt.Sprintf("%.1f", eps), fmtRatio(sum.MeanPPW/base),
+			fmt.Sprintf("%.0f", sum.MeanConvergenceRound),
+			fmtPct(100*sum.MeanFinalAccuracy))
+	}
+	t.Notes = append(t.Notes, "paper expectation: eps=0.1 best; larger eps degrades accuracy and convergence overhead")
+	return t
+}
+
+// AblationGammaMu reproduces the paper's §4.1 hyperparameter
+// sensitivity analysis over the Q-learning rate γ and discount µ
+// (values {0.1, 0.5, 0.9} each, one axis at a time).
+func AblationGammaMu(o Options) Table {
+	w := workload.CNNMNIST()
+	s := o.apply(Realistic(w))
+	t := Table{
+		ID:     "abl-gm",
+		Title:  "FedGPO sensitivity to learning rate γ and discount µ (paper §4.1)",
+		Header: []string{"gamma", "mu", "PPW (norm to default)", "conv round"},
+	}
+	def := core.DefaultConfig()
+	base := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(*core.Config) {}), o.seeds())
+	t.AddRow(fmt.Sprintf("%.2f (default)", def.RL.LearningRate),
+		fmt.Sprintf("%.1f", def.RL.Discount), "1.00x",
+		fmt.Sprintf("%.0f", base.MeanConvergenceRound))
+	for _, gamma := range []float64{0.1, 0.5, 0.9} {
+		g := gamma
+		sum := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(c *core.Config) {
+			c.RL.LearningRate = g
+		}), o.seeds())
+		t.AddRow(fmt.Sprintf("%.1f", g), fmt.Sprintf("%.1f", def.RL.Discount),
+			fmtRatio(sum.MeanPPW/base.MeanPPW), fmt.Sprintf("%.0f", sum.MeanConvergenceRound))
+	}
+	for _, mu := range []float64{0.5, 0.9} {
+		m := mu
+		sum := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(c *core.Config) {
+			c.RL.Discount = m
+		}), o.seeds())
+		t.AddRow(fmt.Sprintf("%.2f", def.RL.LearningRate), fmt.Sprintf("%.1f", m),
+			fmtRatio(sum.MeanPPW/base.MeanPPW), fmt.Sprintf("%.0f", sum.MeanConvergenceRound))
+	}
+	t.Notes = append(t.Notes,
+		"paper finds high γ / low µ best on its testbed; this simulator's reward is noisier across categories, so its sensitivity analysis selects a lower γ (see core.DefaultConfig)")
+	return t
+}
+
+// AblationTables reproduces the paper's footnote-2 variant: per-device
+// Q-tables instead of tables shared across a performance category.
+// Sharing pools experience (faster learning); per-device tables
+// specialize (paper: +2.7% prediction accuracy, −12.2% convergence
+// overhead trade-off).
+func AblationTables(o Options) Table {
+	w := workload.CNNMNIST()
+	s := o.apply(Realistic(w))
+	t := Table{
+		ID:     "abl-tables",
+		Title:  "shared per-category vs per-device Q-tables (paper footnote 2)",
+		Header: []string{"variant", "PPW (norm to shared)", "conv round", "Q-table memory"},
+	}
+	type variant struct {
+		name      string
+		perDevice bool
+	}
+	var base float64
+	for i, v := range []variant{{"shared per-category", false}, {"per-device", true}} {
+		perDev := v.perDevice
+		var memBytes int
+		factory := func() fl.Controller {
+			cfg := core.DefaultConfig()
+			cfg.PerDeviceTables = perDev
+			warmCfg := s.Config(warmupSeed)
+			warmCfg.MaxRounds = minInt(150, warmCfg.MaxRounds)
+			c := core.Pretrained(cfg, warmCfg)
+			memBytes = c.MemoryBytes()
+			return c
+		}
+		sum := fl.RunSeeds(s.Config(0), factory, o.seeds())
+		if i == 0 {
+			base = sum.MeanPPW
+		}
+		t.AddRow(v.name, fmtRatio(sum.MeanPPW/base),
+			fmt.Sprintf("%.0f", sum.MeanConvergenceRound),
+			fmt.Sprintf("%.1f KB", float64(memBytes)/1024))
+	}
+	return t
+}
+
+// AblationBeta sweeps the Eq. 1 reward weight β, the knob DESIGN.md
+// calls out: too small and the policy chases cheap parameters at the
+// cost of convergence; too large and energy stops mattering.
+func AblationBeta(o Options) Table {
+	w := workload.CNNMNIST()
+	s := o.apply(Realistic(w))
+	t := Table{
+		ID:     "abl-beta",
+		Title:  "FedGPO sensitivity to reward weight β (improvement term)",
+		Header: []string{"beta", "PPW (norm to default)", "conv round", "accuracy"},
+	}
+	def := core.DefaultConfig().Reward.Beta
+	base := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(*core.Config) {}), o.seeds())
+	t.AddRow(fmt.Sprintf("%.0f (default)", def), "1.00x",
+		fmt.Sprintf("%.0f", base.MeanConvergenceRound), fmtPct(100*base.MeanFinalAccuracy))
+	for _, beta := range []float64{5, 100} {
+		b := beta
+		sum := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(c *core.Config) {
+			c.Reward.Beta = b
+		}), o.seeds())
+		t.AddRow(fmt.Sprintf("%.0f", b), fmtRatio(sum.MeanPPW/base.MeanPPW),
+			fmt.Sprintf("%.0f", sum.MeanConvergenceRound), fmtPct(100*sum.MeanFinalAccuracy))
+	}
+	return t
+}
+
+// AblationColdStart quantifies the learning-phase cost the paper's
+// §5.4 describes: cold FedGPO (learning inside the measured run) versus
+// warm-started FedGPO (Q-tables pre-trained), against Fixed (Best).
+func AblationColdStart(o Options) Table {
+	w := workload.CNNMNIST()
+	s := o.apply(Realistic(w))
+	best := FixedBestParams(w, o)
+	t := Table{
+		ID:     "abl-cold",
+		Title:  "learning-phase cost: cold vs warm-started FedGPO (CNN-MNIST, realistic)",
+		Header: []string{"controller", "PPW (norm to Fixed)", "conv round", "accuracy"},
+	}
+	fixed := fl.RunSeeds(s.Config(0), func() fl.Controller {
+		return &fl.Static{P: best, Label: "Fixed (Best)"}
+	}, o.seeds())
+	t.AddRow("Fixed (Best) "+best.String(), "1.00x",
+		fmt.Sprintf("%.0f", fixed.MeanConvergenceRound), fmtPct(100*fixed.MeanFinalAccuracy))
+	for _, v := range []struct {
+		name    string
+		factory fl.ControllerFactory
+	}{
+		{"FedGPO (cold)", fedgpoColdFactory()},
+		{"FedGPO (warm)", fedgpoWarmFactory(s)},
+	} {
+		sum := fl.RunSeeds(s.Config(0), v.factory, o.seeds())
+		t.AddRow(v.name, fmtRatio(sum.MeanPPW/fixed.MeanPPW),
+			fmt.Sprintf("%.0f", sum.MeanConvergenceRound), fmtPct(100*sum.MeanFinalAccuracy))
+	}
+	t.Notes = append(t.Notes,
+		"paper §5.4: FedGPO runs ~24% below Fixed (Best) efficiency during the learning phase and overtakes after the Q-tables converge")
+	return t
+}

@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"fedgpo/internal/workload"
+)
+
+// Integration tests for the comparison experiments at Tiny scale —
+// checking structure and internal consistency rather than absolute
+// outcomes (Tiny deployments are not representative; see Quick's doc).
+
+func TestFig11StructureAndNormalization(t *testing.T) {
+	tab := Fig11(Tiny())
+	if len(tab.Rows) != 8 { // 2 scenarios x 4 controllers
+		t.Fatalf("rows = %d, want 8", len(tab.Rows))
+	}
+	for i, row := range tab.Rows {
+		if len(row) != 6 {
+			t.Fatalf("row %d has %d cells", i, len(row))
+		}
+		// The first controller of each scenario group is the
+		// normalization base and must read exactly 1.00x.
+		if row[1] == "Fixed (Best)" && (row[2] != "1.00x" || row[3] != "1.00x") {
+			t.Errorf("base row not normalized to 1.00x: %v", row)
+		}
+	}
+	// Every scenario group contains all four contenders.
+	names := map[string]int{}
+	for _, row := range tab.Rows {
+		names[row[1]]++
+	}
+	for _, n := range []string{"Fixed (Best)", "Adaptive (BO)", "Adaptive (GA)", "FedGPO"} {
+		if names[n] != 2 {
+			t.Errorf("controller %s appears %d times, want 2", n, names[n])
+		}
+	}
+}
+
+func TestFig12UsesPriorWorkContenders(t *testing.T) {
+	tab := Fig12(Tiny())
+	names := map[string]bool{}
+	for _, row := range tab.Rows {
+		names[row[1]] = true
+	}
+	for _, n := range []string{"FedEX", "ABS", "FedGPO"} {
+		if !names[n] {
+			t.Errorf("fig12 missing contender %s", n)
+		}
+	}
+	if names["Fixed (Best)"] {
+		t.Error("fig12 compares prior work, not Fixed (Best)")
+	}
+}
+
+func TestFixedBestParamsCachedAndValid(t *testing.T) {
+	w := workload.CNNMNIST()
+	a := FixedBestParams(w, Tiny())
+	b := FixedBestParams(w, Tiny())
+	if a != b {
+		t.Error("cache returned different parameters for the same key")
+	}
+	if !a.Valid() {
+		t.Errorf("grid search returned invalid params %v", a)
+	}
+}
+
+func TestTable5RowsCoverAllScenarios(t *testing.T) {
+	tab := Table5(Options{FleetSize: 20, Seeds: []int64{1}, MaxRounds: 15})
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Table 5 rows = %d, want 5", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if !strings.HasSuffix(row[2], "%") {
+			t.Errorf("prediction accuracy cell %q not a percentage", row[2])
+		}
+	}
+}
+
+func TestSec54ReportsAllOverheadPhases(t *testing.T) {
+	tab := Sec54(Options{FleetSize: 20, Seeds: []int64{1}, MaxRounds: 60})
+	want := []string{
+		"reward convergence round",
+		"identify per-device states",
+		"choose global parameters",
+		"calculate reward",
+		"update Q-tables",
+		"total controller overhead",
+		"Q-table memory",
+	}
+	have := map[string]bool{}
+	for _, row := range tab.Rows {
+		have[row[0]] = true
+	}
+	for _, q := range want {
+		if !have[q] {
+			t.Errorf("sec54 missing quantity %q", q)
+		}
+	}
+}
+
+func TestAblationColdStartStructure(t *testing.T) {
+	tab := AblationColdStart(Options{FleetSize: 20, Seeds: []int64{1}, MaxRounds: 120})
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d, want Fixed + cold + warm", len(tab.Rows))
+	}
+	if !strings.HasPrefix(tab.Rows[0][0], "Fixed (Best)") {
+		t.Errorf("first row should be the Fixed base: %v", tab.Rows[0])
+	}
+}
+
+func TestExperimentRegistryRunnersAgree(t *testing.T) {
+	// Every registry entry's Run must produce a table whose ID matches
+	// its registry id (catches copy-paste drift). Only the cheap,
+	// simulation-free entries are executed here.
+	for _, id := range []string{"fig3", "fig4"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab := e.Run(Tiny()); tab.ID != id {
+			t.Errorf("experiment %s produced table id %s", id, tab.ID)
+		}
+	}
+}

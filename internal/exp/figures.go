@@ -1,0 +1,332 @@
+package exp
+
+import (
+	"fmt"
+
+	"fedgpo/internal/core"
+	"fedgpo/internal/device"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/interfere"
+	"fedgpo/internal/netsim"
+	"fedgpo/internal/stats"
+	"fedgpo/internal/workload"
+)
+
+// Options scales experiments between full paper size and quick test
+// size.
+type Options struct {
+	// FleetSize overrides the 200-device deployment (0 = paper size).
+	FleetSize int
+	// Seeds overrides the evaluation seed set (nil = default).
+	Seeds []int64
+	// MaxRounds overrides the per-run round budget (0 = default).
+	MaxRounds int
+}
+
+// Default returns the paper-scale options.
+func Default() Options { return Options{} }
+
+// Quick returns reduced options for benchmarks: a 100-device fleet and
+// a single seed. The fleet cannot shrink much further — the energy
+// economics that make larger K worthwhile come from the idle fleet's
+// draw, which vanishes in toy deployments.
+func Quick() Options { return Options{FleetSize: 100, Seeds: []int64{1}, MaxRounds: 300} }
+
+// Tiny returns the smallest option set used by unit tests; its absolute
+// results are not representative (see Quick).
+func Tiny() Options { return Options{FleetSize: 20, Seeds: []int64{1}, MaxRounds: 200} }
+
+func (o Options) seeds() []int64 {
+	if len(o.Seeds) == 0 {
+		return Seeds()
+	}
+	return o.Seeds
+}
+
+func (o Options) apply(s Scenario) Scenario {
+	if o.FleetSize > 0 {
+		s.FleetSize = o.FleetSize
+	}
+	if o.MaxRounds > 0 {
+		s.MaxRounds = o.MaxRounds
+	}
+	return s
+}
+
+// runStatic averages a static configuration over the option seeds.
+func runStatic(s Scenario, p fl.Params, seeds []int64) fl.Summary {
+	return fl.RunSeeds(s.Config(0), func() fl.Controller { return fl.NewStatic(p) }, seeds)
+}
+
+// Fig1 reproduces paper Figure 1: convergence round and global PPW of
+// CNN-MNIST while sweeping each global parameter with the others held
+// at the characterization baseline (1, 10, 20). Values are normalized
+// to the baseline, exactly as the figure plots them.
+func Fig1(o Options) Table {
+	s := o.apply(Ideal(workload.CNNMNIST()))
+	seeds := o.seeds()
+	base := runStatic(s, fl.DefaultParams(), seeds)
+
+	t := Table{
+		ID:     "fig1",
+		Title:  "CNN-MNIST convergence round and global PPW vs (B, E, K), normalized to (1,10,20)",
+		Header: []string{"param", "value", "conv round (norm)", "PPW (norm)"},
+	}
+	addSweep := func(param string, values []int, mk func(v int) fl.Params) {
+		for _, v := range values {
+			r := runStatic(s, mk(v), seeds)
+			t.AddRow(param, fmt.Sprint(v),
+				fmtRatio(r.MeanConvergenceRound/base.MeanConvergenceRound),
+				fmtRatio(r.MeanPPW/base.MeanPPW))
+		}
+	}
+	addSweep("B", fl.BValues(), func(v int) fl.Params { return fl.Params{B: v, E: 10, K: 20} })
+	// The E and K sweeps anchor at B=8 (the batch optimum) so their
+	// convergence columns carry signal; values stay normalized to the
+	// paper's (1,10,20) characterization baseline.
+	addSweep("E", fl.EValues(), func(v int) fl.Params { return fl.Params{B: 8, E: v, K: 20} })
+	addSweep("K", fl.KValues(), func(v int) fl.Params { return fl.Params{B: 8, E: 10, K: v} })
+	t.Notes = append(t.Notes,
+		"paper expectation: optima away from the (1,10,20) baseline; best B near 8, E near 10, K near 20")
+	return t
+}
+
+// Fig2 reproduces paper Figure 2: the most energy-efficient (B, E, K)
+// combination shifts between CNN-MNIST and LSTM-Shakespeare. The table
+// reports global PPW over a (B, E) grid at K=20 for both workloads,
+// normalized per-workload to its (1,10,20) baseline, and names each
+// workload's best setting.
+func Fig2(o Options) Table {
+	t := Table{
+		ID:     "fig2",
+		Title:  "most energy-efficient (B,E,K) shifts with NN characteristics (K=20)",
+		Header: []string{"workload", "B", "E", "PPW (norm)"},
+	}
+	seeds := o.seeds()
+	bGrid := []int{2, 4, 8, 16}
+	eGrid := []int{5, 10, 15, 20}
+	for _, w := range []workload.Workload{workload.CNNMNIST(), workload.LSTMShakespeare()} {
+		s := o.apply(Ideal(w))
+		base := runStatic(s, fl.DefaultParams(), seeds)
+		bestLabel, bestPPW := "", 0.0
+		for _, b := range bGrid {
+			for _, e := range eGrid {
+				r := runStatic(s, fl.Params{B: b, E: e, K: 20}, seeds)
+				norm := r.MeanPPW / base.MeanPPW
+				t.AddRow(w.Name, fmt.Sprint(b), fmt.Sprint(e), fmtRatio(norm))
+				if r.MeanPPW > bestPPW {
+					bestPPW = r.MeanPPW
+					bestLabel = fmt.Sprintf("(%d,%d,20)", b, e)
+				}
+			}
+		}
+		t.Notes = append(t.Notes, fmt.Sprintf("%s best setting: %s", w.Name, bestLabel))
+	}
+	t.Notes = append(t.Notes,
+		"paper expectation: CNN-MNIST best near (8,10,20); LSTM-Shakespeare shifts to smaller B, larger E (paper: (4,20,20))")
+	return t
+}
+
+// Fig3 reproduces paper Figure 3: per-round local training time of each
+// device category as a function of (a) B at E=10 and (b) E at B=8,
+// normalized to the H category at B=1 / E=10 respectively. This is a
+// pure device-model characterization (no simulation).
+func Fig3(Options) Table {
+	w := workload.CNNMNIST()
+	profiles := device.Profiles()
+	t := Table{
+		ID:     "fig3",
+		Title:  "training time per round by device category vs B (E=10) and E (B=8)",
+		Header: []string{"sweep", "value", "H", "M", "L"},
+	}
+	timeOf := func(cat device.Category, b, e int) float64 {
+		return device.ComputeSeconds(profiles[cat], w.Shape, b, e, w.SamplesPerDevice,
+			device.Interference{})
+	}
+	baseB := timeOf(device.High, 1, 10)
+	for _, b := range fl.BValues() {
+		t.AddRow("B", fmt.Sprint(b),
+			fmtRatio(timeOf(device.High, b, 10)/baseB),
+			fmtRatio(timeOf(device.Mid, b, 10)/baseB),
+			fmtRatio(timeOf(device.Low, b, 10)/baseB))
+	}
+	baseE := timeOf(device.High, 8, 10)
+	for _, e := range fl.EValues() {
+		t.AddRow("E", fmt.Sprint(e),
+			fmtRatio(timeOf(device.High, 8, e)/baseE),
+			fmtRatio(timeOf(device.Mid, 8, e)/baseE),
+			fmtRatio(timeOf(device.Low, 8, e)/baseE))
+	}
+	t.Notes = append(t.Notes,
+		"paper expectation: large H-to-L gaps at every setting; time falls with B (overhead amortization) and scales linearly with E")
+	return t
+}
+
+// Fig4 reproduces paper Figure 4: per-category round time (compute +
+// communication) in the absence of variance, under on-device
+// interference, and under an unstable network — normalized to H with no
+// variance.
+func Fig4(Options) Table {
+	w := workload.CNNMNIST()
+	profiles := device.Profiles()
+	t := Table{
+		ID:     "fig4",
+		Title:  "round time by category under runtime variance (B=8, E=10)",
+		Header: []string{"condition", "H", "M", "L"},
+	}
+	webIntf := device.Interference{
+		CPUUsage: interfere.WebBrowsing().MeanCPU,
+		MemUsage: interfere.WebBrowsing().MeanMem,
+	}
+	stable := netsim.StableChannel()
+	goodCond := netsim.Condition{BandwidthMbps: stable.MeanMbps, Signal: netsim.SignalStrong}
+	badCond := netsim.Condition{BandwidthMbps: 10, Signal: netsim.SignalWeak}
+
+	roundTime := func(cat device.Category, intf device.Interference, cond netsim.Condition) float64 {
+		comp := device.ComputeSeconds(profiles[cat], w.Shape, 8, 10, w.SamplesPerDevice, intf)
+		comm := stable.CommRoundTrip(w.Shape.ModelBytes, cond).Seconds
+		return comp + comm
+	}
+	base := roundTime(device.High, device.Interference{}, goodCond)
+	addRow := func(label string, intf device.Interference, cond netsim.Condition) {
+		t.AddRow(label,
+			fmtRatio(roundTime(device.High, intf, cond)/base),
+			fmtRatio(roundTime(device.Mid, intf, cond)/base),
+			fmtRatio(roundTime(device.Low, intf, cond)/base))
+	}
+	addRow("no variance", device.Interference{}, goodCond)
+	addRow("on-device interference", webIntf, goodCond)
+	addRow("unstable network", device.Interference{}, badCond)
+	t.Notes = append(t.Notes,
+		"paper expectation: interference widens the inter-category gap; network instability inflates all categories' times")
+	return t
+}
+
+// Fig5 reproduces paper Figure 5: per-category participant energy per
+// round with fixed parameters versus adaptive per-device parameters,
+// normalized to the H category under fixed parameters. Adaptive numbers
+// come from a warmed-up FedGPO controller in the realistic environment.
+func Fig5(o Options) Table {
+	s := o.apply(Realistic(workload.CNNMNIST()))
+	seeds := o.seeds()
+	fixed := runStatic(s, fl.Params{B: 8, E: 10, K: 20}, seeds)
+	adaptive := fl.RunSeeds(s.Config(0), fedgpoWarmFactory(s), seeds)
+
+	// Per-round, per-category energy (total category energy over
+	// counted rounds).
+	t := Table{
+		ID:     "fig5",
+		Title:  "per-category energy: fixed vs adaptive parameters (normalized to H fixed)",
+		Header: []string{"category", "fixed", "adaptive"},
+	}
+	base := fixed.EnergyByCategory[device.High]
+	if base <= 0 {
+		base = 1
+	}
+	for _, cat := range device.Categories() {
+		t.AddRow(cat.String(),
+			fmtRatio(fixed.EnergyByCategory[cat]/base),
+			fmtRatio(adaptive.EnergyByCategory[cat]/base))
+	}
+	t.Notes = append(t.Notes,
+		"paper expectation: adaptive parameters cut every category's energy by removing straggler wait")
+	return t
+}
+
+// Fig6 reproduces paper Figure 6: convergence round, average training
+// time per round, and global PPW of fixed versus adaptive parameters,
+// normalized to fixed.
+func Fig6(o Options) Table {
+	s := o.apply(Realistic(workload.CNNMNIST()))
+	seeds := o.seeds()
+	fixed := runStatic(s, fl.Params{B: 8, E: 10, K: 20}, seeds)
+	adaptive := fl.RunSeeds(s.Config(0), fedgpoWarmFactory(s), seeds)
+	t := Table{
+		ID:     "fig6",
+		Title:  "fixed vs adaptive parameters (normalized to fixed)",
+		Header: []string{"metric", "fixed", "adaptive"},
+	}
+	t.AddRow("convergence round", "1.00x",
+		fmtRatio(adaptive.MeanConvergenceRound/fixed.MeanConvergenceRound))
+	t.AddRow("avg round time speedup", "1.00x",
+		fmtRatio(fixed.MeanAvgRoundSec/adaptive.MeanAvgRoundSec))
+	t.AddRow("global PPW", "1.00x", fmtRatio(adaptive.MeanPPW/fixed.MeanPPW))
+	t.AddRow("final accuracy", fmtPct(100*fixed.MeanFinalAccuracy),
+		fmtPct(100*adaptive.MeanFinalAccuracy))
+	t.Notes = append(t.Notes,
+		"paper expectation: adaptive improves avg round time (paper 2.3x) and PPW (paper 3.6x) while keeping convergence rounds similar")
+	return t
+}
+
+// Fig7 reproduces paper Figure 7: global PPW across (B, E, K) settings
+// with and without data heterogeneity. The table reports PPW normalized
+// to the IID best and names the best setting in each regime — the paper
+// observes the optimum shifting from (8,10,20) to (8,5,10) under
+// non-IID data.
+func Fig7(o Options) Table {
+	w := workload.CNNMNIST()
+	seeds := o.seeds()
+	grid := []fl.Params{}
+	for _, e := range []int{5, 10, 15} {
+		for _, k := range []int{5, 10, 20} {
+			grid = append(grid, fl.Params{B: 8, E: e, K: k})
+		}
+	}
+	t := Table{
+		ID:     "fig7",
+		Title:  "global PPW across (B,E,K) — IID vs non-IID (Dirichlet 0.1)",
+		Header: []string{"regime", "(B,E,K)", "PPW (norm to regime best)"},
+	}
+	for _, regime := range []struct {
+		name string
+		s    Scenario
+	}{
+		{"IID", o.apply(Ideal(w))},
+		{"non-IID", o.apply(NonIIDScenario(w))},
+	} {
+		results := make([]fl.Summary, len(grid))
+		best := 0.0
+		bestIdx := 0
+		for i, p := range grid {
+			results[i] = runStatic(regime.s, p, seeds)
+			if results[i].MeanPPW > best {
+				best, bestIdx = results[i].MeanPPW, i
+			}
+		}
+		for i, p := range grid {
+			t.AddRow(regime.name, p.String(), fmtRatio(results[i].MeanPPW/best))
+		}
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("%s best setting: %v", regime.name, grid[bestIdx]))
+	}
+	t.Notes = append(t.Notes,
+		"paper expectation: non-IID degrades all settings and shifts the optimum toward smaller E and K (paper: (8,10,20) -> (8,5,10))")
+	return t
+}
+
+// fedgpoWarmFactory builds warm-started FedGPO controllers for a
+// scenario: the Q-tables are trained on a warm-up run (distinct seed)
+// and frozen, matching the paper's steady-state evaluation (§5.4
+// describes the pre-convergence penalty separately).
+func fedgpoWarmFactory(s Scenario) fl.ControllerFactory {
+	return func() fl.Controller {
+		warmCfg := s.Config(warmupSeed)
+		warmCfg.MaxRounds = minInt(150, warmCfg.MaxRounds)
+		return core.Pretrained(core.DefaultConfig(), warmCfg)
+	}
+}
+
+// fedgpoColdFactory builds cold FedGPO controllers (learning inside the
+// measured run).
+func fedgpoColdFactory() fl.ControllerFactory {
+	return func() fl.Controller { return core.New(core.DefaultConfig()) }
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ = stats.Mean // reserved for future use in this file

@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+
+	"fedgpo/internal/core"
+	"fedgpo/internal/device"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/stats"
+	"fedgpo/internal/workload"
+)
+
+// predictedTime estimates one participant-round's duration for a
+// parameter choice from the same models the simulator executes:
+// compute under the observed interference plus the model round trip at
+// the observed bandwidth.
+func predictedTime(s Scenario, d device.Device, st fl.DeviceState, lp fl.LocalParams) float64 {
+	w := s.Workload
+	comp := device.ComputeSeconds(d.Profile, w.Shape, lp.B, lp.E, st.Samples, st.Interference)
+	cfg := s.Config(0)
+	comm := cfg.Channel.CommRoundTrip(w.Shape.ModelBytes, st.Network).Seconds
+	return comp + comm
+}
+
+// PredictionAccuracy measures how close FedGPO's per-round selections
+// come to the per-round gap-minimizing oracle of paper Table 5 ("these
+// parameters are identified in terms of minimizing the performance gap
+// across the devices, rather than global convergence"). The oracle's
+// defining property is that every participant finishes together — its
+// performance gap is zero — so selection accuracy is scored as how
+// fully FedGPO's assignment fills the round's critical path:
+//
+//	accuracy = 100 × mean_d(predicted time_d) / max_d(predicted time_d)
+//
+// averaged over rounds. A perfectly equalized round scores 100%; a
+// round where devices idle-wait half the critical path scores 50%. The
+// predicted times come from the same device/network models the
+// simulator executes, evaluated at the observed per-device state.
+func PredictionAccuracy(s Scenario, o Options, rounds int) float64 {
+	cfg := s.Config(o.seeds()[0])
+	cfg.MaxRounds = rounds
+	cfg.StopAtConvergence = false
+
+	warmCfg := s.Config(warmupSeed)
+	warmCfg.MaxRounds = minInt(150, warmCfg.MaxRounds)
+	ctrl := core.Pretrained(core.DefaultConfig(), warmCfg)
+
+	accs := make([]float64, 0, rounds)
+	probe := &oracleProbe{
+		inner: ctrl,
+		onRound: func(obs fl.Observation, rr fl.RoundResult) {
+			if len(rr.Participants) == 0 {
+				return
+			}
+			var sumT, maxT float64
+			for _, p := range rr.Participants {
+				pt := predictedTime(s, cfg.Fleet[p.DeviceID], rr.States[p.DeviceID], p.Local)
+				sumT += pt
+				if pt > maxT {
+					maxT = pt
+				}
+			}
+			if maxT <= 0 {
+				return
+			}
+			accs = append(accs, 100*sumT/(float64(len(rr.Participants))*maxT))
+		},
+	}
+	fl.Run(cfg, probe)
+	return stats.Mean(accs)
+}
+
+// oracleProbe taps observations and results around an inner controller.
+type oracleProbe struct {
+	inner   fl.Controller
+	lastObs fl.Observation
+	onRound func(fl.Observation, fl.RoundResult)
+}
+
+func (p *oracleProbe) Name() string { return p.inner.Name() }
+func (p *oracleProbe) Plan(o fl.Observation) fl.Plan {
+	p.lastObs = o
+	return p.inner.Plan(o)
+}
+func (p *oracleProbe) Observe(r fl.RoundResult) {
+	p.onRound(p.lastObs, r)
+	p.inner.Observe(r)
+}
+
+// Table5 reproduces paper Table 5: FedGPO's global-parameter selection
+// accuracy against the per-round oracle, across the five
+// variance/heterogeneity combinations.
+func Table5(o Options) Table {
+	w := workload.CNNMNIST()
+	rounds := 60
+	if o.MaxRounds > 0 && o.MaxRounds < rounds {
+		rounds = o.MaxRounds
+	}
+	t := Table{
+		ID:     "tab5",
+		Title:  "accuracy of global parameter selection vs per-round oracle (CNN-MNIST)",
+		Header: []string{"runtime variance", "data heterogeneity", "prediction accuracy"},
+	}
+	rows := []struct {
+		label1, label2 string
+		s              Scenario
+	}{
+		{"no", "no", o.apply(Ideal(w))},
+		{"yes (on-device interference)", "no", o.apply(InterferenceOnly(w))},
+		{"yes (unstable network)", "no", o.apply(UnstableNetworkOnly(w))},
+		{"no", "yes", o.apply(NonIIDScenario(w))},
+		{"yes", "yes", o.apply(RealisticNonIID(w))},
+	}
+	for _, r := range rows {
+		acc := PredictionAccuracy(r.s, o, rounds)
+		t.AddRow(r.label1, r.label2, fmt.Sprintf("%.1f%%", acc))
+	}
+	t.Notes = append(t.Notes,
+		"paper expectation: ~94-95% without data heterogeneity, dropping to ~88-90% with it")
+	return t
+}

@@ -1,0 +1,51 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named, runnable paper artifact.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         func(Options) Table
+}
+
+// Registry lists every reproducible artifact by id.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig1", "convergence round & PPW vs (B,E,K) sweeps (CNN-MNIST)", Fig1},
+		{"fig2", "energy-efficient optimum shifts across NNs", Fig2},
+		{"fig3", "per-round training time by category vs B and E", Fig3},
+		{"fig4", "round time under runtime variance", Fig4},
+		{"fig5", "per-category energy: fixed vs adaptive", Fig5},
+		{"fig6", "fixed vs adaptive summary (conv round / round time / PPW)", Fig6},
+		{"fig7", "PPW across (B,E,K): IID vs non-IID", Fig7},
+		{"fig9", "FedGPO vs Fixed/BO/GA across workloads", Fig9},
+		{"fig10", "adaptability to runtime variance", Fig10},
+		{"fig11", "adaptability to data heterogeneity", Fig11},
+		{"fig12", "FedGPO vs FedEX vs ABS", Fig12},
+		{"tab5", "parameter-selection accuracy vs per-round oracle", Table5},
+		{"sec54", "convergence and overhead analysis", Sec54},
+		{"abl-eps", "ablation: exploration probability", AblationEpsilon},
+		{"abl-gm", "ablation: Q-learning rate and discount", AblationGammaMu},
+		{"abl-tables", "ablation: shared vs per-device Q-tables", AblationTables},
+		{"abl-beta", "ablation: reward weight beta", AblationBeta},
+		{"abl-cold", "ablation: cold vs warm-started FedGPO", AblationColdStart},
+	}
+}
+
+// ByID returns the experiment with the given id, or an error listing
+// valid ids.
+func ByID(id string) (Experiment, error) {
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (valid: %v)", id, ids)
+}

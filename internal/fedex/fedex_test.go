@@ -1,0 +1,119 @@
+package fedex
+
+import (
+	"math"
+	"testing"
+
+	"fedgpo/internal/stats"
+)
+
+func TestNewPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(0, DefaultConfig(), stats.NewRNG(1)) },
+		func() {
+			c := DefaultConfig()
+			c.StepSize = 0
+			New(3, c, stats.NewRNG(1))
+		},
+		func() {
+			c := DefaultConfig()
+			c.MinProb = 0.5 // >= 1/n for n=3
+			New(3, c, stats.NewRNG(1))
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: want panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	o := New(10, DefaultConfig(), stats.NewRNG(1))
+	for i := 0; i < 50; i++ {
+		idx := o.Suggest()
+		o.Observe(float64(idx)) // arbitrary rewards
+		p := o.Probabilities()
+		sum := 0.0
+		for _, v := range p {
+			if v < o.cfg.MinProb-1e-12 {
+				t.Fatalf("probability %v below floor", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestConcentratesOnBestArm(t *testing.T) {
+	// Arm 7 pays 10, everything else pays 0 (with light noise).
+	o := New(10, DefaultConfig(), stats.NewRNG(2))
+	noise := stats.NewRNG(3)
+	for i := 0; i < 600; i++ {
+		arm := o.Suggest()
+		r := noise.Gaussian(0, 0.2)
+		if arm == 7 {
+			r += 10
+		}
+		o.Observe(r)
+	}
+	if o.Best() != 7 {
+		t.Errorf("best arm = %d, want 7 (probs=%v)", o.Best(), o.Probabilities())
+	}
+	if p := o.Probabilities(); p[7] < 0.5 {
+		t.Errorf("best arm probability = %v, want > 0.5", p[7])
+	}
+}
+
+func TestObserveWithoutSuggestIsNoOp(t *testing.T) {
+	o := New(4, DefaultConfig(), stats.NewRNG(1))
+	before := o.Probabilities()
+	o.Observe(100)
+	after := o.Probabilities()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("Observe without Suggest changed the distribution")
+		}
+	}
+}
+
+func TestWeightsStayBounded(t *testing.T) {
+	o := New(5, DefaultConfig(), stats.NewRNG(4))
+	for i := 0; i < 5000; i++ {
+		arm := o.Suggest()
+		r := -100.0
+		if arm == 0 {
+			r = 100
+		}
+		o.Observe(r)
+	}
+	for _, w := range o.logW {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w > 0.001 || w < -26 {
+			t.Fatalf("log-weight out of bounds: %v", w)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	run := func() []float64 {
+		o := New(6, DefaultConfig(), stats.NewRNG(11))
+		for i := 0; i < 200; i++ {
+			arm := o.Suggest()
+			o.Observe(float64(arm % 3))
+		}
+		return o.Probabilities()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed FedEX runs diverged")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package fl
+
+import (
+	"fedgpo/internal/device"
+	"fedgpo/internal/netsim"
+	"fedgpo/internal/workload"
+)
+
+// DeviceState is what the server can observe about one device at the
+// start of a round: the local execution state of paper §3.1 (resource
+// usage of co-running applications, network stability, number of data
+// classes) plus the static data-shard facts.
+type DeviceState struct {
+	// Interference is the co-running application load (S_Co_CPU,
+	// S_Co_MEM).
+	Interference device.Interference
+	// Network is the sampled link condition (S_Network).
+	Network netsim.Condition
+	// ClassCount and ClassFraction describe the device's label
+	// diversity (S_Data); ClassFraction is in percent (0..100).
+	ClassCount    int
+	ClassFraction float64
+	// Samples is the local dataset size.
+	Samples int
+}
+
+// Observation is the controller's view of the federation at the start
+// of an aggregation round.
+type Observation struct {
+	// Round is the 1-based aggregation round about to execute.
+	Round int
+	// Workload describes the NN being trained (S_CONV, S_FC, S_RC come
+	// from here).
+	Workload workload.Workload
+	// Fleet is the full device list; Fleet[i].ID indexes States.
+	Fleet []device.Device
+	// States holds this round's observed per-device state for every
+	// device in the fleet.
+	States []DeviceState
+	// PrevAccuracy is the test accuracy after the previous round
+	// (R_accuracy_prev in the paper's reward).
+	PrevAccuracy float64
+	// PrevParticipants are the device IDs selected in the previous
+	// round (the paper's K' composition).
+	PrevParticipants []int
+	// DeadlineSec is the server's round deadline (0 = none) — server
+	// configuration, visible to any server-side controller.
+	DeadlineSec float64
+}
+
+// Plan is a controller's decision for one round: how many devices to
+// select and what local parameters each selected device runs with.
+type Plan struct {
+	// K is the number of participants to select this round (clamped
+	// by the simulator to the fleet size, minimum 1).
+	K int
+	// Local returns the (B, E) assignment for a selected device.
+	// Controllers that use a single global setting return a constant.
+	Local func(dev device.Device, st DeviceState) LocalParams
+}
+
+// DeviceRound records one participant's execution within a round.
+type DeviceRound struct {
+	DeviceID   int
+	Category   device.Category
+	Local      LocalParams
+	ComputeSec float64
+	CommSec    float64
+	TotalSec   float64
+	EnergyJ    float64 // participant energy per Eq. 5 (+ wait idle)
+	Dropped    bool    // exceeded the round deadline; update discarded
+	Samples    int
+	SkewDegree float64
+	Interfered bool
+	NetworkBad bool
+}
+
+// RoundResult is the controller feedback after a round completes: the
+// measurements FedGPO's reward (paper Eq. 1) is computed from.
+type RoundResult struct {
+	Round int
+	// Plan echoes the K the controller requested.
+	PlannedK int
+	// Participants are the executed device-rounds (selected devices).
+	Participants []DeviceRound
+	// AggregatedK counts the participants whose updates made the
+	// deadline and were averaged.
+	AggregatedK int
+	// RoundSeconds is the wall time of the round (slowest surviving
+	// participant, or the deadline if drops occurred).
+	RoundSeconds float64
+	// EnergyGlobalJ is Eq. 6: the sum of all N devices' energy for the
+	// round, participants and idlers alike.
+	EnergyGlobalJ float64
+	// EnergyByCategory splits EnergyGlobalJ by device category.
+	EnergyByCategory map[device.Category]float64
+	// Accuracy and PrevAccuracy are the test accuracies after and
+	// before the round.
+	Accuracy     float64
+	PrevAccuracy float64
+	// MeanB and MeanE are the sample-weighted aggregated parameter
+	// means (what the convergence model saw).
+	MeanB, MeanE float64
+	// States echoes the observation the plan was made against.
+	States []DeviceState
+}
+
+// Controller is a round-by-round global-parameter policy: FedGPO, the
+// Fixed/BO/GA baselines, FedEX and ABS all implement it.
+type Controller interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Plan is called at the start of each round with the observation.
+	Plan(obs Observation) Plan
+	// Observe is called after the round executes.
+	Observe(res RoundResult)
+}
+
+// Static is the simplest Controller: a fixed (B, E, K) for every round
+// and device — the paper's "Fixed" baseline shape, and the building
+// block of grid search.
+type Static struct {
+	P     Params
+	Label string
+}
+
+// NewStatic returns a Static controller for p.
+func NewStatic(p Params) *Static { return &Static{P: p} }
+
+// Name returns the label or a default derived from the parameters.
+func (s *Static) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "Fixed" + s.P.String()
+}
+
+// Plan returns the fixed parameters.
+func (s *Static) Plan(Observation) Plan {
+	lp := LocalParams{B: s.P.B, E: s.P.E}
+	return Plan{K: s.P.K, Local: func(device.Device, DeviceState) LocalParams { return lp }}
+}
+
+// Observe is a no-op: a static policy does not learn.
+func (s *Static) Observe(RoundResult) {}

@@ -1,0 +1,72 @@
+package fl
+
+import "fedgpo/internal/device"
+
+// Summary aggregates Results over multiple seeds.
+type Summary struct {
+	Controller string
+	Seeds      int
+	// Means over seeds.
+	MeanPPW              float64
+	MeanTimeToConvSec    float64
+	MeanEnergyToConvJ    float64
+	MeanConvergenceRound float64
+	MeanFinalAccuracy    float64
+	MeanAvgRoundSec      float64
+	MeanOverheadSec      float64
+	ConvergedFraction    float64
+	EnergyByCategory     map[device.Category]float64
+}
+
+// ControllerFactory builds a fresh controller per run so learned state
+// never leaks across seeds.
+type ControllerFactory func() Controller
+
+// RunSeeds executes the config under the controller factory for each
+// seed and averages the headline metrics. Convergence round is averaged
+// over converged runs only (unconverged runs count as MaxRounds).
+func RunSeeds(cfg Config, factory ControllerFactory, seeds []int64) Summary {
+	if len(seeds) == 0 {
+		panic("fl: RunSeeds needs at least one seed")
+	}
+	s := Summary{Seeds: len(seeds), EnergyByCategory: make(map[device.Category]float64)}
+	for _, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		ctrl := factory()
+		r := Run(c, ctrl)
+		s.Controller = r.Controller
+		s.MeanPPW += r.PPW
+		s.MeanTimeToConvSec += r.TimeToConvergenceSec
+		s.MeanEnergyToConvJ += r.EnergyToConvergenceJ
+		s.MeanFinalAccuracy += r.FinalAccuracy
+		s.MeanAvgRoundSec += r.AvgRoundSeconds
+		s.MeanOverheadSec += r.ControllerOverheadSec
+		if r.Converged {
+			s.ConvergedFraction++
+			s.MeanConvergenceRound += float64(r.ConvergenceRound)
+		} else {
+			s.MeanConvergenceRound += float64(cfg.MaxRounds)
+		}
+		for cat, e := range r.EnergyByCategory {
+			s.EnergyByCategory[cat] += e
+		}
+	}
+	n := float64(len(seeds))
+	s.MeanPPW /= n
+	s.MeanTimeToConvSec /= n
+	s.MeanEnergyToConvJ /= n
+	s.MeanConvergenceRound /= n
+	s.MeanFinalAccuracy /= n
+	s.MeanAvgRoundSec /= n
+	s.MeanOverheadSec /= n
+	s.ConvergedFraction /= n
+	for cat := range s.EnergyByCategory {
+		s.EnergyByCategory[cat] /= n
+	}
+	return s
+}
+
+// DefaultSeeds returns the experiment seed set; three seeds trade
+// precision for harness runtime.
+func DefaultSeeds() []int64 { return []int64{1, 2, 3} }

@@ -1,0 +1,477 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"fedgpo/internal/convmodel"
+	"fedgpo/internal/data"
+	"fedgpo/internal/device"
+	"fedgpo/internal/interfere"
+	"fedgpo/internal/netsim"
+	"fedgpo/internal/stats"
+	"fedgpo/internal/workload"
+)
+
+// Config describes one simulated FL deployment.
+type Config struct {
+	// Workload is the NN training task.
+	Workload workload.Workload
+	// Fleet is the device population (paper: 200 devices, 30/70/100).
+	Fleet []device.Device
+	// Partition assigns data to devices; Partition.NumDevices must
+	// equal len(Fleet).
+	Partition data.Partition
+	// Channel is the wireless model (stable or unstable).
+	Channel netsim.Channel
+	// Interference is the co-runner model (None or Paper).
+	Interference interfere.Model
+	// MaxRounds bounds the simulation.
+	MaxRounds int
+	// DeadlineSec, when positive, is the server's absolute round
+	// deadline: participants whose compute+communication exceeds it
+	// have their updates dropped (the straggler-drop practice the
+	// paper attributes to prior work; production FL systems close
+	// rounds on a fixed time budget). Zero waits for every
+	// participant.
+	DeadlineSec float64
+	// AggregationOverheadSec is the fixed per-round cost of server-side
+	// aggregation and scheduling (model validation, participant
+	// coordination). Participants wait it out at WaitWatts; the rest of
+	// the fleet idles. It is the term that makes "many tiny rounds"
+	// strategies pay their communication/coordination tax, as they do
+	// in real FL deployments.
+	AggregationOverheadSec float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// StopAtConvergence ends the run once the tracker fires (plus its
+	// settle window); disable to collect full-length histories.
+	StopAtConvergence bool
+}
+
+// Validate reports configuration inconsistencies.
+func (c Config) Validate() error {
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if len(c.Fleet) == 0 {
+		return fmt.Errorf("fl: empty fleet")
+	}
+	if c.Partition.NumDevices() != len(c.Fleet) {
+		return fmt.Errorf("fl: partition covers %d devices, fleet has %d",
+			c.Partition.NumDevices(), len(c.Fleet))
+	}
+	if c.MaxRounds <= 0 {
+		return fmt.Errorf("fl: MaxRounds must be positive")
+	}
+	if c.DeadlineSec < 0 {
+		return fmt.Errorf("fl: DeadlineSec must be >= 0")
+	}
+	if c.AggregationOverheadSec < 0 {
+		return fmt.Errorf("fl: AggregationOverheadSec must be >= 0")
+	}
+	return nil
+}
+
+// RoundRecord is one row of a run's history.
+type RoundRecord struct {
+	Round        int
+	Accuracy     float64
+	RoundSeconds float64
+	EnergyJ      float64
+	MeanB, MeanE float64
+	PlannedK     int
+	AggregatedK  int
+	Dropped      int
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	Controller string
+	Converged  bool
+	// ConvergenceRound is 1-based, or -1 if the run never converged.
+	ConvergenceRound int
+	// RoundsExecuted is how many rounds actually ran.
+	RoundsExecuted int
+	// TimeToConvergenceSec / EnergyToConvergenceJ accumulate through
+	// the convergence round (or the whole run if unconverged).
+	TimeToConvergenceSec float64
+	EnergyToConvergenceJ float64
+	// FinalAccuracy is the accuracy at the end of the run.
+	FinalAccuracy float64
+	// PPW is the global performance-per-watt figure of merit:
+	// 1 / energy-to-convergence for converged runs, scaled by the
+	// fraction of target progress achieved for unconverged runs (see
+	// DESIGN.md). Higher is better; the paper reports it normalized to
+	// Fixed (Best).
+	PPW float64
+	// AvgRoundSeconds is the mean round wall time.
+	AvgRoundSeconds float64
+	// EnergyByCategory splits the total energy across H/M/L.
+	EnergyByCategory map[device.Category]float64
+	// ControllerOverheadSec is the mean wall-clock cost per round of
+	// the controller's Plan+Observe calls (paper §5.4 measures this
+	// for FedGPO's Q-table machinery).
+	ControllerOverheadSec float64
+	// History holds per-round records.
+	History []RoundRecord
+}
+
+// Run executes one simulated FL training run under the given controller.
+// It panics on an invalid config (programmer error); stochastic outcomes
+// are all derived from cfg.Seed.
+func Run(cfg Config, ctrl Controller) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	root := stats.NewRNG(cfg.Seed)
+	selRNG := root.Split() // participant selection
+	envRNG := root.Split() // interference + network draws
+	accRNG := root.Split() // convergence-model noise
+
+	model := convmodel.New(cfg.Workload, accRNG)
+	tracker := convmodel.NewTracker(cfg.Workload)
+
+	n := len(cfg.Fleet)
+	profiles := make([]device.Profile, n)
+	samples := make([]int, n)
+	for i, d := range cfg.Fleet {
+		profiles[i] = d.Profile
+		samples[i] = cfg.Partition.DeviceSamples(d.ID)
+	}
+
+	res := Result{
+		Controller:       ctrl.Name(),
+		ConvergenceRound: -1,
+		EnergyByCategory: make(map[device.Category]float64, device.NumCategories),
+	}
+	var cumTime, cumEnergy []float64
+	var overhead time.Duration
+	prevAcc := cfg.Workload.Learn.InitialAccuracy
+	prevParticipants := []int(nil)
+	// chronicDrop tracks the long-run fraction of selected data that
+	// misses round deadlines (see convmodel.RoundInputs).
+	chronicDrop := stats.NewEMA(0.05)
+
+	for round := 1; round <= cfg.MaxRounds; round++ {
+		// 1. Observe the environment.
+		states := observeStates(cfg, samples, envRNG)
+		obs := Observation{
+			Round:            round,
+			Workload:         cfg.Workload,
+			Fleet:            cfg.Fleet,
+			States:           states,
+			PrevAccuracy:     prevAcc,
+			PrevParticipants: prevParticipants,
+			DeadlineSec:      cfg.DeadlineSec,
+		}
+
+		// 2. Controller decides (timed: §5.4 overhead accounting).
+		t0 := time.Now()
+		plan := ctrl.Plan(obs)
+		overhead += time.Since(t0)
+
+		k := plan.K
+		if k < 1 {
+			k = 1
+		}
+		if k > n {
+			k = n
+		}
+
+		// 3. Random participant selection (paper Algorithm 1).
+		selected := selRNG.SampleWithoutReplacement(n, k)
+		sort.Ints(selected)
+
+		// 4. Execute the round.
+		rr := executeRound(cfg, plan, selected, states, profiles, samples)
+		rr.Round = round
+		rr.PlannedK = k
+		rr.PrevAccuracy = prevAcc
+		rr.States = states
+
+		// 5. Advance the learning model with what was aggregated.
+		in := aggregateInputs(cfg, rr, samples)
+		in.ChronicDropFraction = chronicDrop.Add(1 - in.DataFraction)
+		acc := model.Step(in)
+		rr.Accuracy = acc
+
+		// 6. Feed the controller (timed).
+		t0 = time.Now()
+		ctrl.Observe(rr)
+		overhead += time.Since(t0)
+
+		// 7. Bookkeeping.
+		prevAcc = acc
+		prevParticipants = selected
+		res.History = append(res.History, RoundRecord{
+			Round:        round,
+			Accuracy:     acc,
+			RoundSeconds: rr.RoundSeconds,
+			EnergyJ:      rr.EnergyGlobalJ,
+			MeanB:        rr.MeanB,
+			MeanE:        rr.MeanE,
+			PlannedK:     k,
+			AggregatedK:  rr.AggregatedK,
+			Dropped:      len(selected) - rr.AggregatedK,
+		})
+		prevT, prevE := 0.0, 0.0
+		if len(cumTime) > 0 {
+			prevT, prevE = cumTime[len(cumTime)-1], cumEnergy[len(cumEnergy)-1]
+		}
+		cumTime = append(cumTime, prevT+rr.RoundSeconds)
+		cumEnergy = append(cumEnergy, prevE+rr.EnergyGlobalJ)
+		for cat, e := range rr.EnergyByCategory {
+			res.EnergyByCategory[cat] += e
+		}
+
+		converged := tracker.Observe(acc)
+		res.RoundsExecuted = round
+		res.FinalAccuracy = acc
+		if converged && cfg.StopAtConvergence {
+			break
+		}
+	}
+
+	res.Converged = tracker.Converged()
+	if res.Converged {
+		res.ConvergenceRound = tracker.ConvergenceRound()
+		idx := res.ConvergenceRound - 1
+		if idx >= len(cumTime) {
+			idx = len(cumTime) - 1
+		}
+		res.TimeToConvergenceSec = cumTime[idx]
+		res.EnergyToConvergenceJ = cumEnergy[idx]
+	} else {
+		res.TimeToConvergenceSec = cumTime[len(cumTime)-1]
+		res.EnergyToConvergenceJ = cumEnergy[len(cumEnergy)-1]
+	}
+	counted := res.RoundsExecuted
+	if res.Converged {
+		counted = minInt(res.ConvergenceRound, res.RoundsExecuted)
+	}
+	res.AvgRoundSeconds = res.TimeToConvergenceSec / float64(maxInt(1, counted))
+	res.PPW = computePPW(cfg.Workload, res)
+	res.ControllerOverheadSec = overhead.Seconds() / float64(maxInt(1, res.RoundsExecuted))
+	return res
+}
+
+// observeStates samples this round's per-device environment.
+func observeStates(cfg Config, samples []int, rng *stats.RNG) []DeviceState {
+	n := len(cfg.Fleet)
+	states := make([]DeviceState, n)
+	for i := range states {
+		states[i] = DeviceState{
+			Interference:  cfg.Interference.Sample(rng),
+			Network:       cfg.Channel.Sample(rng),
+			ClassCount:    cfg.Partition.DeviceClassCount(i),
+			ClassFraction: cfg.Partition.DeviceClassFraction(i),
+			Samples:       samples[i],
+		}
+	}
+	return states
+}
+
+// executeRound runs the selected devices' local training and computes
+// the round's timing and fleet-wide energy.
+func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
+	profiles []device.Profile, samples []int) RoundResult {
+
+	parts := make([]DeviceRound, 0, len(selected))
+	times := make([]float64, 0, len(selected))
+	for _, id := range selected {
+		st := states[id]
+		lp := plan.Local(cfg.Fleet[id], st)
+		if lp.B < 1 {
+			lp.B = 1
+		}
+		if lp.E < 1 {
+			lp.E = 1
+		}
+		comp := device.ComputeSeconds(profiles[id], cfg.Workload.Shape, lp.B, lp.E,
+			samples[id], st.Interference)
+		comm := cfg.Channel.CommRoundTrip(cfg.Workload.Shape.ModelBytes, st.Network)
+		total := comp + comm.Seconds
+		parts = append(parts, DeviceRound{
+			DeviceID:   id,
+			Category:   profiles[id].Category,
+			Local:      lp,
+			ComputeSec: comp,
+			CommSec:    comm.Seconds,
+			TotalSec:   total,
+			Samples:    samples[id],
+			SkewDegree: cfg.Partition.NonIIDDegree(id),
+			Interfered: st.Interference.CPUUsage > 0 || st.Interference.MemUsage > 0,
+			NetworkBad: !st.Network.Regular(),
+		})
+		times = append(times, total)
+	}
+
+	// Straggler semantics: the round lasts until the slowest surviving
+	// participant, or closes at the deadline when one is set.
+	execSec := stats.Max(times)
+	if cfg.DeadlineSec > 0 && len(times) > 0 {
+		for i := range parts {
+			if parts[i].TotalSec > cfg.DeadlineSec {
+				parts[i].Dropped = true
+			}
+		}
+		if execSec > cfg.DeadlineSec {
+			execSec = cfg.DeadlineSec
+		}
+	}
+	// The server-side aggregation tax extends the round for everyone.
+	roundSec := execSec + cfg.AggregationOverheadSec
+
+	// Energy accounting (paper Eqs. 2–6).
+	energyByCat := make(map[device.Category]float64, device.NumCategories)
+	selectedSet := make(map[int]bool, len(selected))
+	for _, id := range selected {
+		selectedSet[id] = true
+	}
+	aggK := 0
+	var wB, wE, wSamples float64
+	aggIDs := make([]int, 0, len(parts))
+	for i := range parts {
+		p := &parts[i]
+		prof := profiles[p.DeviceID]
+		busyComp, commJ := p.ComputeSec, 0.0
+		commJ = cfg.Channel.CommRoundTrip(cfg.Workload.Shape.ModelBytes,
+			states[p.DeviceID].Network).Joules
+		waitIdle := roundSec - p.TotalSec
+		if p.Dropped {
+			// The device worked until it was cut off at the deadline;
+			// its energy up to that point is still burned (this is the
+			// redundant energy the paper says stragglers waste), and it
+			// then sits through the aggregation overhead like everyone
+			// else.
+			frac := 1.0
+			if p.TotalSec > 0 {
+				frac = stats.Clamp(execSec/p.TotalSec, 0, 1)
+			}
+			busyComp *= frac
+			commJ *= frac
+			waitIdle = cfg.AggregationOverheadSec
+		}
+		if waitIdle < 0 {
+			waitIdle = 0
+		}
+		p.EnergyJ = device.ParticipantJoules(prof, busyComp, waitIdle) + commJ
+		energyByCat[prof.Category] += p.EnergyJ
+		if !p.Dropped {
+			aggK++
+			aggIDs = append(aggIDs, p.DeviceID)
+			wB += float64(p.Samples) * float64(p.Local.B)
+			wE += float64(p.Samples) * float64(p.Local.E)
+			wSamples += float64(p.Samples)
+		}
+	}
+	for id, prof := range profiles {
+		if selectedSet[id] {
+			continue
+		}
+		energyByCat[prof.Category] += device.IdleJoules(prof, roundSec)
+	}
+	// Sum in fixed category order: map iteration order would vary the
+	// float addition order and make runs non-reproducible (the total
+	// feeds the controllers' rewards).
+	totalEnergy := 0.0
+	for _, cat := range device.Categories() {
+		totalEnergy += energyByCat[cat]
+	}
+
+	meanB, meanE := 0.0, 0.0
+	if wSamples > 0 {
+		meanB = wB / wSamples
+		meanE = wE / wSamples
+	}
+	return RoundResult{
+		Participants:     parts,
+		AggregatedK:      aggK,
+		RoundSeconds:     roundSec,
+		EnergyGlobalJ:    totalEnergy,
+		EnergyByCategory: energyByCat,
+		MeanB:            meanB,
+		MeanE:            meanE,
+	}
+}
+
+// aggregateInputs converts a round's aggregation outcome into the
+// convergence model's inputs.
+func aggregateInputs(cfg Config, rr RoundResult, samples []int) convmodel.RoundInputs {
+	aggIDs := make([]int, 0, rr.AggregatedK)
+	selSamples, aggSamples := 0, 0
+	for _, p := range rr.Participants {
+		selSamples += p.Samples
+		if !p.Dropped {
+			aggIDs = append(aggIDs, p.DeviceID)
+			aggSamples += p.Samples
+		}
+	}
+	frac := 0.0
+	if selSamples > 0 {
+		frac = float64(aggSamples) / float64(selSamples)
+	}
+	return convmodel.RoundInputs{
+		MeanB:        rr.MeanB,
+		MeanE:        rr.MeanE,
+		K:            rr.AggregatedK,
+		Skew:         cfg.Partition.ParticipantSkew(aggIDs),
+		Coverage:     cfg.Partition.ParticipantCoverage(aggIDs),
+		DataFraction: frac,
+	}
+}
+
+// computePPW derives the performance-per-watt figure of merit (see
+// DESIGN.md): converged runs score 1/energy-to-convergence. Unconverged
+// runs score 1/(extrapolated energy-to-convergence), where the
+// extrapolation fits the observed geometric accuracy decay — training
+// closes a roughly constant fraction of the remaining accuracy gap per
+// round, so the rounds (and energy) still needed scale with the ratio
+// of log gap reductions. This correctly punishes configurations that
+// are cheap per round but would take thousands of rounds to finish.
+func computePPW(w workload.Workload, res Result) float64 {
+	if res.EnergyToConvergenceJ <= 0 {
+		return 0
+	}
+	if res.Converged {
+		return 1 / res.EnergyToConvergenceJ
+	}
+	gapInit := w.Learn.MaxAccuracy - w.Learn.InitialAccuracy
+	gapTarget := w.Learn.MaxAccuracy - w.Learn.TargetAccuracy
+	gapFinal := w.Learn.MaxAccuracy - res.FinalAccuracy
+	if gapInit <= 0 || gapTarget <= 0 {
+		return 0
+	}
+	if gapFinal >= gapInit || gapFinal <= 0 {
+		// No measurable progress: effectively zero efficiency, but keep
+		// the value positive so normalized ratios stay finite.
+		return 1e-6 / res.EnergyToConvergenceJ
+	}
+	progressLog := math.Log(gapInit / gapFinal)
+	neededLog := math.Log(gapInit / gapTarget)
+	if progressLog <= 1e-9 {
+		return 1e-6 / res.EnergyToConvergenceJ
+	}
+	scale := neededLog / progressLog
+	if scale < 1 {
+		scale = 1
+	}
+	return 1 / (res.EnergyToConvergenceJ * scale)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,163 @@
+// Package netsim models the wireless channel between participant
+// devices and the aggregation server: round-varying bandwidth following
+// a Gaussian distribution (the paper's §4.2 methodology), signal
+// strength bands, and the transmission latency and energy of gradient /
+// parameter uploads (paper Eq. 3).
+//
+// The paper observes that "data transmission latency and energy
+// increase exponentially at weak signal strength"; the power model here
+// encodes that with an exponentially increasing transmission power as
+// signal strength degrades.
+package netsim
+
+import (
+	"math"
+
+	"fedgpo/internal/stats"
+)
+
+// SignalStrength is a coarse wireless signal band. Transmission power
+// rises as signal weakens (paper cites Ding et al., SIGMETRICS'13).
+type SignalStrength int
+
+// Signal bands from strongest to weakest.
+const (
+	SignalStrong SignalStrength = iota
+	SignalMedium
+	SignalWeak
+)
+
+// String labels the band.
+func (s SignalStrength) String() string {
+	switch s {
+	case SignalStrong:
+		return "strong"
+	case SignalMedium:
+		return "medium"
+	case SignalWeak:
+		return "weak"
+	default:
+		return "unknown"
+	}
+}
+
+// Paper Table 1 discretizes S_Network at a 40 Mbps threshold
+// ("regular" above, "bad" at or below).
+const RegularBandwidthMbps = 40.0
+
+// Channel is the stochastic wireless link model for one federation.
+// Bandwidth draws are Gaussian, clamped to a physical floor; signal
+// strength derives from the drawn bandwidth so that weak signal and low
+// bandwidth coincide, as they do on real links.
+type Channel struct {
+	// MeanMbps and StdMbps parameterize the Gaussian bandwidth draw.
+	MeanMbps float64
+	StdMbps  float64
+	// FloorMbps is the minimum usable bandwidth.
+	FloorMbps float64
+	// BaseTxWatts is the radio power at strong signal.
+	BaseTxWatts float64
+	// WeakTxFactor multiplies power per band of signal degradation
+	// (exponential growth: strong -> medium -> weak).
+	WeakTxFactor float64
+}
+
+// StableChannel returns the paper's regular-network scenario: high mean
+// bandwidth and mild variation, so S_Network is almost always regular.
+func StableChannel() Channel {
+	return Channel{
+		MeanMbps:     80,
+		StdMbps:      8,
+		FloorMbps:    1,
+		BaseTxWatts:  0.8,
+		WeakTxFactor: 1.9,
+	}
+}
+
+// UnstableChannel returns the paper's network-variance scenario: the
+// Gaussian is centered near the 40 Mbps "bad" threshold with a large
+// spread, so devices frequently fall into the weak band.
+func UnstableChannel() Channel {
+	return Channel{
+		MeanMbps:     38,
+		StdMbps:      25,
+		FloorMbps:    8,
+		BaseTxWatts:  0.8,
+		WeakTxFactor: 1.9,
+	}
+}
+
+// Condition is one device-round link state.
+type Condition struct {
+	BandwidthMbps float64
+	Signal        SignalStrength
+}
+
+// Regular reports whether the condition falls in Table 1's "regular"
+// band (> 40 Mbps).
+func (c Condition) Regular() bool { return c.BandwidthMbps > RegularBandwidthMbps }
+
+// Sample draws one device-round condition.
+func (ch Channel) Sample(rng *stats.RNG) Condition {
+	bw := rng.TruncGaussian(ch.MeanMbps, ch.StdMbps, ch.FloorMbps, ch.MeanMbps+4*ch.StdMbps+1)
+	return Condition{BandwidthMbps: bw, Signal: ch.signalFor(bw)}
+}
+
+// signalFor maps a drawn bandwidth to a signal band: weak below the
+// regular threshold, medium within 1.5x of it, strong above.
+func (ch Channel) signalFor(bw float64) SignalStrength {
+	switch {
+	case bw <= RegularBandwidthMbps:
+		return SignalWeak
+	case bw <= 1.5*RegularBandwidthMbps:
+		return SignalMedium
+	default:
+		return SignalStrong
+	}
+}
+
+// TxSeconds returns the time to transfer payloadBytes in the given
+// condition, both directions of the round trip (model download +
+// gradient upload) counted once each by the caller.
+func TxSeconds(payloadBytes float64, cond Condition) float64 {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	bps := cond.BandwidthMbps * 1e6 / 8
+	if bps <= 0 {
+		return math.Inf(1)
+	}
+	return payloadBytes / bps
+}
+
+// TxWatts returns the radio power during transmission at the given
+// signal strength: P_TX^S in paper Eq. 3, growing exponentially as the
+// signal weakens.
+func (ch Channel) TxWatts(s SignalStrength) float64 {
+	return ch.BaseTxWatts * math.Pow(ch.WeakTxFactor, float64(s))
+}
+
+// TxJoules implements paper Eq. 3: E_comm = P_TX^S × t_TX.
+func (ch Channel) TxJoules(payloadBytes float64, cond Condition) float64 {
+	t := TxSeconds(payloadBytes, cond)
+	if math.IsInf(t, 1) {
+		return math.Inf(1)
+	}
+	return ch.TxWatts(cond.Signal) * t
+}
+
+// RoundTrip aggregates one device's full communication for a round:
+// download of the global model and upload of the update (both sized at
+// modelBytes, as FedAvg sends full parameters both ways).
+type RoundTrip struct {
+	Seconds float64
+	Joules  float64
+}
+
+// CommRoundTrip computes the communication time and energy for one
+// participant-round.
+func (ch Channel) CommRoundTrip(modelBytes float64, cond Condition) RoundTrip {
+	sec := 2 * TxSeconds(modelBytes, cond)
+	j := 2 * ch.TxJoules(modelBytes, cond)
+	return RoundTrip{Seconds: sec, Joules: j}
+}

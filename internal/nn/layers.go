@@ -1,0 +1,323 @@
+package nn
+
+import (
+	"math"
+
+	"fedgpo/internal/stats"
+)
+
+// Param is a trainable parameter with its accumulated gradient.
+type Param struct {
+	Name  string
+	Value *Tensor
+	Grad  *Tensor
+}
+
+// Layer is one differentiable stage: Forward caches what Backward
+// needs; Backward consumes the upstream gradient, accumulates parameter
+// gradients, and returns the gradient w.r.t. its input.
+type Layer interface {
+	Forward(x *Tensor) *Tensor
+	Backward(grad *Tensor) *Tensor
+	Params() []*Param
+}
+
+// Dense is a fully-connected layer: y = x·W + b, x shaped [batch, in].
+type Dense struct {
+	W, B  *Param
+	input *Tensor
+}
+
+// NewDense builds a Dense layer with Glorot-uniform initialization.
+func NewDense(in, out int, rng *stats.RNG) *Dense {
+	w := NewTensor(in, out)
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return &Dense{
+		W: &Param{Name: "W", Value: w, Grad: NewTensor(in, out)},
+		B: &Param{Name: "b", Value: NewTensor(1, out), Grad: NewTensor(1, out)},
+	}
+}
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	d.input = x
+	y := MatMul(x, d.W.Value)
+	out := y.Shape[1]
+	for i := 0; i < y.Shape[0]; i++ {
+		for j := 0; j < out; j++ {
+			y.Data[i*out+j] += d.B.Value.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW, db and returns dX.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	AddInto(d.W.Grad, MatMul(Transpose(d.input), grad))
+	out := grad.Shape[1]
+	for i := 0; i < grad.Shape[0]; i++ {
+		for j := 0; j < out; j++ {
+			d.B.Grad.Data[j] += grad.Data[i*out+j]
+		}
+	}
+	return MatMul(grad, Transpose(d.W.Value))
+}
+
+// Params returns the weight and bias.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct{ mask []bool }
+
+// Forward zeroes negatives.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	y := x.Clone()
+	r.mask = make([]bool, len(y.Data))
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward gates the gradient by the forward mask.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	g := grad.Clone()
+	for i := range g.Data {
+		if !r.mask[i] {
+			g.Data[i] = 0
+		}
+	}
+	return g
+}
+
+// Params returns nil (ReLU has none).
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct{ out *Tensor }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *Tensor) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.out = y
+	return y
+}
+
+// Backward multiplies by 1 - tanh².
+func (t *Tanh) Backward(grad *Tensor) *Tensor {
+	g := grad.Clone()
+	for i := range g.Data {
+		g.Data[i] *= 1 - t.out.Data[i]*t.out.Data[i]
+	}
+	return g
+}
+
+// Params returns nil.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct{ out *Tensor }
+
+// Forward applies 1/(1+e^-x).
+func (s *Sigmoid) Forward(x *Tensor) *Tensor {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.out = y
+	return y
+}
+
+// Backward multiplies by σ(1-σ).
+func (s *Sigmoid) Backward(grad *Tensor) *Tensor {
+	g := grad.Clone()
+	for i := range g.Data {
+		g.Data[i] *= s.out.Data[i] * (1 - s.out.Data[i])
+	}
+	return g
+}
+
+// Params returns nil.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Flatten reshapes [batch, ...] to [batch, rest].
+type Flatten struct{ inShape []int }
+
+// Forward flattens all trailing dimensions.
+func (f *Flatten) Forward(x *Tensor) *Tensor {
+	f.inShape = x.Shape
+	rest := 1
+	for _, d := range x.Shape[1:] {
+		rest *= d
+	}
+	return FromSlice(x.Data, x.Shape[0], rest)
+}
+
+// Backward restores the original shape.
+func (f *Flatten) Backward(grad *Tensor) *Tensor {
+	return FromSlice(grad.Data, f.inShape...)
+}
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Conv2D is a standard 2-D convolution over [batch, inC, H, W] input
+// with stride 1 and zero padding to preserve spatial size ("same").
+type Conv2D struct {
+	InC, OutC, Kernel int
+	W, B              *Param
+	input             *Tensor
+}
+
+// NewConv2D builds a same-padded, stride-1 convolution.
+func NewConv2D(inC, outC, kernel int, rng *stats.RNG) *Conv2D {
+	w := NewTensor(outC, inC, kernel, kernel)
+	fanIn := inC * kernel * kernel
+	limit := math.Sqrt(6.0 / float64(fanIn+outC*kernel*kernel))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return &Conv2D{
+		InC: inC, OutC: outC, Kernel: kernel,
+		W: &Param{Name: "convW", Value: w, Grad: NewTensor(outC, inC, kernel, kernel)},
+		B: &Param{Name: "convB", Value: NewTensor(1, outC), Grad: NewTensor(1, outC)},
+	}
+}
+
+// Forward performs the convolution.
+func (c *Conv2D) Forward(x *Tensor) *Tensor {
+	c.input = x
+	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	pad := c.Kernel / 2
+	y := NewTensor(b, c.OutC, h, w)
+	for n := 0; n < b; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B.Value.Data[oc]
+			for i := 0; i < h; i++ {
+				for j := 0; j < w; j++ {
+					sum := bias
+					for ic := 0; ic < c.InC; ic++ {
+						for ki := 0; ki < c.Kernel; ki++ {
+							ii := i + ki - pad
+							if ii < 0 || ii >= h {
+								continue
+							}
+							for kj := 0; kj < c.Kernel; kj++ {
+								jj := j + kj - pad
+								if jj < 0 || jj >= w {
+									continue
+								}
+								xv := x.Data[((n*c.InC+ic)*h+ii)*w+jj]
+								wv := c.W.Value.Data[((oc*c.InC+ic)*c.Kernel+ki)*c.Kernel+kj]
+								sum += xv * wv
+							}
+						}
+					}
+					y.Data[((n*c.OutC+oc)*h+i)*w+j] = sum
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates filter/bias gradients and returns dX.
+func (c *Conv2D) Backward(grad *Tensor) *Tensor {
+	x := c.input
+	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	pad := c.Kernel / 2
+	dx := NewTensor(x.Shape...)
+	for n := 0; n < b; n++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for i := 0; i < h; i++ {
+				for j := 0; j < w; j++ {
+					g := grad.Data[((n*c.OutC+oc)*h+i)*w+j]
+					if g == 0 {
+						continue
+					}
+					c.B.Grad.Data[oc] += g
+					for ic := 0; ic < c.InC; ic++ {
+						for ki := 0; ki < c.Kernel; ki++ {
+							ii := i + ki - pad
+							if ii < 0 || ii >= h {
+								continue
+							}
+							for kj := 0; kj < c.Kernel; kj++ {
+								jj := j + kj - pad
+								if jj < 0 || jj >= w {
+									continue
+								}
+								xIdx := ((n*c.InC+ic)*h+ii)*w + jj
+								wIdx := ((oc*c.InC+ic)*c.Kernel+ki)*c.Kernel + kj
+								c.W.Grad.Data[wIdx] += g * x.Data[xIdx]
+								dx.Data[xIdx] += g * c.W.Value.Data[wIdx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the filters and biases.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MaxPool2D is a 2×2, stride-2 max pool over [batch, C, H, W].
+type MaxPool2D struct {
+	argmax  []int
+	inShape []int
+}
+
+// Forward pools each non-overlapping 2×2 window to its max.
+func (m *MaxPool2D) Forward(x *Tensor) *Tensor {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/2, w/2
+	y := NewTensor(b, c, oh, ow)
+	m.argmax = make([]int, y.Size())
+	m.inShape = x.Shape
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c; ch++ {
+			for i := 0; i < oh; i++ {
+				for j := 0; j < ow; j++ {
+					bestIdx, bestVal := -1, math.Inf(-1)
+					for di := 0; di < 2; di++ {
+						for dj := 0; dj < 2; dj++ {
+							idx := ((n*c+ch)*h+2*i+di)*w + 2*j + dj
+							if x.Data[idx] > bestVal {
+								bestIdx, bestVal = idx, x.Data[idx]
+							}
+						}
+					}
+					oIdx := ((n*c+ch)*oh+i)*ow + j
+					y.Data[oIdx] = bestVal
+					m.argmax[oIdx] = bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward routes gradients to the argmax positions.
+func (m *MaxPool2D) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(m.inShape...)
+	for oIdx, inIdx := range m.argmax {
+		dx.Data[inIdx] += grad.Data[oIdx]
+	}
+	return dx
+}
+
+// Params returns nil.
+func (m *MaxPool2D) Params() []*Param { return nil }

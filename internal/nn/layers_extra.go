@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"math"
+
+	"fedgpo/internal/stats"
+)
+
+// DepthwiseConv2D is a depthwise 2-D convolution (one filter per input
+// channel, no cross-channel mixing) with stride 1 and "same" zero
+// padding — the building block of MobileNet's depthwise-separable
+// architecture (paper workload MobileNet-ImageNet). Compose with a
+// 1×1 Conv2D for the pointwise half.
+type DepthwiseConv2D struct {
+	Channels, Kernel int
+	W, B             *Param
+	input            *Tensor
+}
+
+// NewDepthwiseConv2D builds a depthwise convolution over `channels`
+// input channels.
+func NewDepthwiseConv2D(channels, kernel int, rng *stats.RNG) *DepthwiseConv2D {
+	w := NewTensor(channels, kernel, kernel)
+	limit := math.Sqrt(6.0 / float64(kernel*kernel*2))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return &DepthwiseConv2D{
+		Channels: channels, Kernel: kernel,
+		W: &Param{Name: "dwW", Value: w, Grad: NewTensor(channels, kernel, kernel)},
+		B: &Param{Name: "dwB", Value: NewTensor(1, channels), Grad: NewTensor(1, channels)},
+	}
+}
+
+// Forward convolves each channel with its own filter.
+func (c *DepthwiseConv2D) Forward(x *Tensor) *Tensor {
+	c.input = x
+	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	pad := c.Kernel / 2
+	y := NewTensor(b, c.Channels, h, w)
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c.Channels; ch++ {
+			bias := c.B.Value.Data[ch]
+			for i := 0; i < h; i++ {
+				for j := 0; j < w; j++ {
+					sum := bias
+					for ki := 0; ki < c.Kernel; ki++ {
+						ii := i + ki - pad
+						if ii < 0 || ii >= h {
+							continue
+						}
+						for kj := 0; kj < c.Kernel; kj++ {
+							jj := j + kj - pad
+							if jj < 0 || jj >= w {
+								continue
+							}
+							xv := x.Data[((n*c.Channels+ch)*h+ii)*w+jj]
+							wv := c.W.Value.Data[(ch*c.Kernel+ki)*c.Kernel+kj]
+							sum += xv * wv
+						}
+					}
+					y.Data[((n*c.Channels+ch)*h+i)*w+j] = sum
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates filter/bias gradients and returns dX.
+func (c *DepthwiseConv2D) Backward(grad *Tensor) *Tensor {
+	x := c.input
+	b, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	pad := c.Kernel / 2
+	dx := NewTensor(x.Shape...)
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c.Channels; ch++ {
+			for i := 0; i < h; i++ {
+				for j := 0; j < w; j++ {
+					g := grad.Data[((n*c.Channels+ch)*h+i)*w+j]
+					if g == 0 {
+						continue
+					}
+					c.B.Grad.Data[ch] += g
+					for ki := 0; ki < c.Kernel; ki++ {
+						ii := i + ki - pad
+						if ii < 0 || ii >= h {
+							continue
+						}
+						for kj := 0; kj < c.Kernel; kj++ {
+							jj := j + kj - pad
+							if jj < 0 || jj >= w {
+								continue
+							}
+							xIdx := ((n*c.Channels+ch)*h+ii)*w + jj
+							wIdx := (ch*c.Kernel+ki)*c.Kernel + kj
+							c.W.Grad.Data[wIdx] += g * x.Data[xIdx]
+							dx.Data[xIdx] += g * c.W.Value.Data[wIdx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the depthwise filters and biases.
+func (c *DepthwiseConv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// GlobalAvgPool2D averages each channel's spatial map to a single
+// value: [batch, C, H, W] → [batch, C]. MobileNet-style classifiers end
+// with it.
+type GlobalAvgPool2D struct{ inShape []int }
+
+// Forward averages over H×W per channel.
+func (g *GlobalAvgPool2D) Forward(x *Tensor) *Tensor {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	g.inShape = x.Shape
+	y := NewTensor(b, c)
+	area := float64(h * w)
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c; ch++ {
+			sum := 0.0
+			base := ((n*c + ch) * h) * w
+			for k := 0; k < h*w; k++ {
+				sum += x.Data[base+k]
+			}
+			y.Data[n*c+ch] = sum / area
+		}
+	}
+	return y
+}
+
+// Backward spreads each channel gradient evenly over its spatial map.
+func (g *GlobalAvgPool2D) Backward(grad *Tensor) *Tensor {
+	b, c, h, w := g.inShape[0], g.inShape[1], g.inShape[2], g.inShape[3]
+	dx := NewTensor(g.inShape...)
+	area := float64(h * w)
+	for n := 0; n < b; n++ {
+		for ch := 0; ch < c; ch++ {
+			gv := grad.Data[n*c+ch] / area
+			base := ((n*c + ch) * h) * w
+			for k := 0; k < h*w; k++ {
+				dx.Data[base+k] = gv
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil.
+func (g *GlobalAvgPool2D) Params() []*Param { return nil }
+
+// Embedding maps integer token ids to dense vectors: input is a
+// [batch, seq] tensor whose values are token ids (stored as float64),
+// output is [batch, seq, dim]. The front door of the LSTM-Shakespeare
+// next-character model.
+type Embedding struct {
+	Vocab, Dim int
+	W          *Param
+	ids        []int
+	inShape    []int
+}
+
+// NewEmbedding builds an embedding table with N(0, 0.1) initialization.
+func NewEmbedding(vocab, dim int, rng *stats.RNG) *Embedding {
+	w := NewTensor(vocab, dim)
+	for i := range w.Data {
+		w.Data[i] = rng.Gaussian(0, 0.1)
+	}
+	return &Embedding{
+		Vocab: vocab, Dim: dim,
+		W: &Param{Name: "embW", Value: w, Grad: NewTensor(vocab, dim)},
+	}
+}
+
+// Forward looks up each id's vector. Ids outside [0, Vocab) panic.
+func (e *Embedding) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 2 {
+		panic("nn: Embedding expects [batch, seq] ids")
+	}
+	b, seq := x.Shape[0], x.Shape[1]
+	e.inShape = x.Shape
+	e.ids = make([]int, b*seq)
+	y := NewTensor(b, seq, e.Dim)
+	for i, v := range x.Data {
+		id := int(v)
+		if id < 0 || id >= e.Vocab {
+			panic("nn: embedding id out of range")
+		}
+		e.ids[i] = id
+		copy(y.Data[i*e.Dim:(i+1)*e.Dim], e.W.Value.Data[id*e.Dim:(id+1)*e.Dim])
+	}
+	return y
+}
+
+// Backward scatters gradients back into the looked-up rows; the input
+// gradient is zero (ids are not differentiable).
+func (e *Embedding) Backward(grad *Tensor) *Tensor {
+	for i, id := range e.ids {
+		for d := 0; d < e.Dim; d++ {
+			e.W.Grad.Data[id*e.Dim+d] += grad.Data[i*e.Dim+d]
+		}
+	}
+	return NewTensor(e.inShape...)
+}
+
+// Params returns the embedding table.
+func (e *Embedding) Params() []*Param { return []*Param{e.W} }
+
+// Dropout zeroes a fraction of activations during training (inverted
+// scaling keeps the expected magnitude). Call SetTraining(false) for
+// evaluation.
+type Dropout struct {
+	Rate     float64
+	rng      *stats.RNG
+	training bool
+	mask     []float64
+}
+
+// NewDropout builds a dropout layer with the given drop rate in [0, 1).
+func NewDropout(rate float64, rng *stats.RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: dropout rate must be in [0,1)")
+	}
+	return &Dropout{Rate: rate, rng: rng, training: true}
+}
+
+// SetTraining toggles train (drop) vs eval (identity) behaviour.
+func (d *Dropout) SetTraining(t bool) { d.training = t }
+
+// Forward applies the (inverted) dropout mask.
+func (d *Dropout) Forward(x *Tensor) *Tensor {
+	if !d.training || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	d.mask = make([]float64, len(y.Data))
+	keep := 1 - d.Rate
+	for i := range y.Data {
+		if d.rng.Bernoulli(d.Rate) {
+			d.mask[i] = 0
+			y.Data[i] = 0
+		} else {
+			d.mask[i] = 1 / keep
+			y.Data[i] *= 1 / keep
+		}
+	}
+	return y
+}
+
+// Backward gates the gradient with the forward mask.
+func (d *Dropout) Backward(grad *Tensor) *Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	g := grad.Clone()
+	for i := range g.Data {
+		g.Data[i] *= d.mask[i]
+	}
+	return g
+}
+
+// Params returns nil.
+func (d *Dropout) Params() []*Param { return nil }

@@ -1,0 +1,233 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fedgpo/internal/stats"
+)
+
+func TestDepthwiseConvGradCheck(t *testing.T) {
+	rng := stats.NewRNG(21)
+	numericalGradCheck(t, NewDepthwiseConv2D(3, 3, rng), randTensor(rng, 2, 3, 5, 5), 1e-5)
+}
+
+func TestDepthwiseConvKeepsChannelsSeparate(t *testing.T) {
+	// Changing channel 0's input must not affect channel 1's output.
+	rng := stats.NewRNG(22)
+	dw := NewDepthwiseConv2D(2, 3, rng)
+	x := randTensor(rng, 1, 2, 4, 4)
+	y1 := dw.Forward(x).Clone()
+	x.Data[0] += 10 // perturb channel 0 only
+	y2 := dw.Forward(x)
+	for k := 16; k < 32; k++ { // channel 1's plane
+		if y1.Data[k] != y2.Data[k] {
+			t.Fatal("depthwise conv mixed channels")
+		}
+	}
+	changed := false
+	for k := 0; k < 16; k++ {
+		if y1.Data[k] != y2.Data[k] {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Fatal("channel 0 output should have changed")
+	}
+}
+
+func TestGlobalAvgPoolForwardBackward(t *testing.T) {
+	x := FromSlice([]float64{
+		1, 2, 3, 4, // channel 0
+		10, 10, 10, 10, // channel 1
+	}, 1, 2, 2, 2)
+	g := &GlobalAvgPool2D{}
+	y := g.Forward(x)
+	if y.Data[0] != 2.5 || y.Data[1] != 10 {
+		t.Fatalf("pool output = %v", y.Data)
+	}
+	dx := g.Backward(FromSlice([]float64{4, 8}, 1, 2))
+	for k := 0; k < 4; k++ {
+		if dx.Data[k] != 1 {
+			t.Fatalf("channel 0 gradient = %v, want 1 everywhere", dx.Data[:4])
+		}
+		if dx.Data[4+k] != 2 {
+			t.Fatalf("channel 1 gradient = %v, want 2 everywhere", dx.Data[4:])
+		}
+	}
+	rng := stats.NewRNG(23)
+	numericalGradCheck(t, &GlobalAvgPool2D{}, randTensor(rng, 2, 3, 4, 4), 1e-6)
+}
+
+func TestEmbeddingLookupAndGrad(t *testing.T) {
+	rng := stats.NewRNG(24)
+	emb := NewEmbedding(5, 3, rng)
+	ids := FromSlice([]float64{0, 2, 2, 4}, 2, 2)
+	y := emb.Forward(ids)
+	if y.Shape[0] != 2 || y.Shape[1] != 2 || y.Shape[2] != 3 {
+		t.Fatalf("embedding output shape %v", y.Shape)
+	}
+	// Both position (0,1) and (1,0) looked up id 2 — identical rows.
+	for d := 0; d < 3; d++ {
+		if y.Data[1*3+d] != y.Data[2*3+d] {
+			t.Fatal("same id should produce the same vector")
+		}
+	}
+	// Gradient: token 2 appears twice; its row accumulates 2x.
+	grad := NewTensor(2, 2, 3)
+	for i := range grad.Data {
+		grad.Data[i] = 1
+	}
+	emb.W.Grad.Zero()
+	emb.Backward(grad)
+	for d := 0; d < 3; d++ {
+		if emb.W.Grad.Data[2*3+d] != 2 {
+			t.Fatalf("token-2 grad = %v, want 2", emb.W.Grad.Data[2*3+d])
+		}
+		if emb.W.Grad.Data[1*3+d] != 0 {
+			t.Fatal("unused token should have zero gradient")
+		}
+	}
+}
+
+func TestEmbeddingPanicsOnBadId(t *testing.T) {
+	rng := stats.NewRNG(25)
+	emb := NewEmbedding(3, 2, rng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on out-of-range id")
+		}
+	}()
+	emb.Forward(FromSlice([]float64{5}, 1, 1))
+}
+
+func TestDropoutTrainEvalModes(t *testing.T) {
+	rng := stats.NewRNG(26)
+	d := NewDropout(0.5, rng)
+	x := randTensor(rng, 10, 20)
+
+	// Training: some units zeroed, survivors scaled by 1/keep.
+	y := d.Forward(x)
+	zeros, scaled := 0, 0
+	for i := range y.Data {
+		switch {
+		case y.Data[i] == 0 && x.Data[i] != 0:
+			zeros++
+		case y.Data[i] != 0:
+			if math.Abs(y.Data[i]-2*x.Data[i]) > 1e-12 {
+				t.Fatalf("survivor not scaled: %v vs %v", y.Data[i], x.Data[i])
+			}
+			scaled++
+		}
+	}
+	if zeros == 0 || scaled == 0 {
+		t.Fatalf("dropout should both drop and keep: %d/%d", zeros, scaled)
+	}
+	// Gradient uses the same mask.
+	ones := NewTensor(x.Shape...)
+	for i := range ones.Data {
+		ones.Data[i] = 1
+	}
+	g := d.Backward(ones)
+	for i := range g.Data {
+		if (y.Data[i] == 0) != (g.Data[i] == 0) && x.Data[i] != 0 {
+			t.Fatal("gradient mask mismatched forward mask")
+		}
+	}
+
+	// Eval: identity.
+	d.SetTraining(false)
+	y2 := d.Forward(x)
+	for i := range y2.Data {
+		if y2.Data[i] != x.Data[i] {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewDropout(1, stats.NewRNG(1))
+}
+
+func TestMobileNetStyleBlockLearns(t *testing.T) {
+	// A depthwise-separable block (depthwise 3x3 + pointwise 1x1) over
+	// a small synthetic image task must train end-to-end.
+	rng := stats.NewRNG(27)
+	model := NewSequential(
+		NewConv2D(1, 4, 3, rng),
+		&ReLU{},
+		NewDepthwiseConv2D(4, 3, rng),
+		NewConv2D(4, 8, 1, rng), // pointwise
+		&ReLU{},
+		&GlobalAvgPool2D{},
+		NewDense(8, 3, rng),
+	)
+	opt := NewAdam(0.01)
+	// Classes differ by mean intensity bands — learnable by avg-pooled
+	// channels.
+	const side = 6
+	makeBatch := func(n int) (*Tensor, []int) {
+		x := NewTensor(n, 1, side, side)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := i % 3
+			labels[i] = c
+			for k := 0; k < side*side; k++ {
+				x.Data[i*side*side+k] = float64(c) + rng.Gaussian(0, 0.3)
+			}
+		}
+		return x, labels
+	}
+	for epoch := 0; epoch < 60; epoch++ {
+		x, labels := makeBatch(30)
+		_, grad := SoftmaxCrossEntropy(model.Forward(x), labels)
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	x, labels := makeBatch(60)
+	if acc := Accuracy(model.Forward(x), labels); acc < 0.9 {
+		t.Errorf("depthwise-separable block accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestEmbeddingLSTMPipeline(t *testing.T) {
+	// Embedding -> LSTM -> Dense: the LSTM-Shakespeare model shape,
+	// trained to classify short token sequences by their dominant
+	// token.
+	rng := stats.NewRNG(28)
+	const vocab, dim, hidden, seq = 6, 4, 8, 5
+	model := NewSequential(
+		NewEmbedding(vocab, dim, rng),
+		NewLSTM(dim, hidden, rng),
+		NewDense(hidden, 2, rng),
+	)
+	opt := NewAdam(0.02)
+	makeBatch := func(n int) (*Tensor, []int) {
+		x := NewTensor(n, seq)
+		labels := make([]int, n)
+		for i := 0; i < n; i++ {
+			c := i % 2
+			labels[i] = c
+			for s := 0; s < seq; s++ {
+				// Class 0 draws from tokens {0,1,2}, class 1 from {3,4,5}.
+				x.Data[i*seq+s] = float64(3*c + rng.Intn(3))
+			}
+		}
+		return x, labels
+	}
+	for epoch := 0; epoch < 80; epoch++ {
+		x, labels := makeBatch(20)
+		_, grad := SoftmaxCrossEntropy(model.Forward(x), labels)
+		model.Backward(grad)
+		opt.Step(model.Params())
+	}
+	x, labels := makeBatch(40)
+	if acc := Accuracy(model.Forward(x), labels); acc < 0.95 {
+		t.Errorf("embedding+LSTM accuracy = %v, want >= 0.95", acc)
+	}
+}

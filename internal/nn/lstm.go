@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"math"
+
+	"fedgpo/internal/stats"
+)
+
+// LSTM is a single-layer LSTM that consumes a [batch, seq, in] tensor
+// and emits the final hidden state [batch, hidden]. Backpropagation is
+// full BPTT over the sequence.
+type LSTM struct {
+	In, Hidden int
+	// Wx: [in, 4*hidden] (i, f, g, o gate blocks), Wh: [hidden,
+	// 4*hidden], B: [1, 4*hidden].
+	Wx, Wh, B *Param
+
+	// forward caches
+	input *Tensor
+	steps []lstmStep
+	lastH *Tensor
+}
+
+type lstmStep struct {
+	i, f, g, o *Tensor // gate activations [batch, hidden]
+	c, h       *Tensor // cell and hidden states after the step
+	cPrev      *Tensor
+	hPrev      *Tensor
+}
+
+// NewLSTM builds an LSTM with Glorot-initialized input weights,
+// orthogonal-ish recurrent weights, and forget-gate bias 1 (the
+// standard trick for gradient flow).
+func NewLSTM(in, hidden int, rng *stats.RNG) *LSTM {
+	wx := NewTensor(in, 4*hidden)
+	limit := math.Sqrt(6.0 / float64(in+4*hidden))
+	for i := range wx.Data {
+		wx.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+	wh := NewTensor(hidden, 4*hidden)
+	limitH := math.Sqrt(6.0 / float64(hidden+4*hidden))
+	for i := range wh.Data {
+		wh.Data[i] = (rng.Float64()*2 - 1) * limitH
+	}
+	b := NewTensor(1, 4*hidden)
+	for j := hidden; j < 2*hidden; j++ {
+		b.Data[j] = 1 // forget gate bias
+	}
+	return &LSTM{
+		In: in, Hidden: hidden,
+		Wx: &Param{Name: "lstmWx", Value: wx, Grad: NewTensor(in, 4*hidden)},
+		Wh: &Param{Name: "lstmWh", Value: wh, Grad: NewTensor(hidden, 4*hidden)},
+		B:  &Param{Name: "lstmB", Value: b, Grad: NewTensor(1, 4*hidden)},
+	}
+}
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// Forward runs the recurrence and returns the final hidden state.
+func (l *LSTM) Forward(x *Tensor) *Tensor {
+	if len(x.Shape) != 3 || x.Shape[2] != l.In {
+		panic("nn: LSTM expects [batch, seq, in]")
+	}
+	batch, seq := x.Shape[0], x.Shape[1]
+	h := NewTensor(batch, l.Hidden)
+	c := NewTensor(batch, l.Hidden)
+	l.input = x
+	l.steps = make([]lstmStep, 0, seq)
+
+	for t := 0; t < seq; t++ {
+		xt := NewTensor(batch, l.In)
+		for n := 0; n < batch; n++ {
+			copy(xt.Data[n*l.In:(n+1)*l.In], x.Data[(n*seq+t)*l.In:(n*seq+t+1)*l.In])
+		}
+		z := MatMul(xt, l.Wx.Value)
+		AddInto(z, MatMul(h, l.Wh.Value))
+		for n := 0; n < batch; n++ {
+			for j := 0; j < 4*l.Hidden; j++ {
+				z.Data[n*4*l.Hidden+j] += l.B.Value.Data[j]
+			}
+		}
+		st := lstmStep{
+			i: NewTensor(batch, l.Hidden), f: NewTensor(batch, l.Hidden),
+			g: NewTensor(batch, l.Hidden), o: NewTensor(batch, l.Hidden),
+			c: NewTensor(batch, l.Hidden), h: NewTensor(batch, l.Hidden),
+			cPrev: c, hPrev: h,
+		}
+		for n := 0; n < batch; n++ {
+			base := n * 4 * l.Hidden
+			for j := 0; j < l.Hidden; j++ {
+				iv := sigmoid(z.Data[base+j])
+				fv := sigmoid(z.Data[base+l.Hidden+j])
+				gv := math.Tanh(z.Data[base+2*l.Hidden+j])
+				ov := sigmoid(z.Data[base+3*l.Hidden+j])
+				cv := fv*c.Data[n*l.Hidden+j] + iv*gv
+				hv := ov * math.Tanh(cv)
+				st.i.Data[n*l.Hidden+j] = iv
+				st.f.Data[n*l.Hidden+j] = fv
+				st.g.Data[n*l.Hidden+j] = gv
+				st.o.Data[n*l.Hidden+j] = ov
+				st.c.Data[n*l.Hidden+j] = cv
+				st.h.Data[n*l.Hidden+j] = hv
+			}
+		}
+		l.steps = append(l.steps, st)
+		h, c = st.h, st.c
+	}
+	l.lastH = h
+	return h
+}
+
+// Backward back-propagates through time from the final hidden state.
+func (l *LSTM) Backward(grad *Tensor) *Tensor {
+	batch := grad.Shape[0]
+	seq := len(l.steps)
+	dx := NewTensor(l.input.Shape...)
+	dh := grad.Clone()
+	dc := NewTensor(batch, l.Hidden)
+	whT := Transpose(l.Wh.Value)
+	wxT := Transpose(l.Wx.Value)
+
+	for t := seq - 1; t >= 0; t-- {
+		st := l.steps[t]
+		dz := NewTensor(batch, 4*l.Hidden)
+		for n := 0; n < batch; n++ {
+			for j := 0; j < l.Hidden; j++ {
+				idx := n*l.Hidden + j
+				tanhC := math.Tanh(st.c.Data[idx])
+				do := dh.Data[idx] * tanhC
+				dcTotal := dc.Data[idx] + dh.Data[idx]*st.o.Data[idx]*(1-tanhC*tanhC)
+				di := dcTotal * st.g.Data[idx]
+				dg := dcTotal * st.i.Data[idx]
+				df := dcTotal * st.cPrev.Data[idx]
+				dcPrev := dcTotal * st.f.Data[idx]
+
+				base := n * 4 * l.Hidden
+				dz.Data[base+j] = di * st.i.Data[idx] * (1 - st.i.Data[idx])
+				dz.Data[base+l.Hidden+j] = df * st.f.Data[idx] * (1 - st.f.Data[idx])
+				dz.Data[base+2*l.Hidden+j] = dg * (1 - st.g.Data[idx]*st.g.Data[idx])
+				dz.Data[base+3*l.Hidden+j] = do * st.o.Data[idx] * (1 - st.o.Data[idx])
+				dc.Data[idx] = dcPrev
+			}
+		}
+		// Parameter gradients.
+		xt := NewTensor(batch, l.In)
+		for n := 0; n < batch; n++ {
+			copy(xt.Data[n*l.In:(n+1)*l.In],
+				l.input.Data[(n*seq+t)*l.In:(n*seq+t+1)*l.In])
+		}
+		AddInto(l.Wx.Grad, MatMul(Transpose(xt), dz))
+		AddInto(l.Wh.Grad, MatMul(Transpose(st.hPrev), dz))
+		for n := 0; n < batch; n++ {
+			for j := 0; j < 4*l.Hidden; j++ {
+				l.B.Grad.Data[j] += dz.Data[n*4*l.Hidden+j]
+			}
+		}
+		// Input gradient for this step.
+		dxt := MatMul(dz, wxT)
+		for n := 0; n < batch; n++ {
+			copy(dx.Data[(n*seq+t)*l.In:(n*seq+t+1)*l.In], dxt.Data[n*l.In:(n+1)*l.In])
+		}
+		// Hidden gradient for the previous step.
+		dh = MatMul(dz, whT)
+	}
+	return dx
+}
+
+// Params returns the LSTM's three parameter tensors.
+func (l *LSTM) Params() []*Param { return []*Param{l.Wx, l.Wh, l.B} }

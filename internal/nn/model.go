@@ -1,0 +1,220 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"fedgpo/internal/stats"
+)
+
+// Sequential chains layers. It implements Layer itself.
+type Sequential struct{ Layers []Layer }
+
+// NewSequential builds a model from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *Tensor) *Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse.
+func (s *Sequential) Backward(grad *Tensor) *Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params concatenates all layers' parameters.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all parameter gradients.
+func (s *Sequential) ZeroGrads() {
+	for _, p := range s.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// [batch, classes] against integer labels, and the gradient w.r.t. the
+// logits.
+func SoftmaxCrossEntropy(logits *Tensor, labels []int) (loss float64, grad *Tensor) {
+	if len(logits.Shape) != 2 || logits.Shape[0] != len(labels) {
+		panic("nn: SoftmaxCrossEntropy shape mismatch")
+	}
+	batch, classes := logits.Shape[0], logits.Shape[1]
+	grad = NewTensor(batch, classes)
+	for n := 0; n < batch; n++ {
+		row := logits.Data[n*classes : (n+1)*classes]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		for _, v := range row {
+			sum += math.Exp(v - maxV)
+		}
+		logSum := math.Log(sum) + maxV
+		y := labels[n]
+		if y < 0 || y >= classes {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, classes))
+		}
+		loss += logSum - row[y]
+		for j := 0; j < classes; j++ {
+			p := math.Exp(row[j] - logSum)
+			g := p
+			if j == y {
+				g -= 1
+			}
+			grad.Data[n*classes+j] = g / float64(batch)
+		}
+	}
+	return loss / float64(batch), grad
+}
+
+// MSE computes the mean squared error of pred against target and its
+// gradient w.r.t. pred.
+func MSE(pred, target *Tensor) (loss float64, grad *Tensor) {
+	if len(pred.Data) != len(target.Data) {
+		panic("nn: MSE size mismatch")
+	}
+	grad = NewTensor(pred.Shape...)
+	n := float64(len(pred.Data))
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// MaskedMSE is MSE restricted to entries where mask is true — the DQN
+// update touches only the played action's Q output.
+func MaskedMSE(pred, target *Tensor, mask []bool) (loss float64, grad *Tensor) {
+	if len(pred.Data) != len(target.Data) || len(mask) != len(pred.Data) {
+		panic("nn: MaskedMSE size mismatch")
+	}
+	grad = NewTensor(pred.Shape...)
+	cnt := 0.0
+	for i := range pred.Data {
+		if !mask[i] {
+			continue
+		}
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d
+		cnt++
+	}
+	if cnt == 0 {
+		return 0, grad
+	}
+	for i := range grad.Data {
+		grad.Data[i] /= cnt
+	}
+	return loss / cnt, grad
+}
+
+// Accuracy computes top-1 accuracy of logits against labels.
+func Accuracy(logits *Tensor, labels []int) float64 {
+	batch, classes := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for n := 0; n < batch; n++ {
+		best := 0
+		for j := 1; j < classes; j++ {
+			if logits.Data[n*classes+j] > logits.Data[n*classes+best] {
+				best = j
+			}
+		}
+		if best == labels[n] {
+			correct++
+		}
+	}
+	if batch == 0 {
+		return 0
+	}
+	return float64(correct) / float64(batch)
+}
+
+// ParamSnapshot extracts a deep copy of a model's parameter values —
+// the unit FedAvg aggregates.
+func ParamSnapshot(m *Sequential) []*Tensor {
+	ps := m.Params()
+	out := make([]*Tensor, len(ps))
+	for i, p := range ps {
+		out[i] = p.Value.Clone()
+	}
+	return out
+}
+
+// LoadParams copies a snapshot into a model's parameters. It panics on
+// a structural mismatch.
+func LoadParams(m *Sequential, snap []*Tensor) {
+	ps := m.Params()
+	if len(ps) != len(snap) {
+		panic("nn: parameter count mismatch")
+	}
+	for i, p := range ps {
+		if len(p.Value.Data) != len(snap[i].Data) {
+			panic("nn: parameter size mismatch")
+		}
+		copy(p.Value.Data, snap[i].Data)
+	}
+}
+
+// FedAvg computes the sample-weighted average of parameter snapshots —
+// paper Algorithm 1's server update w_{t+1} = Σ (n_k/n)·w_k.
+func FedAvg(snaps [][]*Tensor, weights []float64) []*Tensor {
+	if len(snaps) == 0 || len(snaps) != len(weights) {
+		panic("nn: FedAvg needs matching snapshots and weights")
+	}
+	total := stats.Sum(weights)
+	if total <= 0 {
+		panic("nn: FedAvg needs positive total weight")
+	}
+	out := make([]*Tensor, len(snaps[0]))
+	for i := range out {
+		out[i] = NewTensor(snaps[0][i].Shape...)
+	}
+	for s, snap := range snaps {
+		w := weights[s] / total
+		for i, tensor := range snap {
+			for j, v := range tensor.Data {
+				out[i].Data[j] += w * v
+			}
+		}
+	}
+	return out
+}
+
+// EncodeParams serializes a parameter snapshot with encoding/gob — the
+// payload a client uploads to the server.
+func EncodeParams(snap []*Tensor) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("nn: encode params: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeParams deserializes a parameter snapshot.
+func DecodeParams(data []byte) ([]*Tensor, error) {
+	var snap []*Tensor
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("nn: decode params: %w", err)
+	}
+	return snap, nil
+}

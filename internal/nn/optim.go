@@ -1,0 +1,95 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+}
+
+// SGD is stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*Param]*Tensor
+}
+
+// NewSGD returns an SGD optimizer. It panics on a non-positive learning
+// rate.
+func NewSGD(lr, momentum float64) *SGD {
+	if lr <= 0 {
+		panic("nn: learning rate must be positive")
+	}
+	if momentum < 0 || momentum >= 1 {
+		panic("nn: momentum must be in [0,1)")
+	}
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*Param]*Tensor)}
+}
+
+// Step applies one update and clears the gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = NewTensor(p.Value.Shape...)
+				s.velocity[p] = v
+			}
+			for i := range p.Value.Data {
+				v.Data[i] = s.Momentum*v.Data[i] - s.LR*p.Grad.Data[i]
+				p.Value.Data[i] += v.Data[i]
+			}
+		} else {
+			for i := range p.Value.Data {
+				p.Value.Data[i] -= s.LR * p.Grad.Data[i]
+			}
+		}
+		p.Grad.Zero()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  map[*Param]*Tensor
+}
+
+// NewAdam returns an Adam optimizer with the standard β defaults.
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic("nn: learning rate must be positive")
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*Param]*Tensor), v: make(map[*Param]*Tensor),
+	}
+}
+
+// Step applies one update and clears the gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = NewTensor(p.Value.Shape...)
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = NewTensor(p.Value.Shape...)
+			a.v[p] = v
+		}
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i]
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mHat := m.Data[i] / bc1
+			vHat := v.Data[i] / bc2
+			p.Value.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.Grad.Zero()
+	}
+}

@@ -1,0 +1,148 @@
+// Package nn is a from-scratch neural-network library: dense tensors,
+// layer-based reverse-mode differentiation, the layer types the paper's
+// workloads need (fully-connected, convolutional, pooling, recurrent),
+// cross-entropy and MSE losses, and SGD/Adam optimizers.
+//
+// It exists for two reasons: (1) the examples train real models
+// federatedly end-to-end, demonstrating that the simulation substrate's
+// learning dynamics correspond to an actual implementation; (2) the ABS
+// baseline (paper reference [49]) requires a deep-RL agent, whose DQN
+// is built on this package.
+//
+// The library is deliberately simple — float64 everywhere, no
+// vectorization beyond what the compiler does — because its role is
+// correctness and clarity, not throughput.
+package nn
+
+import "fmt"
+
+// Tensor is a dense row-major multi-dimensional array.
+type Tensor struct {
+	Data  []float64
+	Shape []int
+}
+
+// NewTensor allocates a zero tensor of the given shape. It panics on an
+// empty shape or non-positive dimensions.
+func NewTensor(shape ...int) *Tensor {
+	if len(shape) == 0 {
+		panic("nn: tensor needs at least one dimension")
+	}
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic("nn: tensor dimensions must be positive")
+		}
+		n *= d
+	}
+	return &Tensor{Data: make([]float64, n), Shape: append([]int(nil), shape...)}
+}
+
+// FromSlice wraps data in a tensor of the given shape (data is not
+// copied). It panics if the size does not match.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("nn: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{Data: data, Shape: append([]int(nil), shape...)}
+}
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := NewTensor(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero clears all elements in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// At2 reads element (i, j) of a 2-D tensor.
+func (t *Tensor) At2(i, j int) float64 { return t.Data[i*t.Shape[1]+j] }
+
+// Set2 writes element (i, j) of a 2-D tensor.
+func (t *Tensor) Set2(i, j int, v float64) { t.Data[i*t.Shape[1]+j] = v }
+
+// SameShape reports whether two tensors share a shape.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddInto accumulates src into dst element-wise. It panics on shape
+// mismatch.
+func AddInto(dst, src *Tensor) {
+	if len(dst.Data) != len(src.Data) {
+		panic("nn: AddInto size mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// MatMul computes C = A·B for 2-D tensors [m,k]×[k,n] → [m,n].
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+		panic("nn: MatMul shape mismatch")
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := NewTensor(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return c
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	if len(a.Shape) != 2 {
+		panic("nn: Transpose needs a 2-D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := NewTensor(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}

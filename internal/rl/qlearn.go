@@ -1,0 +1,288 @@
+// Package rl is the tabular reinforcement-learning substrate of
+// FedGPO: a Q-table with epsilon-greedy action selection and the
+// Q-learning update of paper Algorithm 2,
+//
+//	Q(S,A) ← Q(S,A) + γ[R + µ·max_A' Q(S',A') − Q(S,A)]
+//
+// where γ is the learning rate and µ the discount factor (the paper's
+// naming; note it swaps the conventional α/γ letters). The paper uses
+// lookup tables for their sub-microsecond decision latency (§3.3,
+// §5.4); states are pre-discretized strings and actions are dense
+// indices.
+package rl
+
+import (
+	"fedgpo/internal/stats"
+)
+
+// Config holds the Q-learning hyperparameters. The paper selects
+// γ=0.9, µ=0.1, ϵ=0.1 by sensitivity analysis (§4.1, footnote 3).
+type Config struct {
+	// LearningRate is γ in Algorithm 2.
+	LearningRate float64
+	// Discount is µ in Algorithm 2.
+	Discount float64
+	// Epsilon is the exploration probability of the epsilon-greedy
+	// policy.
+	Epsilon float64
+	// InitLo/InitHi bound the random initialization of Q values
+	// ("Initialize Q(S,A) as random values").
+	InitLo, InitHi float64
+}
+
+// PaperConfig returns the hyperparameters the paper settles on
+// (γ=0.9, µ=0.1, ϵ=0.1). The initialization range is optimistic —
+// above the best achievable reward — so the greedy policy sweeps every
+// untried action once before settling; with the paper's plain random
+// init the first positive-reward action becomes sticky and the 30-way
+// (B, E) action set is never properly explored within a training run.
+func PaperConfig() Config {
+	return Config{LearningRate: 0.9, Discount: 0.1, Epsilon: 0.1, InitLo: 110, InitHi: 120}
+}
+
+// QTable is a tabular action-value function over string-encoded states
+// and a fixed, dense action set. It is not safe for concurrent use.
+type QTable struct {
+	cfg     Config
+	actions int
+	rng     *stats.RNG
+	q       map[string][]float64
+	// mask, when set, restricts both greedy selection and exploration
+	// to allowed actions (see SetMask).
+	mask []bool
+	// deltaEMA tracks the magnitude of recent updates; it is the
+	// convergence signal ("the largest Q(S,A) value is converged").
+	deltaEMA *stats.EMA
+	updates  int
+}
+
+// NewQTable builds a table with the given number of actions. rng drives
+// both random initialization and exploration. It panics if actions <= 0.
+func NewQTable(actions int, cfg Config, rng *stats.RNG) *QTable {
+	if actions <= 0 {
+		panic("rl: need at least one action")
+	}
+	if cfg.LearningRate <= 0 || cfg.LearningRate > 1 {
+		panic("rl: learning rate must be in (0,1]")
+	}
+	if cfg.Discount < 0 || cfg.Discount >= 1 {
+		panic("rl: discount must be in [0,1)")
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon > 1 {
+		panic("rl: epsilon must be in [0,1]")
+	}
+	return &QTable{
+		cfg:      cfg,
+		actions:  actions,
+		rng:      rng,
+		q:        make(map[string][]float64),
+		deltaEMA: stats.NewEMA(0.1),
+	}
+}
+
+// Actions returns the size of the action set.
+func (t *QTable) Actions() int { return t.actions }
+
+// Values returns the Q-row for a state, lazily initializing unseen
+// states with random values in [InitLo, InitHi). The returned slice is
+// the live row; callers must not modify it.
+func (t *QTable) Values(state string) []float64 {
+	row, ok := t.q[state]
+	if !ok {
+		row = make([]float64, t.actions)
+		span := t.cfg.InitHi - t.cfg.InitLo
+		for i := range row {
+			row[i] = t.cfg.InitLo + span*t.rng.Float64()
+		}
+		t.q[state] = row
+	}
+	return row
+}
+
+// SetMask restricts action selection to the allowed set: masked-out
+// actions are never chosen greedily nor explored (they can still be
+// updated if forced externally). FedGPO uses this to prune per-category
+// parameter combinations whose predicted local training time cannot
+// meet any reasonable round budget — Table 2's discrete values are
+// themselves "a feasible range for resource-constrained edge devices",
+// and the profile-informed mask extends that feasibility screen per
+// device category. SetMask panics if the mask length mismatches the
+// action set or allows nothing.
+func (t *QTable) SetMask(allowed []bool) {
+	if len(allowed) != t.actions {
+		panic("rl: mask length must equal action count")
+	}
+	any := false
+	for _, a := range allowed {
+		if a {
+			any = true
+			break
+		}
+	}
+	if !any {
+		panic("rl: mask must allow at least one action")
+	}
+	t.mask = append([]bool(nil), allowed...)
+}
+
+// allowed reports whether an action is selectable.
+func (t *QTable) allowed(a int) bool {
+	return t.mask == nil || t.mask[a]
+}
+
+// Best returns the greedy action for a state, honoring the mask.
+func (t *QTable) Best(state string) int {
+	row := t.Values(state)
+	best := -1
+	for a, v := range row {
+		if !t.allowed(a) {
+			continue
+		}
+		if best == -1 || v > row[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// MaxQ returns the value of the greedy action for a state.
+func (t *QTable) MaxQ(state string) float64 {
+	return t.Values(state)[t.Best(state)]
+}
+
+// Select picks an action epsilon-greedily: with probability ϵ a uniform
+// random allowed action (exploration), otherwise the greedy one
+// (exploitation).
+func (t *QTable) Select(state string) int {
+	if t.rng.Bernoulli(t.cfg.Epsilon) {
+		if t.mask == nil {
+			return t.rng.Intn(t.actions)
+		}
+		for {
+			a := t.rng.Intn(t.actions)
+			if t.mask[a] {
+				return a
+			}
+		}
+	}
+	return t.Best(state)
+}
+
+// BestOf returns the greedy action among the intersection of the
+// table mask and the supplied per-call allowed set. If the
+// intersection is empty it falls back to Best (table mask only).
+func (t *QTable) BestOf(state string, allowed []bool) int {
+	row := t.Values(state)
+	best := -1
+	for a, v := range row {
+		if !t.allowed(a) || a >= len(allowed) || !allowed[a] {
+			continue
+		}
+		if best == -1 || v > row[best] {
+			best = a
+		}
+	}
+	if best == -1 {
+		return t.Best(state)
+	}
+	return best
+}
+
+// SelectOf picks epsilon-greedily within the intersection of the table
+// mask and the supplied allowed set (falling back to the table mask if
+// the intersection is empty). FedGPO uses this with its per-observation
+// feasibility set: actions whose predicted time under the *currently
+// observed* interference would straggle the round are excluded from
+// both exploitation and exploration.
+func (t *QTable) SelectOf(state string, allowed []bool) int {
+	candidates := make([]int, 0, t.actions)
+	for a := 0; a < t.actions; a++ {
+		if t.allowed(a) && a < len(allowed) && allowed[a] {
+			candidates = append(candidates, a)
+		}
+	}
+	if len(candidates) == 0 {
+		return t.Select(state)
+	}
+	if t.rng.Bernoulli(t.cfg.Epsilon) {
+		return candidates[t.rng.Intn(len(candidates))]
+	}
+	row := t.Values(state)
+	best := candidates[0]
+	for _, a := range candidates[1:] {
+		if row[a] > row[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// Update applies the Algorithm 2 rule for a transition
+// (state, action, reward, nextState).
+func (t *QTable) Update(state string, action int, reward float64, nextState string) {
+	if action < 0 || action >= t.actions {
+		panic("rl: action out of range")
+	}
+	row := t.Values(state)
+	target := reward + t.cfg.Discount*t.MaxQ(nextState)
+	delta := t.cfg.LearningRate * (target - row[action])
+	row[action] += delta
+	t.deltaEMA.Add(abs(delta))
+	t.updates++
+}
+
+// Updates returns the number of Update calls so far.
+func (t *QTable) Updates() int { return t.updates }
+
+// DeltaEMA returns the smoothed magnitude of recent updates; a small
+// value means the table (and hence the largest Q per state) has
+// converged.
+func (t *QTable) DeltaEMA() float64 { return t.deltaEMA.Value() }
+
+// Converged reports whether recent updates have settled below the
+// threshold. It returns false until a minimum number of updates has
+// accumulated, so an untouched table never reads as converged.
+func (t *QTable) Converged(threshold float64, minUpdates int) bool {
+	return t.updates >= minUpdates && t.deltaEMA.Value() < threshold
+}
+
+// States returns the number of distinct states materialized so far.
+func (t *QTable) States() int { return len(t.q) }
+
+// MemoryBytes estimates the table's resident size: 8 bytes per Q value
+// plus key storage — the §5.4 footprint figure.
+func (t *QTable) MemoryBytes() int {
+	total := 0
+	for k := range t.q {
+		total += len(k) + t.actions*8
+	}
+	return total
+}
+
+// SetEpsilon changes the exploration rate; FedGPO drops to pure
+// exploitation once the learning phase completes (§3.3).
+func (t *QTable) SetEpsilon(eps float64) {
+	if eps < 0 || eps > 1 {
+		panic("rl: epsilon must be in [0,1]")
+	}
+	t.cfg.Epsilon = eps
+}
+
+// Epsilon returns the current exploration rate.
+func (t *QTable) Epsilon() float64 { return t.cfg.Epsilon }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// KnownStates lists the states materialized so far, in map order.
+func (t *QTable) KnownStates() []string {
+	out := make([]string, 0, len(t.q))
+	for k := range t.q {
+		out = append(out, k)
+	}
+	return out
+}

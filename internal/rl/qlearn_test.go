@@ -1,0 +1,207 @@
+package rl
+
+import (
+	"testing"
+
+	"fedgpo/internal/stats"
+)
+
+func newTable(t *testing.T, actions int, eps float64) *QTable {
+	t.Helper()
+	cfg := PaperConfig()
+	cfg.Epsilon = eps
+	return NewQTable(actions, cfg, stats.NewRNG(1))
+}
+
+// newLowInitTable builds a table whose initial values sit below any
+// reward used in these tests, so greedy behaviour is driven purely by
+// learned values rather than optimistic initialization.
+func newLowInitTable(t *testing.T, actions int, eps float64) *QTable {
+	t.Helper()
+	cfg := PaperConfig()
+	cfg.Epsilon = eps
+	cfg.InitLo, cfg.InitHi = -0.5, 0.5
+	return NewQTable(actions, cfg, stats.NewRNG(1))
+}
+
+func TestPaperConfigValues(t *testing.T) {
+	c := PaperConfig()
+	if c.LearningRate != 0.9 || c.Discount != 0.1 || c.Epsilon != 0.1 {
+		t.Errorf("paper hyperparameters changed: %+v", c)
+	}
+}
+
+func TestNewQTablePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewQTable(0, PaperConfig(), stats.NewRNG(1)) },
+		func() {
+			c := PaperConfig()
+			c.LearningRate = 0
+			NewQTable(3, c, stats.NewRNG(1))
+		},
+		func() {
+			c := PaperConfig()
+			c.Discount = 1
+			NewQTable(3, c, stats.NewRNG(1))
+		},
+		func() {
+			c := PaperConfig()
+			c.Epsilon = 2
+			NewQTable(3, c, stats.NewRNG(1))
+		},
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: want panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValuesRandomInitWithinBounds(t *testing.T) {
+	tab := newTable(t, 10, 0.1)
+	row := tab.Values("s0")
+	if len(row) != 10 {
+		t.Fatalf("row size = %d", len(row))
+	}
+	cfg := PaperConfig()
+	for _, v := range row {
+		if v < cfg.InitLo || v >= cfg.InitHi {
+			t.Errorf("init value %v outside [%v, %v)", v, cfg.InitLo, cfg.InitHi)
+		}
+	}
+	// Same state returns the same row.
+	row2 := tab.Values("s0")
+	for i := range row {
+		if row[i] != row2[i] {
+			t.Fatal("re-reading a state re-initialized it")
+		}
+	}
+	if tab.States() != 1 {
+		t.Errorf("states = %d, want 1", tab.States())
+	}
+}
+
+func TestUpdateMovesTowardTarget(t *testing.T) {
+	tab := newLowInitTable(t, 4, 0)
+	before := tab.Values("s")[2]
+	tab.Update("s", 2, 10, "s2")
+	after := tab.Values("s")[2]
+	if after <= before {
+		t.Errorf("positive reward should raise Q: %v -> %v", before, after)
+	}
+	// Repeated updates with constant reward converge to
+	// R + µ·maxQ(S') fixed point (with S' fixed and its row untouched).
+	for i := 0; i < 200; i++ {
+		tab.Update("s", 2, 10, "s2")
+	}
+	want := 10 + 0.1*tab.MaxQ("s2")
+	got := tab.Values("s")[2]
+	if diff := got - want; diff > 0.01 || diff < -0.01 {
+		t.Errorf("fixed point = %v, want %v", got, want)
+	}
+}
+
+func TestGreedySelectionExploitsLearnedValues(t *testing.T) {
+	tab := newLowInitTable(t, 5, 0) // epsilon 0: pure exploitation
+	for i := 0; i < 50; i++ {
+		tab.Update("s", 3, 100, "s")
+	}
+	for i := 0; i < 100; i++ {
+		if got := tab.Select("s"); got != 3 {
+			t.Fatalf("greedy selection = %d, want 3", got)
+		}
+	}
+	if tab.Best("s") != 3 {
+		t.Error("Best should be 3")
+	}
+}
+
+func TestEpsilonGreedyExploresAtExpectedRate(t *testing.T) {
+	tab := newLowInitTable(t, 10, 0.5)
+	for i := 0; i < 50; i++ {
+		tab.Update("s", 0, 100, "s")
+	}
+	nonGreedy := 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		if tab.Select("s") != 0 {
+			nonGreedy++
+		}
+	}
+	// With eps=0.5 and 10 actions, non-greedy rate = 0.5 * 9/10 = 0.45.
+	rate := float64(nonGreedy) / float64(n)
+	if rate < 0.42 || rate > 0.48 {
+		t.Errorf("non-greedy rate = %v, want ~0.45", rate)
+	}
+}
+
+func TestUpdatePanicsOnBadAction(t *testing.T) {
+	tab := newTable(t, 3, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	tab.Update("s", 3, 1, "s")
+}
+
+func TestConvergenceDetection(t *testing.T) {
+	tab := newTable(t, 3, 0)
+	if tab.Converged(1e9, 1) {
+		t.Error("untouched table must not be converged")
+	}
+	// Constant reward drives deltas to zero.
+	for i := 0; i < 300; i++ {
+		tab.Update("s", 0, 5, "s")
+	}
+	if !tab.Converged(0.01, 50) {
+		t.Errorf("table should have converged; deltaEMA = %v", tab.DeltaEMA())
+	}
+	if tab.Updates() != 300 {
+		t.Errorf("updates = %d", tab.Updates())
+	}
+}
+
+func TestMemoryBytesGrowsWithStates(t *testing.T) {
+	tab := newTable(t, 30, 0.1)
+	m0 := tab.MemoryBytes()
+	for i := 0; i < 100; i++ {
+		tab.Values(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	if tab.MemoryBytes() <= m0 {
+		t.Error("memory estimate should grow with states")
+	}
+}
+
+func TestSetEpsilon(t *testing.T) {
+	tab := newTable(t, 3, 0.1)
+	tab.SetEpsilon(0)
+	if tab.Epsilon() != 0 {
+		t.Error("SetEpsilon did not stick")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on bad epsilon")
+		}
+	}()
+	tab.SetEpsilon(-1)
+}
+
+func TestDeterministicAcrossSeeds(t *testing.T) {
+	cfg := PaperConfig()
+	a := NewQTable(5, cfg, stats.NewRNG(7))
+	b := NewQTable(5, cfg, stats.NewRNG(7))
+	for i := 0; i < 50; i++ {
+		sa, sb := a.Select("x"), b.Select("x")
+		if sa != sb {
+			t.Fatalf("same-seed tables diverged at %d", i)
+		}
+		a.Update("x", sa, float64(i%7), "x")
+		b.Update("x", sb, float64(i%7), "x")
+	}
+}

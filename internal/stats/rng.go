@@ -1,0 +1,213 @@
+// Package stats provides the deterministic random-number and statistics
+// substrate used by every stochastic component of the FedGPO simulator:
+// Gaussian and Dirichlet sampling for network variance and non-IID data
+// partitioning, categorical draws for participant selection, and summary
+// statistics for experiment reporting.
+//
+// All randomness in the repository flows through RNG so that experiments
+// are reproducible bit-for-bit for a given seed.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a seeded source of all randomness used by the simulator.
+// It wraps math/rand.Rand and adds the distributions the paper's
+// methodology calls for (Gaussian bandwidth, Dirichlet(0.1) data skew).
+//
+// RNG is not safe for concurrent use; give each goroutine its own
+// stream via Split.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child stream. The child is seeded from
+// the parent's stream, so a fixed sequence of Split calls on a fixed
+// seed yields a fixed family of streams.
+func (g *RNG) Split() *RNG {
+	return NewRNG(g.r.Int63())
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Gaussian returns a sample from N(mean, stddev^2).
+func (g *RNG) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// TruncGaussian returns a Gaussian sample clamped to [lo, hi].
+// The paper models wireless bandwidth as Gaussian; clamping keeps the
+// sample physically meaningful (bandwidth cannot be negative).
+func (g *RNG) TruncGaussian(mean, stddev, lo, hi float64) float64 {
+	v := g.Gaussian(mean, stddev)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Exponential returns a sample from Exp(rate). It panics if rate <= 0.
+func (g *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exponential rate must be positive")
+	}
+	return g.r.ExpFloat64() / rate
+}
+
+// gammaSample draws from Gamma(alpha, 1) using Marsaglia-Tsang for
+// alpha >= 1 and the boost trick for alpha < 1. It is the kernel of
+// Dirichlet sampling.
+func (g *RNG) gammaSample(alpha float64) float64 {
+	if alpha < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := g.r.Float64()
+		for u == 0 {
+			u = g.r.Float64()
+		}
+		return g.gammaSample(alpha+1) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := g.r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet returns a sample from Dirichlet(alpha_1 ... alpha_n) given
+// by the concentration slice. The result sums to 1 (within float error)
+// and has len(alpha) entries. It panics if alpha is empty or contains a
+// non-positive entry.
+func (g *RNG) Dirichlet(alpha []float64) []float64 {
+	if len(alpha) == 0 {
+		panic("stats: Dirichlet needs at least one concentration")
+	}
+	out := make([]float64, len(alpha))
+	sum := 0.0
+	for i, a := range alpha {
+		if a <= 0 {
+			panic("stats: Dirichlet concentrations must be positive")
+		}
+		out[i] = g.gammaSample(a)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Pathologically small concentrations can underflow every
+		// component; fall back to a uniform simplex point.
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SymmetricDirichlet returns a sample from Dirichlet with n components
+// all sharing concentration alpha. The paper partitions non-IID data
+// with a Dirichlet of concentration 0.1.
+func (g *RNG) SymmetricDirichlet(n int, alpha float64) []float64 {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = alpha
+	}
+	return g.Dirichlet(a)
+}
+
+// Categorical draws an index with probability proportional to the
+// supplied non-negative weights. It panics if weights is empty or all
+// weights are zero/negative.
+func (g *RNG) Categorical(weights []float64) int {
+	if len(weights) == 0 {
+		panic("stats: Categorical needs at least one weight")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("stats: Categorical needs a positive total weight")
+	}
+	x := g.r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	// Float round-off can leave x just above acc; return the last
+	// positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly
+// from [0, n). It panics if k > n or k < 0.
+func (g *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: sample size out of range")
+	}
+	p := g.r.Perm(n)
+	out := make([]int, k)
+	copy(out, p[:k])
+	return out
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (g *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Shuffle randomly permutes a slice of ints in place.
+func (g *RNG) Shuffle(xs []int) {
+	g.r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependentButDeterministic(t *testing.T) {
+	a1 := NewRNG(7).Split()
+	a2 := NewRNG(7).Split()
+	for i := 0; i < 50; i++ {
+		if a1.Float64() != a2.Float64() {
+			t.Fatalf("split streams from same parent seed diverged at %d", i)
+		}
+	}
+	parent := NewRNG(7)
+	c1, c2 := parent.Split(), parent.Split()
+	same := true
+	for i := 0; i < 20; i++ {
+		if c1.Float64() != c2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sibling splits produced identical streams")
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	g := NewRNG(1)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := g.Gaussian(3, 2)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Errorf("mean = %v, want ~3", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestTruncGaussianBounds(t *testing.T) {
+	g := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		v := g.TruncGaussian(0, 100, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("TruncGaussian out of bounds: %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(3)
+	n := 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exponential(4)
+	}
+	if mean := sum / float64(n); math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("Exponential(4) mean = %v, want ~0.25", mean)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive rate")
+		}
+	}()
+	NewRNG(1).Exponential(0)
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	g := NewRNG(4)
+	for trial := 0; trial < 100; trial++ {
+		p := g.SymmetricDirichlet(10, 0.1)
+		if len(p) != 10 {
+			t.Fatalf("want 10 components, got %d", len(p))
+		}
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("negative probability %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v, want 1", sum)
+		}
+	}
+}
+
+func TestDirichletLowConcentrationIsSkewed(t *testing.T) {
+	// Dirichlet(0.1) should concentrate mass on few classes: that is the
+	// whole point of the paper's non-IID partition. Check that the max
+	// component is on average far above the uniform 1/n.
+	g := NewRNG(5)
+	n, trials := 10, 500
+	maxSum := 0.0
+	for i := 0; i < trials; i++ {
+		p := g.SymmetricDirichlet(n, 0.1)
+		maxSum += Max(p)
+	}
+	if avgMax := maxSum / float64(trials); avgMax < 0.5 {
+		t.Errorf("Dirichlet(0.1) avg max component = %v, want > 0.5 (skewed)", avgMax)
+	}
+	// And a high concentration should be near uniform.
+	maxSum = 0
+	for i := 0; i < trials; i++ {
+		p := g.SymmetricDirichlet(n, 100)
+		maxSum += Max(p)
+	}
+	if avgMax := maxSum / float64(trials); avgMax > 0.2 {
+		t.Errorf("Dirichlet(100) avg max component = %v, want near 1/10", avgMax)
+	}
+}
+
+func TestDirichletPanics(t *testing.T) {
+	g := NewRNG(1)
+	for _, alpha := range [][]float64{{}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for alpha=%v", alpha)
+				}
+			}()
+			g.Dirichlet(alpha)
+		}()
+	}
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	g := NewRNG(6)
+	counts := make([]int, 3)
+	n := 60000
+	for i := 0; i < n; i++ {
+		counts[g.Categorical([]float64{1, 2, 3})]++
+	}
+	want := []float64{1.0 / 6, 2.0 / 6, 3.0 / 6}
+	for i, c := range counts {
+		got := float64(c) / float64(n)
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("category %d frequency = %v, want ~%v", i, got, want[i])
+		}
+	}
+}
+
+func TestCategoricalSkipsNonPositive(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if idx := g.Categorical([]float64{0, -1, 5, 0}); idx != 2 {
+			t.Fatalf("picked zero-weight category %d", idx)
+		}
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	g := NewRNG(8)
+	s := g.SampleWithoutReplacement(20, 10)
+	if len(s) != 10 {
+		t.Fatalf("want 10 samples, got %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 20 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when k > n")
+		}
+	}()
+	NewRNG(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	g := NewRNG(9)
+	for i := 0; i < 100; i++ {
+		if g.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !g.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestDirichletPropertySimplex(t *testing.T) {
+	// Property: any positive concentration vector yields a point on the
+	// simplex.
+	f := func(seed int64, rawAlpha uint8, n uint8) bool {
+		comp := int(n%8) + 2
+		alpha := 0.05 + float64(rawAlpha%100)/25.0
+		p := NewRNG(seed).SymmetricDirichlet(comp, alpha)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
