@@ -1,7 +1,7 @@
 // Package fedgpo's root benchmark harness: one benchmark per paper
 // figure/table, each regenerating the artifact through internal/exp.
 //
-// Benchmarks run at the Quick scale (20 devices, 1 seed) so that
+// Benchmarks run at the Quick scale (100 devices, 1 seed) so that
 // `go test -bench=.` finishes in minutes; the paper-scale 200-device
 // tables come from `go run ./cmd/fedgpo-report` or
 // `go run ./cmd/fedgpo-sim -exp <id>`.
@@ -13,11 +13,15 @@ package fedgpo
 
 import (
 	"fmt"
+	stdruntime "runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"fedgpo/internal/exp"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/workload"
 )
 
 // benchOpts is the shared benchmark scale.
@@ -172,4 +176,36 @@ func BenchmarkAblation_Beta(b *testing.B) {
 
 func BenchmarkAblation_ColdStart(b *testing.B) {
 	runExperiment(b, "abl-cold", nil)
+}
+
+// BenchmarkRuntimeSpeedup measures the parallel experiment runtime's
+// wall-clock win: the same batch of independent simulation cells
+// executed on one worker versus all cores, reported as a speedup ratio
+// (and the worker count used) via b.ReportMetric so the perf
+// trajectory tracks it. On a single-core machine the ratio is ~1 by
+// construction.
+func BenchmarkRuntimeSpeedup(b *testing.B) {
+	s := exp.Ideal(workload.CNNMNIST())
+	s.FleetSize = 20
+	s.MaxRounds = 200
+	var params []fl.Params
+	for _, bb := range fl.BValues() {
+		for _, e := range fl.EValues() {
+			params = append(params, fl.Params{B: bb, E: e, K: 10})
+		}
+	}
+	sweep := func(parallel int) time.Duration {
+		o := exp.Tiny()
+		o.Parallel = parallel
+		start := time.Now()
+		exp.SweepStatic(o, s, params, 1)
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		serial += sweep(1)
+		parallel += sweep(0)
+	}
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_x")
+	b.ReportMetric(float64(stdruntime.GOMAXPROCS(0)), "workers")
 }

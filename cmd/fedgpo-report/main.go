@@ -1,9 +1,11 @@
 // Command fedgpo-report runs the full experiment suite and emits a
-// markdown report (the generator behind EXPERIMENTS.md).
+// markdown report (the generator behind EXPERIMENTS.md). Simulation
+// cells fan out over the parallel experiment runtime; with -cachedir a
+// rerun only simulates cells whose configuration changed.
 //
 // Usage:
 //
-//	fedgpo-report [-quick] [-only fig9,fig12] > EXPERIMENTS.md
+//	fedgpo-report [-quick] [-only fig9,fig12] [-parallel N] [-cachedir PATH] [-results PATH] > EXPERIMENTS.md
 package main
 
 import (
@@ -14,17 +16,41 @@ import (
 	"time"
 
 	"fedgpo/internal/exp"
+	"fedgpo/internal/runtime"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced fleet and seeds")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	cachedir := flag.String("cachedir", "", "persist the run cache under this directory")
+	results := flag.String("results", "", "write the structured result store (JSON) to this path")
+	verbose := flag.Bool("v", false, "per-job progress on stderr")
 	flag.Parse()
 
 	opts := exp.Default()
 	if *quick {
 		opts = exp.Quick()
 	}
+	rt, err := exp.NewRuntime(*parallel, *cachedir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *verbose {
+		rt.SetProgress(func(p runtime.Progress) {
+			tag := ""
+			if p.Cached {
+				tag = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s%s\n", p.Done, p.Total, p.Key, tag)
+		})
+	}
+	if *results != "" {
+		rt.EnableStore()
+	}
+	opts = opts.WithRuntime(rt)
+
 	wanted := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -45,11 +71,21 @@ func main() {
 		fmt.Print(table.Markdown())
 		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", e.ID, time.Since(start).Seconds())
 	}
+	st := rt.Stats()
+	fmt.Fprintf(os.Stderr, "runtime: %d workers, %d cells simulated, %d served from cache\n",
+		rt.Workers(), st.Runs, st.Hits)
+	if *results != "" {
+		if err := rt.Store().WriteFile(*results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "result store: %d cells -> %s\n", rt.Store().Len(), *results)
+	}
 }
 
 func scaleLabel(quick bool) string {
 	if quick {
-		return "quick (20 devices, 1 seed)"
+		return "quick (100 devices, 1 seed)"
 	}
 	return "paper (200 devices)"
 }

@@ -3,11 +3,13 @@
 //
 // Usage:
 //
-//	fedgpo-sim -exp fig9 [-quick] [-list]
+//	fedgpo-sim -exp fig9 [-quick] [-list] [-parallel N] [-cachedir PATH]
 //
-// The -quick flag shrinks the deployment (20 devices, 1 seed) for a
+// The -quick flag shrinks the deployment (100 devices, 1 seed) for a
 // fast smoke run; the default reproduces the paper-scale 200-device
-// deployment.
+// deployment. Simulation cells fan out over the parallel experiment
+// runtime; -cachedir persists completed cells so reruns only simulate
+// what changed.
 package main
 
 import (
@@ -23,6 +25,8 @@ func main() {
 	expID := flag.String("exp", "", "experiment id (see -list)")
 	quick := flag.Bool("quick", false, "reduced fleet and seeds for a fast run")
 	list := flag.Bool("list", false, "list available experiments")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	cachedir := flag.String("cachedir", "", "persist the run cache under this directory")
 	flag.Parse()
 
 	if *list || *expID == "" {
@@ -45,8 +49,16 @@ func main() {
 	if *quick {
 		opts = exp.Quick()
 	}
+	rt, err := exp.NewRuntime(*parallel, *cachedir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts = opts.WithRuntime(rt)
 	start := time.Now()
 	table := e.Run(opts)
 	fmt.Print(table.String())
-	fmt.Printf("(%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
+	st := rt.Stats()
+	fmt.Printf("(%s in %.1fs; %d workers, %d cells simulated, %d cached)\n",
+		e.ID, time.Since(start).Seconds(), rt.Workers(), st.Runs, st.Hits)
 }

@@ -1,10 +1,13 @@
 // Command fedgpo-sweep runs raw (B, E, K) grid sweeps of the simulator
 // for one workload and prints convergence round, energy, and PPW per
 // setting — the data generator behind the paper's Figures 1, 2 and 7.
+// The sweep's cells fan out over the parallel experiment runtime; with
+// -cachedir, repeated sweeps (and figure constructors touching the
+// same cells) are served from the run cache.
 //
 // Usage:
 //
-//	fedgpo-sweep -workload CNN-MNIST [-noniid] [-variance] [-quick]
+//	fedgpo-sweep -workload CNN-MNIST [-noniid] [-variance] [-quick] [-parallel N] [-cachedir PATH]
 package main
 
 import (
@@ -22,6 +25,8 @@ func main() {
 	noniid := flag.Bool("noniid", false, "use the Dirichlet(0.1) non-IID partition")
 	variance := flag.Bool("variance", false, "enable interference + unstable network")
 	quick := flag.Bool("quick", false, "reduced fleet for a fast run")
+	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	cachedir := flag.String("cachedir", "", "persist the run cache under this directory")
 	flag.Parse()
 
 	w, err := workload.ByName(*wname)
@@ -44,20 +49,32 @@ func main() {
 	if *quick {
 		opts = exp.Quick()
 	}
+	rt, err := exp.NewRuntime(*parallel, *cachedir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts = opts.WithRuntime(rt)
 	if opts.FleetSize > 0 {
 		s.FleetSize = opts.FleetSize
 	}
 
-	fmt.Printf("workload=%s scenario=%s fleet=%d\n", w.Name, s.Name, s.FleetSize)
-	fmt.Printf("%-12s %10s %12s %14s %10s\n", "(B,E,K)", "converged", "conv round", "energy (kJ)", "PPW")
+	// Keep the full grid tractable: sweep the B axis at the default
+	// (E, K), the E axis at the default (B, K), the K axis at the
+	// default (B, E), plus the paper's named optima.
+	var params []fl.Params
 	for _, p := range fl.AllParams() {
-		// Keep the full grid tractable: sweep the B axis at the default
-		// (E, K), the E axis at the default (B, K), the K axis at the
-		// default (B, E), plus the paper's named optima.
-		if !onAxis(p) {
-			continue
+		if onAxis(p) {
+			params = append(params, p)
 		}
-		res := fl.Run(s.Config(1), fl.NewStatic(p))
+	}
+	results := exp.SweepStatic(opts, s, params, 1)
+
+	fmt.Printf("workload=%s scenario=%s fleet=%d workers=%d\n",
+		w.Name, s.Name, s.FleetSize, rt.Workers())
+	fmt.Printf("%-12s %10s %12s %14s %10s\n", "(B,E,K)", "converged", "conv round", "energy (kJ)", "PPW")
+	for i, p := range params {
+		res := results[i]
 		conv := "-"
 		if res.Converged {
 			conv = fmt.Sprint(res.ConvergenceRound)
@@ -65,6 +82,8 @@ func main() {
 		fmt.Printf("%-12s %10v %12s %14.0f %10.3g\n",
 			p.String(), res.Converged, conv, res.EnergyToConvergenceJ/1000, res.PPW)
 	}
+	st := rt.Stats()
+	fmt.Fprintf(os.Stderr, "runtime: %d cells simulated, %d served from cache\n", st.Runs, st.Hits)
 }
 
 // onAxis keeps the sweep to the three axes through (8, 10, 20) plus the

@@ -1,0 +1,3 @@
+module fedgpo
+
+go 1.24

@@ -4,21 +4,9 @@ import (
 	"fmt"
 
 	"fedgpo/internal/core"
-	"fedgpo/internal/fl"
+	"fedgpo/internal/runtime"
 	"fedgpo/internal/workload"
 )
-
-// fedgpoVariantFactory builds warm-started FedGPO controllers with a
-// customized configuration.
-func fedgpoVariantFactory(s Scenario, mutate func(*core.Config)) fl.ControllerFactory {
-	return func() fl.Controller {
-		cfg := core.DefaultConfig()
-		mutate(&cfg)
-		warmCfg := s.Config(warmupSeed)
-		warmCfg.MaxRounds = minInt(150, warmCfg.MaxRounds)
-		return core.Pretrained(cfg, warmCfg)
-	}
-}
 
 // AblationEpsilon reproduces the paper's footnote-3 sensitivity study:
 // exploration probability ϵ ∈ {0.1, 0.5, 0.9}. High ϵ keeps choosing
@@ -31,17 +19,22 @@ func AblationEpsilon(o Options) Table {
 		Title:  "FedGPO sensitivity to exploration probability ϵ (paper footnote 3)",
 		Header: []string{"epsilon", "PPW (norm to eps=0.1)", "conv round", "accuracy"},
 	}
-	var base float64
-	for i, eps := range []float64{0.1, 0.5, 0.9} {
-		sum := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(c *core.Config) {
-			c.RL.Epsilon = eps
-			// The sensitivity question is about exploration during
-			// operation, so the freeze is disabled.
-			c.FreezeAfterRounds = 0
-		}), o.seeds())
-		if i == 0 {
-			base = sum.MeanPPW
-		}
+	epsilons := []float64{0.1, 0.5, 0.9}
+	cells := make([]cell, len(epsilons))
+	for i, eps := range epsilons {
+		eps := eps
+		cells[i] = cell{s, fedgpoVariantSpec(s, fmt.Sprintf("FedGPO eps=%.1f", eps),
+			func(c *core.Config) {
+				c.RL.Epsilon = eps
+				// The sensitivity question is about exploration during
+				// operation, so the freeze is disabled.
+				c.FreezeAfterRounds = 0
+			})}
+	}
+	sums := o.runtime().summaries(cells, o.seeds())
+	base := sums[0].MeanPPW
+	for i, eps := range epsilons {
+		sum := sums[i]
 		t.AddRow(fmt.Sprintf("%.1f", eps), fmtRatio(sum.MeanPPW/base),
 			fmt.Sprintf("%.0f", sum.MeanConvergenceRound),
 			fmtPct(100*sum.MeanFinalAccuracy))
@@ -62,29 +55,62 @@ func AblationGammaMu(o Options) Table {
 		Header: []string{"gamma", "mu", "PPW (norm to default)", "conv round"},
 	}
 	def := core.DefaultConfig()
-	base := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(*core.Config) {}), o.seeds())
+	gammas := []float64{0.1, 0.5, 0.9}
+	mus := []float64{0.5, 0.9}
+
+	cells := []cell{{s, fedgpoVariantSpec(s, "FedGPO", nil)}}
+	for _, gamma := range gammas {
+		g := gamma
+		cells = append(cells, cell{s, fedgpoVariantSpec(s, fmt.Sprintf("FedGPO gamma=%.1f", g),
+			func(c *core.Config) { c.RL.LearningRate = g })})
+	}
+	for _, mu := range mus {
+		m := mu
+		cells = append(cells, cell{s, fedgpoVariantSpec(s, fmt.Sprintf("FedGPO mu=%.1f", m),
+			func(c *core.Config) { c.RL.Discount = m })})
+	}
+	sums := o.runtime().summaries(cells, o.seeds())
+
+	base := sums[0]
 	t.AddRow(fmt.Sprintf("%.2f (default)", def.RL.LearningRate),
 		fmt.Sprintf("%.1f", def.RL.Discount), "1.00x",
 		fmt.Sprintf("%.0f", base.MeanConvergenceRound))
-	for _, gamma := range []float64{0.1, 0.5, 0.9} {
-		g := gamma
-		sum := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(c *core.Config) {
-			c.RL.LearningRate = g
-		}), o.seeds())
+	for i, g := range gammas {
+		sum := sums[1+i]
 		t.AddRow(fmt.Sprintf("%.1f", g), fmt.Sprintf("%.1f", def.RL.Discount),
 			fmtRatio(sum.MeanPPW/base.MeanPPW), fmt.Sprintf("%.0f", sum.MeanConvergenceRound))
 	}
-	for _, mu := range []float64{0.5, 0.9} {
-		m := mu
-		sum := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(c *core.Config) {
-			c.RL.Discount = m
-		}), o.seeds())
+	for i, m := range mus {
+		sum := sums[1+len(gammas)+i]
 		t.AddRow(fmt.Sprintf("%.2f", def.RL.LearningRate), fmt.Sprintf("%.1f", m),
 			fmtRatio(sum.MeanPPW/base.MeanPPW), fmt.Sprintf("%.0f", sum.MeanConvergenceRound))
 	}
 	t.Notes = append(t.Notes,
 		"paper finds high γ / low µ best on its testbed; this simulator's reward is noisier across categories, so its sensitivity analysis selects a lower γ (see core.DefaultConfig)")
 	return t
+}
+
+// qmemExtra is the Kind-specific payload of "qmem" jobs: the
+// controller's Q-table memory footprint, measured after warm-up as
+// the paper's footnote-2 variant reports it.
+type qmemExtra struct {
+	MemBytes int `json:"memBytes"`
+}
+
+// qmemJob probes a warm controller's Q-table memory without running an
+// evaluation — kept separate from the "sim" cells so those stay
+// shareable with every other figure touching the same deployment.
+func qmemJob(s Scenario, sp spec) runtime.Job {
+	return runtime.Job{
+		Kind:       "qmem",
+		Scenario:   s.cacheKey(),
+		Controller: sp.key,
+		Run: func() runtime.Result {
+			var res runtime.Result
+			res.SetExtra(qmemExtra{MemBytes: sp.factory().(*core.Controller).MemoryBytes()})
+			return res
+		},
+	}
 }
 
 // AblationTables reproduces the paper's footnote-2 variant: per-device
@@ -95,35 +121,39 @@ func AblationGammaMu(o Options) Table {
 func AblationTables(o Options) Table {
 	w := workload.CNNMNIST()
 	s := o.apply(Realistic(w))
+	rt := o.runtime()
 	t := Table{
 		ID:     "abl-tables",
 		Title:  "shared per-category vs per-device Q-tables (paper footnote 2)",
 		Header: []string{"variant", "PPW (norm to shared)", "conv round", "Q-table memory"},
 	}
-	type variant struct {
+	variants := []struct {
 		name      string
 		perDevice bool
-	}
-	var base float64
-	for i, v := range []variant{{"shared per-category", false}, {"per-device", true}} {
+	}{{"shared per-category", false}, {"per-device", true}}
+
+	cells := make([]cell, len(variants))
+	memJobs := make([]runtime.Job, len(variants))
+	for i, v := range variants {
 		perDev := v.perDevice
-		var memBytes int
-		factory := func() fl.Controller {
-			cfg := core.DefaultConfig()
-			cfg.PerDeviceTables = perDev
-			warmCfg := s.Config(warmupSeed)
-			warmCfg.MaxRounds = minInt(150, warmCfg.MaxRounds)
-			c := core.Pretrained(cfg, warmCfg)
-			memBytes = c.MemoryBytes()
-			return c
+		sp := fedgpoVariantSpec(s, v.name, func(c *core.Config) { c.PerDeviceTables = perDev })
+		cells[i] = cell{s, sp}
+		memJobs[i] = qmemJob(s, sp)
+	}
+	// The shared-variant config equals the default, so its sim cells
+	// are the same cache entries Fig5/Fig6/Fig9 use.
+	sums := rt.summaries(cells, o.seeds())
+	memResults := rt.runAll(memJobs)
+
+	base := sums[0].MeanPPW
+	for i, v := range variants {
+		var ex qmemExtra
+		if err := memResults[i].GetExtra(&ex); err != nil {
+			panic("exp: qmem payload: " + err.Error())
 		}
-		sum := fl.RunSeeds(s.Config(0), factory, o.seeds())
-		if i == 0 {
-			base = sum.MeanPPW
-		}
-		t.AddRow(v.name, fmtRatio(sum.MeanPPW/base),
-			fmt.Sprintf("%.0f", sum.MeanConvergenceRound),
-			fmt.Sprintf("%.1f KB", float64(memBytes)/1024))
+		t.AddRow(v.name, fmtRatio(sums[i].MeanPPW/base),
+			fmt.Sprintf("%.0f", sums[i].MeanConvergenceRound),
+			fmt.Sprintf("%.1f KB", float64(ex.MemBytes)/1024))
 	}
 	return t
 }
@@ -140,14 +170,20 @@ func AblationBeta(o Options) Table {
 		Header: []string{"beta", "PPW (norm to default)", "conv round", "accuracy"},
 	}
 	def := core.DefaultConfig().Reward.Beta
-	base := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(*core.Config) {}), o.seeds())
+	betas := []float64{5, 100}
+	cells := []cell{{s, fedgpoVariantSpec(s, "FedGPO", nil)}}
+	for _, beta := range betas {
+		b := beta
+		cells = append(cells, cell{s, fedgpoVariantSpec(s, fmt.Sprintf("FedGPO beta=%.0f", b),
+			func(c *core.Config) { c.Reward.Beta = b })})
+	}
+	sums := o.runtime().summaries(cells, o.seeds())
+
+	base := sums[0]
 	t.AddRow(fmt.Sprintf("%.0f (default)", def), "1.00x",
 		fmt.Sprintf("%.0f", base.MeanConvergenceRound), fmtPct(100*base.MeanFinalAccuracy))
-	for _, beta := range []float64{5, 100} {
-		b := beta
-		sum := fl.RunSeeds(s.Config(0), fedgpoVariantFactory(s, func(c *core.Config) {
-			c.Reward.Beta = b
-		}), o.seeds())
+	for i, b := range betas {
+		sum := sums[1+i]
 		t.AddRow(fmt.Sprintf("%.0f", b), fmtRatio(sum.MeanPPW/base.MeanPPW),
 			fmt.Sprintf("%.0f", sum.MeanConvergenceRound), fmtPct(100*sum.MeanFinalAccuracy))
 	}
@@ -166,20 +202,18 @@ func AblationColdStart(o Options) Table {
 		Title:  "learning-phase cost: cold vs warm-started FedGPO (CNN-MNIST, realistic)",
 		Header: []string{"controller", "PPW (norm to Fixed)", "conv round", "accuracy"},
 	}
-	fixed := fl.RunSeeds(s.Config(0), func() fl.Controller {
-		return &fl.Static{P: best, Label: "Fixed (Best)"}
+	sums := o.runtime().summaries([]cell{
+		{s, staticSpec(best, "Fixed (Best)")},
+		{s, fedgpoColdSpec()},
+		{s, fedgpoWarmSpec(s)},
 	}, o.seeds())
+
+	fixed := sums[0]
 	t.AddRow("Fixed (Best) "+best.String(), "1.00x",
 		fmt.Sprintf("%.0f", fixed.MeanConvergenceRound), fmtPct(100*fixed.MeanFinalAccuracy))
-	for _, v := range []struct {
-		name    string
-		factory fl.ControllerFactory
-	}{
-		{"FedGPO (cold)", fedgpoColdFactory()},
-		{"FedGPO (warm)", fedgpoWarmFactory(s)},
-	} {
-		sum := fl.RunSeeds(s.Config(0), v.factory, o.seeds())
-		t.AddRow(v.name, fmtRatio(sum.MeanPPW/fixed.MeanPPW),
+	for i, name := range []string{"FedGPO (cold)", "FedGPO (warm)"} {
+		sum := sums[1+i]
+		t.AddRow(name, fmtRatio(sum.MeanPPW/fixed.MeanPPW),
 			fmt.Sprintf("%.0f", sum.MeanConvergenceRound), fmtPct(100*sum.MeanFinalAccuracy))
 	}
 	t.Notes = append(t.Notes,

@@ -7,6 +7,7 @@ import (
 	"fedgpo/internal/abs"
 	"fedgpo/internal/baseline"
 	"fedgpo/internal/fl"
+	"fedgpo/internal/runtime"
 	"fedgpo/internal/workload"
 )
 
@@ -16,53 +17,80 @@ import (
 var fixedBestCache sync.Map // key string -> fl.Params
 
 // FixedBestParams returns (computing once) the Fixed (Best)
-// configuration for a workload under the given options.
+// configuration for a workload under the given options. The coarse
+// grid search fans out over the options' runtime, and the selected
+// setting is memoized both in-process and — when a cache directory is
+// configured — in the content-addressed run cache, so warm reruns skip
+// the search entirely.
 func FixedBestParams(w workload.Workload, o Options) fl.Params {
 	key := fmt.Sprintf("%s/%d/%d", w.Name, o.FleetSize, o.MaxRounds)
 	if v, ok := fixedBestCache.Load(key); ok {
 		return v.(fl.Params)
 	}
 	s := o.apply(Ideal(w))
-	p, _ := baseline.GridSearchBest(s.Config(0), baseline.CoarseGrid(), []int64{1})
+	rt := o.runtime()
+	// The key derives from the actual grid and seed values, so editing
+	// either invalidates stale selections without a keyVersion bump.
+	grid, seeds := baseline.CoarseGrid(), []int64{1}
+	ck := runtime.KeyFor("fixed-best", s.cacheKey(),
+		fmt.Sprintf("grid=%v", grid), fmt.Sprintf("seeds=%v", seeds))
+	var p fl.Params
+	if !rt.cache.Get(ck, &p) {
+		p = rt.gridSearchBest(s, grid, seeds)
+		_ = rt.cache.Put(ck, p)
+	}
 	fixedBestCache.Store(key, p)
 	return p
 }
 
-// contender is one controller entry in a comparison experiment.
-type contender struct {
-	name    string
-	factory fl.ControllerFactory
-}
-
 // contenders builds the Fig. 9–11 comparison set for a scenario:
 // Fixed (Best), Adaptive (BO), Adaptive (GA), and FedGPO (warm).
-func contenders(w workload.Workload, s Scenario, o Options) []contender {
+func contenders(w workload.Workload, s Scenario, o Options) []spec {
 	best := FixedBestParams(w, o)
-	return []contender{
-		{"Fixed (Best)", func() fl.Controller {
-			return &fl.Static{P: best, Label: "Fixed (Best)"}
-		}},
-		{"Adaptive (BO)", func() fl.Controller { return baseline.NewBO(1) }},
-		{"Adaptive (GA)", func() fl.Controller { return baseline.NewGA(1) }},
-		{"FedGPO", fedgpoWarmFactory(s)},
+	return []spec{
+		staticSpec(best, "Fixed (Best)"),
+		{"Adaptive (BO)", "adaptive-bo/seed=1", func() fl.Controller { return baseline.NewBO(1) }},
+		{"Adaptive (GA)", "adaptive-ga/seed=1", func() fl.Controller { return baseline.NewGA(1) }},
+		fedgpoWarmSpec(s),
 	}
 }
 
-// compareRows runs every contender on the scenario and emits rows of
-// PPW (normalized to the first contender), convergence-time speedup
-// (ditto) and final accuracy.
-func compareRows(t *Table, label string, cs []contender, s Scenario, seeds []int64) {
-	var baseSummary fl.Summary
-	for i, c := range cs {
-		sum := fl.RunSeeds(s.Config(0), c.factory, seeds)
-		if i == 0 {
-			baseSummary = sum
+// compareGroup is one scenario's contender set within a comparison
+// experiment; its rows normalize to the group's first contender.
+type compareGroup struct {
+	label string
+	s     Scenario
+	cs    []spec
+}
+
+// comparisonRows fans every group's (contender × seed) cells through
+// the runtime in a single batch, then emits rows of PPW (normalized to
+// the first contender), convergence-time speedup (ditto), final
+// accuracy and convergence round — in the same order the serial
+// harness produced them.
+func comparisonRows(t *Table, groups []compareGroup, seeds []int64, rt *Runtime) {
+	cells := make([]cell, 0)
+	for _, g := range groups {
+		for _, c := range g.cs {
+			cells = append(cells, cell{g.s, c})
 		}
-		ppwN := sum.MeanPPW / baseSummary.MeanPPW
-		speedN := baseSummary.MeanTimeToConvSec / sum.MeanTimeToConvSec
-		t.AddRow(label, c.name, fmtRatio(ppwN), fmtRatio(speedN),
-			fmtPct(100*sum.MeanFinalAccuracy),
-			fmt.Sprintf("%.0f", sum.MeanConvergenceRound))
+	}
+	sums := rt.summaries(cells, seeds)
+	i := 0
+	for _, g := range groups {
+		var baseSummary fl.Summary
+		for j, c := range g.cs {
+			sum := sums[i]
+			i++
+			if j == 0 {
+				baseSummary = sum
+			}
+			ppwN := sum.MeanPPW / baseSummary.MeanPPW
+			speedN := baseSummary.MeanTimeToConvSec / sum.MeanTimeToConvSec
+			t.AddRow(g.label, c.name, fmtRatio(ppwN), fmtRatio(speedN),
+				fmtPct(100*sum.MeanFinalAccuracy),
+				fmt.Sprintf("%.0f", sum.MeanConvergenceRound))
+		}
 	}
 }
 
@@ -76,10 +104,13 @@ func Fig9(o Options) Table {
 		Title:  "FedGPO vs baselines across workloads (realistic environment)",
 		Header: []string{"workload", "controller", "PPW (norm)", "conv speedup", "accuracy", "conv round"},
 	}
+	rt := o.runtime()
+	var groups []compareGroup
 	for _, w := range workload.All() {
 		s := o.apply(Realistic(w))
-		compareRows(&t, w.Name, contenders(w, s, o), s, o.seeds())
+		groups = append(groups, compareGroup{w.Name, s, contenders(w, s, o)})
 	}
+	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
 		"paper expectation: FedGPO best on PPW for every workload (paper: 4.1x/3.2x/3.5x over Fixed (Best)), maintaining accuracy")
 	return t
@@ -95,13 +126,16 @@ func Fig10(o Options) Table {
 		Title:  "adaptability to runtime variance (CNN-MNIST)",
 		Header: []string{"scenario", "controller", "PPW (norm)", "conv speedup", "accuracy", "conv round"},
 	}
+	rt := o.runtime()
+	var groups []compareGroup
 	for _, s := range []Scenario{
 		o.apply(Ideal(w)),
 		o.apply(InterferenceOnly(w)),
 		o.apply(UnstableNetworkOnly(w)),
 	} {
-		compareRows(&t, s.Name, contenders(w, s, o), s, o.seeds())
+		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o)})
 	}
+	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
 		"paper expectation: FedGPO's margin widens under variance (paper: 5.0x/4.2x/3.0x over Fixed/BO/GA)")
 	return t
@@ -116,12 +150,15 @@ func Fig11(o Options) Table {
 		Title:  "adaptability to data heterogeneity (CNN-MNIST)",
 		Header: []string{"scenario", "controller", "PPW (norm)", "conv speedup", "accuracy", "conv round"},
 	}
+	rt := o.runtime()
+	var groups []compareGroup
 	for _, s := range []Scenario{
 		o.apply(Ideal(w)),
 		o.apply(NonIIDScenario(w)),
 	} {
-		compareRows(&t, s.Name, contenders(w, s, o), s, o.seeds())
+		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o)})
 	}
+	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
 		"paper expectation: under non-IID FedGPO achieves 6.2x/1.9x/1.3x over Fixed/BO/GA by shrinking E and K")
 	return t
@@ -137,20 +174,24 @@ func Fig12(o Options) Table {
 		Title:  "FedGPO vs FedEX vs ABS (CNN-MNIST)",
 		Header: []string{"scenario", "controller", "PPW (norm)", "conv speedup", "accuracy", "conv round"},
 	}
+	rt := o.runtime()
+	var groups []compareGroup
 	for _, s := range []Scenario{
 		o.apply(Ideal(w)),
 		o.apply(Realistic(w)),
 		o.apply(NonIIDScenario(w)),
 	} {
-		cs := []contender{
-			{"FedEX", func() fl.Controller { return baseline.NewFedEX(1) }},
-			{"ABS", func() fl.Controller { return abs.New(abs.DefaultConfig()) }},
-			{"FedGPO", fedgpoWarmFactory(s)},
-		}
 		// Normalize to FedEX (first row) so the FedGPO rows read as the
 		// paper's "1.5x over FedEX" style ratios.
-		compareRows(&t, s.Name, cs, s, o.seeds())
+		cs := []spec{
+			{"FedEX", "fedex/seed=1", func() fl.Controller { return baseline.NewFedEX(1) }},
+			{"ABS", "abs/cfg=" + canonJSON(abs.DefaultConfig()),
+				func() fl.Controller { return abs.New(abs.DefaultConfig()) }},
+			fedgpoWarmSpec(s),
+		}
+		groups = append(groups, compareGroup{s.Name, s, cs})
 	}
+	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
 		"paper expectation: FedGPO > FedEX > ABS (paper: 1.5x and 2.1x average energy-efficiency improvements)")
 	return t

@@ -3,17 +3,15 @@ package exp
 import (
 	"fmt"
 
-	"fedgpo/internal/core"
 	"fedgpo/internal/device"
 	"fedgpo/internal/fl"
 	"fedgpo/internal/interfere"
 	"fedgpo/internal/netsim"
-	"fedgpo/internal/stats"
 	"fedgpo/internal/workload"
 )
 
 // Options scales experiments between full paper size and quick test
-// size.
+// size, and configures the experiment runtime they execute on.
 type Options struct {
 	// FleetSize overrides the 200-device deployment (0 = paper size).
 	FleetSize int
@@ -21,6 +19,13 @@ type Options struct {
 	Seeds []int64
 	// MaxRounds overrides the per-run round budget (0 = default).
 	MaxRounds int
+	// Parallel is the runtime worker count (0 = GOMAXPROCS, 1 = serial).
+	Parallel int
+	// CacheDir, when set, persists the content-addressed run cache on
+	// disk so reruns only simulate cells whose configuration changed.
+	CacheDir string
+	// rt is the bound experiment runtime; see WithRuntime.
+	rt *Runtime
 }
 
 // Default returns the paper-scale options.
@@ -35,6 +40,32 @@ func Quick() Options { return Options{FleetSize: 100, Seeds: []int64{1}, MaxRoun
 // Tiny returns the smallest option set used by unit tests; its absolute
 // results are not representative (see Quick).
 func Tiny() Options { return Options{FleetSize: 20, Seeds: []int64{1}, MaxRounds: 200} }
+
+// WithRuntime binds a shared experiment runtime to the options: every
+// figure generated from the returned Options uses its worker pool, run
+// cache and result store, so identical cells are simulated once across
+// the whole report.
+func (o Options) WithRuntime(rt *Runtime) Options {
+	o.rt = rt
+	return o
+}
+
+// runtime returns the bound runtime, or builds a transient one from
+// Parallel/CacheDir for direct figure calls. Figure constructors have
+// no error channel, so an unusable CacheDir panics here (mirroring
+// fl.Run's panic on an invalid config); callers that want the error
+// instead should build the runtime with NewRuntime and bind it via
+// WithRuntime.
+func (o Options) runtime() *Runtime {
+	if o.rt != nil {
+		return o.rt
+	}
+	rt, err := NewRuntime(o.Parallel, o.CacheDir)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
 
 func (o Options) seeds() []int64 {
 	if len(o.Seeds) == 0 {
@@ -53,11 +84,6 @@ func (o Options) apply(s Scenario) Scenario {
 	return s
 }
 
-// runStatic averages a static configuration over the option seeds.
-func runStatic(s Scenario, p fl.Params, seeds []int64) fl.Summary {
-	return fl.RunSeeds(s.Config(0), func() fl.Controller { return fl.NewStatic(p) }, seeds)
-}
-
 // Fig1 reproduces paper Figure 1: convergence round and global PPW of
 // CNN-MNIST while sweeping each global parameter with the others held
 // at the characterization baseline (1, 10, 20). Values are normalized
@@ -65,27 +91,46 @@ func runStatic(s Scenario, p fl.Params, seeds []int64) fl.Summary {
 func Fig1(o Options) Table {
 	s := o.apply(Ideal(workload.CNNMNIST()))
 	seeds := o.seeds()
-	base := runStatic(s, fl.DefaultParams(), seeds)
+	rt := o.runtime()
+
+	type point struct {
+		param string
+		value int
+		p     fl.Params
+	}
+	var points []point
+	for _, v := range fl.BValues() {
+		points = append(points, point{"B", v, fl.Params{B: v, E: 10, K: 20}})
+	}
+	// The E and K sweeps anchor at B=8 (the batch optimum) so their
+	// convergence columns carry signal; values stay normalized to the
+	// paper's (1,10,20) characterization baseline.
+	for _, v := range fl.EValues() {
+		points = append(points, point{"E", v, fl.Params{B: 8, E: v, K: 20}})
+	}
+	for _, v := range fl.KValues() {
+		points = append(points, point{"K", v, fl.Params{B: 8, E: 10, K: v}})
+	}
+
+	cells := make([]cell, 0, len(points)+1)
+	cells = append(cells, cell{s, staticSpec(fl.DefaultParams(), "")})
+	for _, pt := range points {
+		cells = append(cells, cell{s, staticSpec(pt.p, "")})
+	}
+	sums := rt.summaries(cells, seeds)
+	base := sums[0]
 
 	t := Table{
 		ID:     "fig1",
 		Title:  "CNN-MNIST convergence round and global PPW vs (B, E, K), normalized to (1,10,20)",
 		Header: []string{"param", "value", "conv round (norm)", "PPW (norm)"},
 	}
-	addSweep := func(param string, values []int, mk func(v int) fl.Params) {
-		for _, v := range values {
-			r := runStatic(s, mk(v), seeds)
-			t.AddRow(param, fmt.Sprint(v),
-				fmtRatio(r.MeanConvergenceRound/base.MeanConvergenceRound),
-				fmtRatio(r.MeanPPW/base.MeanPPW))
-		}
+	for i, pt := range points {
+		r := sums[i+1]
+		t.AddRow(pt.param, fmt.Sprint(pt.value),
+			fmtRatio(r.MeanConvergenceRound/base.MeanConvergenceRound),
+			fmtRatio(r.MeanPPW/base.MeanPPW))
 	}
-	addSweep("B", fl.BValues(), func(v int) fl.Params { return fl.Params{B: v, E: 10, K: 20} })
-	// The E and K sweeps anchor at B=8 (the batch optimum) so their
-	// convergence columns carry signal; values stay normalized to the
-	// paper's (1,10,20) characterization baseline.
-	addSweep("E", fl.EValues(), func(v int) fl.Params { return fl.Params{B: 8, E: v, K: 20} })
-	addSweep("K", fl.KValues(), func(v int) fl.Params { return fl.Params{B: 8, E: 10, K: v} })
 	t.Notes = append(t.Notes,
 		"paper expectation: optima away from the (1,10,20) baseline; best B near 8, E near 10, K near 20")
 	return t
@@ -103,15 +148,32 @@ func Fig2(o Options) Table {
 		Header: []string{"workload", "B", "E", "PPW (norm)"},
 	}
 	seeds := o.seeds()
+	rt := o.runtime()
 	bGrid := []int{2, 4, 8, 16}
 	eGrid := []int{5, 10, 15, 20}
-	for _, w := range []workload.Workload{workload.CNNMNIST(), workload.LSTMShakespeare()} {
+	ws := []workload.Workload{workload.CNNMNIST(), workload.LSTMShakespeare()}
+
+	var cells []cell
+	for _, w := range ws {
 		s := o.apply(Ideal(w))
-		base := runStatic(s, fl.DefaultParams(), seeds)
+		cells = append(cells, cell{s, staticSpec(fl.DefaultParams(), "")})
+		for _, b := range bGrid {
+			for _, e := range eGrid {
+				cells = append(cells, cell{s, staticSpec(fl.Params{B: b, E: e, K: 20}, "")})
+			}
+		}
+	}
+	sums := rt.summaries(cells, seeds)
+
+	idx := 0
+	for _, w := range ws {
+		base := sums[idx]
+		idx++
 		bestLabel, bestPPW := "", 0.0
 		for _, b := range bGrid {
 			for _, e := range eGrid {
-				r := runStatic(s, fl.Params{B: b, E: e, K: 20}, seeds)
+				r := sums[idx]
+				idx++
 				norm := r.MeanPPW / base.MeanPPW
 				t.AddRow(w.Name, fmt.Sprint(b), fmt.Sprint(e), fmtRatio(norm))
 				if r.MeanPPW > bestPPW {
@@ -208,9 +270,11 @@ func Fig4(Options) Table {
 // come from a warmed-up FedGPO controller in the realistic environment.
 func Fig5(o Options) Table {
 	s := o.apply(Realistic(workload.CNNMNIST()))
-	seeds := o.seeds()
-	fixed := runStatic(s, fl.Params{B: 8, E: 10, K: 20}, seeds)
-	adaptive := fl.RunSeeds(s.Config(0), fedgpoWarmFactory(s), seeds)
+	sums := o.runtime().summaries([]cell{
+		{s, staticSpec(fl.Params{B: 8, E: 10, K: 20}, "")},
+		{s, fedgpoWarmSpec(s)},
+	}, o.seeds())
+	fixed, adaptive := sums[0], sums[1]
 
 	// Per-round, per-category energy (total category energy over
 	// counted rounds).
@@ -235,12 +299,15 @@ func Fig5(o Options) Table {
 
 // Fig6 reproduces paper Figure 6: convergence round, average training
 // time per round, and global PPW of fixed versus adaptive parameters,
-// normalized to fixed.
+// normalized to fixed. Its two cells are identical to Fig5's, so under
+// a shared runtime they are served from the run cache.
 func Fig6(o Options) Table {
 	s := o.apply(Realistic(workload.CNNMNIST()))
-	seeds := o.seeds()
-	fixed := runStatic(s, fl.Params{B: 8, E: 10, K: 20}, seeds)
-	adaptive := fl.RunSeeds(s.Config(0), fedgpoWarmFactory(s), seeds)
+	sums := o.runtime().summaries([]cell{
+		{s, staticSpec(fl.Params{B: 8, E: 10, K: 20}, "")},
+		{s, fedgpoWarmSpec(s)},
+	}, o.seeds())
+	fixed, adaptive := sums[0], sums[1]
 	t := Table{
 		ID:     "fig6",
 		Title:  "fixed vs adaptive parameters (normalized to fixed)",
@@ -266,6 +333,7 @@ func Fig6(o Options) Table {
 func Fig7(o Options) Table {
 	w := workload.CNNMNIST()
 	seeds := o.seeds()
+	rt := o.runtime()
 	grid := []fl.Params{}
 	for _, e := range []int{5, 10, 15} {
 		for _, k := range []int{5, 10, 20} {
@@ -277,18 +345,25 @@ func Fig7(o Options) Table {
 		Title:  "global PPW across (B,E,K) — IID vs non-IID (Dirichlet 0.1)",
 		Header: []string{"regime", "(B,E,K)", "PPW (norm to regime best)"},
 	}
-	for _, regime := range []struct {
+	regimes := []struct {
 		name string
 		s    Scenario
 	}{
 		{"IID", o.apply(Ideal(w))},
 		{"non-IID", o.apply(NonIIDScenario(w))},
-	} {
-		results := make([]fl.Summary, len(grid))
+	}
+	var cells []cell
+	for _, regime := range regimes {
+		for _, p := range grid {
+			cells = append(cells, cell{regime.s, staticSpec(p, "")})
+		}
+	}
+	sums := rt.summaries(cells, seeds)
+	for ri, regime := range regimes {
+		results := sums[ri*len(grid) : (ri+1)*len(grid)]
 		best := 0.0
 		bestIdx := 0
-		for i, p := range grid {
-			results[i] = runStatic(regime.s, p, seeds)
+		for i := range grid {
 			if results[i].MeanPPW > best {
 				best, bestIdx = results[i].MeanPPW, i
 			}
@@ -304,29 +379,9 @@ func Fig7(o Options) Table {
 	return t
 }
 
-// fedgpoWarmFactory builds warm-started FedGPO controllers for a
-// scenario: the Q-tables are trained on a warm-up run (distinct seed)
-// and frozen, matching the paper's steady-state evaluation (§5.4
-// describes the pre-convergence penalty separately).
-func fedgpoWarmFactory(s Scenario) fl.ControllerFactory {
-	return func() fl.Controller {
-		warmCfg := s.Config(warmupSeed)
-		warmCfg.MaxRounds = minInt(150, warmCfg.MaxRounds)
-		return core.Pretrained(core.DefaultConfig(), warmCfg)
-	}
-}
-
-// fedgpoColdFactory builds cold FedGPO controllers (learning inside the
-// measured run).
-func fedgpoColdFactory() fl.ControllerFactory {
-	return func() fl.Controller { return core.New(core.DefaultConfig()) }
-}
-
 func minInt(a, b int) int {
 	if a < b {
 		return a
 	}
 	return b
 }
-
-var _ = stats.Mean // reserved for future use in this file

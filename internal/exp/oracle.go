@@ -3,9 +3,10 @@ package exp
 import (
 	"fmt"
 
-	"fedgpo/internal/core"
 	"fedgpo/internal/device"
 	"fedgpo/internal/fl"
+	"fedgpo/internal/netsim"
+	"fedgpo/internal/runtime"
 	"fedgpo/internal/stats"
 	"fedgpo/internal/workload"
 )
@@ -14,12 +15,65 @@ import (
 // parameter choice from the same models the simulator executes:
 // compute under the observed interference plus the model round trip at
 // the observed bandwidth.
-func predictedTime(s Scenario, d device.Device, st fl.DeviceState, lp fl.LocalParams) float64 {
+func predictedTime(s Scenario, ch netsim.Channel, d device.Device, st fl.DeviceState, lp fl.LocalParams) float64 {
 	w := s.Workload
 	comp := device.ComputeSeconds(d.Profile, w.Shape, lp.B, lp.E, st.Samples, st.Interference)
-	cfg := s.Config(0)
-	comm := cfg.Channel.CommRoundTrip(w.Shape.ModelBytes, st.Network).Seconds
+	comm := ch.CommRoundTrip(w.Shape.ModelBytes, st.Network).Seconds
 	return comp + comm
+}
+
+// oracleExtra is the Kind-specific payload of a prediction-accuracy
+// job: the mean per-round selection accuracy against the gap-free
+// oracle, in percent.
+type oracleExtra struct {
+	MeanAccPct float64 `json:"meanAccPct"`
+}
+
+// oracleJob builds the runtime job measuring FedGPO's selection
+// accuracy on one scenario. The controller key derives from the warm
+// FedGPO spec so the probe's cache identity tracks any change to the
+// warm-up naming scheme.
+func oracleJob(s Scenario, o Options, rounds int) runtime.Job {
+	wsp := fedgpoWarmSpec(s)
+	seed := o.seeds()[0]
+	return runtime.Job{
+		Kind:       "oracle",
+		Scenario:   s.cacheKey() + fmt.Sprintf("/proberounds=%d", rounds),
+		Controller: wsp.key + "/probe",
+		Seed:       seed,
+		Run: func() runtime.Result {
+			cfg := s.Config(seed)
+			cfg.MaxRounds = rounds
+			cfg.StopAtConvergence = false
+
+			ctrl := wsp.factory()
+
+			accs := make([]float64, 0, rounds)
+			probe := &oracleProbe{
+				inner: ctrl,
+				onRound: func(obs fl.Observation, rr fl.RoundResult) {
+					if len(rr.Participants) == 0 {
+						return
+					}
+					var sumT, maxT float64
+					for _, p := range rr.Participants {
+						pt := predictedTime(s, cfg.Channel, cfg.Fleet[p.DeviceID], rr.States[p.DeviceID], p.Local)
+						sumT += pt
+						if pt > maxT {
+							maxT = pt
+						}
+					}
+					if maxT <= 0 {
+						return
+					}
+					accs = append(accs, 100*sumT/(float64(len(rr.Participants))*maxT))
+				},
+			}
+			res := runtime.Result{Sim: fl.Run(cfg, probe)}
+			res.SetExtra(oracleExtra{MeanAccPct: stats.Mean(accs)})
+			return res
+		},
+	}
 }
 
 // PredictionAccuracy measures how close FedGPO's per-round selections
@@ -37,37 +91,12 @@ func predictedTime(s Scenario, d device.Device, st fl.DeviceState, lp fl.LocalPa
 // predicted times come from the same device/network models the
 // simulator executes, evaluated at the observed per-device state.
 func PredictionAccuracy(s Scenario, o Options, rounds int) float64 {
-	cfg := s.Config(o.seeds()[0])
-	cfg.MaxRounds = rounds
-	cfg.StopAtConvergence = false
-
-	warmCfg := s.Config(warmupSeed)
-	warmCfg.MaxRounds = minInt(150, warmCfg.MaxRounds)
-	ctrl := core.Pretrained(core.DefaultConfig(), warmCfg)
-
-	accs := make([]float64, 0, rounds)
-	probe := &oracleProbe{
-		inner: ctrl,
-		onRound: func(obs fl.Observation, rr fl.RoundResult) {
-			if len(rr.Participants) == 0 {
-				return
-			}
-			var sumT, maxT float64
-			for _, p := range rr.Participants {
-				pt := predictedTime(s, cfg.Fleet[p.DeviceID], rr.States[p.DeviceID], p.Local)
-				sumT += pt
-				if pt > maxT {
-					maxT = pt
-				}
-			}
-			if maxT <= 0 {
-				return
-			}
-			accs = append(accs, 100*sumT/(float64(len(rr.Participants))*maxT))
-		},
+	out := o.runtime().runAll([]runtime.Job{oracleJob(s, o, rounds)})[0]
+	var ex oracleExtra
+	if err := out.GetExtra(&ex); err != nil {
+		panic("exp: oracle payload: " + err.Error())
 	}
-	fl.Run(cfg, probe)
-	return stats.Mean(accs)
+	return ex.MeanAccPct
 }
 
 // oracleProbe taps observations and results around an inner controller.
@@ -89,7 +118,8 @@ func (p *oracleProbe) Observe(r fl.RoundResult) {
 
 // Table5 reproduces paper Table 5: FedGPO's global-parameter selection
 // accuracy against the per-round oracle, across the five
-// variance/heterogeneity combinations.
+// variance/heterogeneity combinations — all five probes fanned out
+// over the runtime in one batch.
 func Table5(o Options) Table {
 	w := workload.CNNMNIST()
 	rounds := 60
@@ -111,9 +141,17 @@ func Table5(o Options) Table {
 		{"no", "yes", o.apply(NonIIDScenario(w))},
 		{"yes", "yes", o.apply(RealisticNonIID(w))},
 	}
-	for _, r := range rows {
-		acc := PredictionAccuracy(r.s, o, rounds)
-		t.AddRow(r.label1, r.label2, fmt.Sprintf("%.1f%%", acc))
+	jobs := make([]runtime.Job, len(rows))
+	for i, r := range rows {
+		jobs[i] = oracleJob(r.s, o, rounds)
+	}
+	results := o.runtime().runAll(jobs)
+	for i, r := range rows {
+		var ex oracleExtra
+		if err := results[i].GetExtra(&ex); err != nil {
+			panic("exp: oracle payload: " + err.Error())
+		}
+		t.AddRow(r.label1, r.label2, fmt.Sprintf("%.1f%%", ex.MeanAccPct))
 	}
 	t.Notes = append(t.Notes,
 		"paper expectation: ~94-95% without data heterogeneity, dropping to ~88-90% with it")

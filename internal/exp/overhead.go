@@ -5,6 +5,7 @@ import (
 
 	"fedgpo/internal/core"
 	"fedgpo/internal/fl"
+	"fedgpo/internal/runtime"
 	"fedgpo/internal/stats"
 	"fedgpo/internal/workload"
 )
@@ -49,6 +50,20 @@ func RewardConvergenceRound(history []float64, tol float64) int {
 	return -1
 }
 
+// sec54Extra is the Kind-specific payload of the overhead-analysis
+// job: the controller-internal measurements the run produced. The
+// overhead durations are wall-clock; a cache hit replays the values
+// measured when the cell first ran.
+type sec54Extra struct {
+	RewardHistory    []float64 `json:"rewardHistory"`
+	IdentifyStatesNS int64     `json:"identifyStatesNS"`
+	ChooseParamsNS   int64     `json:"chooseParamsNS"`
+	CalcRewardNS     int64     `json:"calcRewardNS"`
+	UpdateTablesNS   int64     `json:"updateTablesNS"`
+	OverheadRounds   int       `json:"overheadRounds"`
+	MemBytes         int       `json:"memBytes"`
+}
+
 // Sec54 reproduces the paper's §5.4 convergence and overhead analysis:
 // the round at which the Q-table reward converges (paper: 30–40), the
 // pre- vs post-convergence energy-efficiency gap (paper: 24.2% below
@@ -58,20 +73,53 @@ func RewardConvergenceRound(history []float64, tol float64) int {
 func Sec54(o Options) Table {
 	w := workload.CNNMNIST()
 	s := o.apply(Realistic(w))
-	cfg := s.Config(o.seeds()[0])
-	cfg.StopAtConvergence = false
 	if o.MaxRounds == 0 {
-		cfg.MaxRounds = 150
+		s.MaxRounds = 150
 	}
-	ctrl := core.New(core.DefaultConfig())
-	res := fl.Run(cfg, ctrl)
+	seed := o.seeds()[0]
+	// The controller key comes from the cold FedGPO spec so the probe's
+	// cache identity tracks any change to the cold-controller naming
+	// scheme.
+	csp := fedgpoColdSpec()
+
+	job := runtime.Job{
+		Kind: "sec54",
+		// The probe runs full-length (no convergence stop) so the
+		// reward trace covers the whole trajectory.
+		Scenario:   s.cacheKey() + "/stopconv=false",
+		Controller: csp.key,
+		Seed:       seed,
+		Run: func() runtime.Result {
+			cfg := s.Config(seed)
+			cfg.StopAtConvergence = false
+			ctrl := csp.factory().(*core.Controller)
+			res := runtime.Result{Sim: fl.Run(cfg, ctrl)}
+			ov := ctrl.Overhead()
+			res.SetExtra(sec54Extra{
+				RewardHistory:    ctrl.RewardHistory(),
+				IdentifyStatesNS: int64(ov.IdentifyStates),
+				ChooseParamsNS:   int64(ov.ChooseParams),
+				CalcRewardNS:     int64(ov.CalcReward),
+				UpdateTablesNS:   int64(ov.UpdateTables),
+				OverheadRounds:   ov.Rounds,
+				MemBytes:         ctrl.MemoryBytes(),
+			})
+			return res
+		},
+	}
+	out := o.runtime().runAll([]runtime.Job{job})[0]
+	var ex sec54Extra
+	if err := out.GetExtra(&ex); err != nil {
+		panic("exp: sec54 payload: " + err.Error())
+	}
+	res := out.Sim
 
 	t := Table{
 		ID:     "sec54",
 		Title:  "FedGPO convergence and overhead analysis (CNN-MNIST, realistic environment)",
 		Header: []string{"quantity", "measured", "paper"},
 	}
-	convRound := RewardConvergenceRound(ctrl.RewardHistory(), 0.25)
+	convRound := RewardConvergenceRound(ex.RewardHistory, 0.25)
 	t.AddRow("reward convergence round", fmt.Sprint(convRound), "30-40")
 
 	// Pre- vs post-convergence per-round energy.
@@ -93,19 +141,18 @@ func Sec54(o Options) Table {
 		}
 	}
 
-	ov := ctrl.Overhead()
-	perRound := func(d float64) string {
-		return fmt.Sprintf("%.1f us", d/float64(maxInt(1, ov.Rounds))*1e6)
+	perRound := func(ns int64) string {
+		return fmt.Sprintf("%.1f us", float64(ns)/1e9/float64(maxInt(1, ex.OverheadRounds))*1e6)
 	}
-	t.AddRow("identify per-device states", perRound(ov.IdentifyStates.Seconds()), "496.8 us")
-	t.AddRow("choose global parameters", perRound(ov.ChooseParams.Seconds()), "0.2 us")
-	t.AddRow("calculate reward", perRound(ov.CalcReward.Seconds()), "2.1 us")
-	t.AddRow("update Q-tables", perRound(ov.UpdateTables.Seconds()), "0.5 us")
-	total := ov.IdentifyStates + ov.ChooseParams + ov.CalcReward + ov.UpdateTables
-	t.AddRow("total controller overhead", perRound(total.Seconds()), "499.6 us")
+	t.AddRow("identify per-device states", perRound(ex.IdentifyStatesNS), "496.8 us")
+	t.AddRow("choose global parameters", perRound(ex.ChooseParamsNS), "0.2 us")
+	t.AddRow("calculate reward", perRound(ex.CalcRewardNS), "2.1 us")
+	t.AddRow("update Q-tables", perRound(ex.UpdateTablesNS), "0.5 us")
+	totalNS := ex.IdentifyStatesNS + ex.ChooseParamsNS + ex.CalcRewardNS + ex.UpdateTablesNS
+	t.AddRow("total controller overhead", perRound(totalNS), "499.6 us")
 	t.AddRow("overhead share of round time",
-		fmtPct(100*total.Seconds()/float64(maxInt(1, ov.Rounds))/res.AvgRoundSeconds), "0.7%")
-	t.AddRow("Q-table memory", fmt.Sprintf("%.1f KB", float64(ctrl.MemoryBytes())/1024), "~400 KB (0.4 MB)")
+		fmtPct(100*float64(totalNS)/1e9/float64(maxInt(1, ex.OverheadRounds))/res.AvgRoundSeconds), "0.7%")
+	t.AddRow("Q-table memory", fmt.Sprintf("%.1f KB", float64(ex.MemBytes)/1024), "~400 KB (0.4 MB)")
 	t.Notes = append(t.Notes,
 		"overhead is wall-clock measured inside the controller; the simulator's round time is virtual, so the share-of-round-time row divides real microseconds by simulated seconds exactly as the paper divides measured microseconds by real round seconds")
 	return t

@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"fedgpo/internal/core"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/runtime"
+)
+
+// Runtime bundles the experiment runtime shared by every figure
+// generated under one Options value: the sharded worker pool, the
+// content-addressed run cache, and the structured result store.
+type Runtime struct {
+	exec  *runtime.Executor
+	cache *runtime.Cache
+	store *runtime.Store
+	// record gates result-store retention: full per-round histories for
+	// every cell are kept in memory only when a consumer asked for them
+	// (see EnableStore).
+	record bool
+}
+
+// NewRuntime builds a runtime with the given worker count (0 selects
+// GOMAXPROCS) and optional on-disk cache directory ("" keeps the run
+// cache in memory only).
+func NewRuntime(parallel int, cacheDir string) (*Runtime, error) {
+	cache, err := runtime.NewCache(cacheDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{
+		exec:  runtime.NewExecutor(parallel, cache),
+		cache: cache,
+		store: runtime.NewStore(),
+	}, nil
+}
+
+// Stats returns the executor's lifetime cache-hit/run counters.
+func (r *Runtime) Stats() runtime.Stats { return r.exec.Stats() }
+
+// Workers returns the worker-pool size.
+func (r *Runtime) Workers() int { return r.exec.Workers() }
+
+// SetProgress installs a per-job progress callback.
+func (r *Runtime) SetProgress(fn func(runtime.Progress)) { r.exec.SetProgress(fn) }
+
+// EnableStore turns on result-store retention: from now on every cell
+// the runtime runs or serves from cache is recorded, round history
+// included. Off by default — a paper-scale report holds hundreds of
+// multi-hundred-round histories, dead weight unless something (e.g.
+// fedgpo-report's -results flag) will consume them.
+func (r *Runtime) EnableStore() { r.record = true }
+
+// Store returns the structured record of the cells retained since
+// EnableStore was called (empty otherwise).
+func (r *Runtime) Store() *runtime.Store { return r.store }
+
+// spec pairs a contender's display name and canonical cache descriptor
+// with its controller factory.
+type spec struct {
+	name    string
+	key     string
+	factory fl.ControllerFactory
+}
+
+// cell is one (scenario, controller) simulation cell; crossed with the
+// seed set it names the runtime jobs of an experiment.
+type cell struct {
+	s Scenario
+	c spec
+}
+
+// runAll executes a job batch, records the results in the store, and
+// re-panics on job failure — matching fl.Run's panic-on-invalid-config
+// semantics while still letting the rest of the batch drain.
+func (r *Runtime) runAll(jobs []runtime.Job) []runtime.Result {
+	results := r.exec.RunAll(jobs)
+	if r.record {
+		r.store.Add(results...)
+	}
+	for _, res := range results {
+		if res.Err != "" {
+			panic(fmt.Sprintf("exp: job %q failed: %s", res.Key, res.Err))
+		}
+	}
+	return results
+}
+
+// simJob names one plain simulation cell: figures, sweeps and the
+// grid search all build their jobs here so the cells share cache
+// identity.
+func simJob(s Scenario, sp spec, seed int64) runtime.Job {
+	return runtime.Job{
+		Kind:       "sim",
+		Scenario:   s.cacheKey(),
+		Controller: sp.key,
+		Seed:       seed,
+		Run: func() runtime.Result {
+			return runtime.Result{Sim: fl.Run(s.Config(seed), sp.factory())}
+		},
+	}
+}
+
+// summaries fans len(cells) × len(seeds) jobs out over the worker pool
+// and aggregates each cell over its seeds in seed order, exactly as
+// fl.RunSeeds would — tables built from these summaries are
+// byte-identical to the serial path regardless of worker count.
+func (r *Runtime) summaries(cells []cell, seeds []int64) []fl.Summary {
+	jobs := make([]runtime.Job, 0, len(cells)*len(seeds))
+	for _, cl := range cells {
+		for _, seed := range seeds {
+			jobs = append(jobs, simJob(cl.s, cl.c, seed))
+		}
+	}
+	results := r.runAll(jobs)
+	sums := make([]fl.Summary, len(cells))
+	for i, cl := range cells {
+		per := make([]fl.Result, len(seeds))
+		for j := range seeds {
+			per[j] = results[i*len(seeds)+j].Sim
+		}
+		sums[i] = fl.Summarize(cl.s.rounds(), per)
+	}
+	return sums
+}
+
+// SweepStatic runs one static-parameter simulation per entry of params
+// on the scenario, fanned out over the options' runtime, and returns
+// the per-run results in params order. The cells share their cache
+// identity with the figure constructors', so a sweep warms the report
+// cache and vice versa.
+func SweepStatic(o Options, s Scenario, params []fl.Params, seed int64) []fl.Result {
+	rt := o.runtime()
+	jobs := make([]runtime.Job, len(params))
+	for i, p := range params {
+		jobs[i] = simJob(s, staticSpec(p, ""), seed)
+	}
+	results := rt.runAll(jobs)
+	out := make([]fl.Result, len(results))
+	for i, r := range results {
+		out[i] = r.Sim
+	}
+	return out
+}
+
+// gridSearchBest mirrors baseline.GridSearchBest through the runtime:
+// same candidate order, same per-candidate seed averaging, same
+// first-strictly-greater argmax — but with the grid's cells fanned out
+// over the worker pool and individually cached.
+func (r *Runtime) gridSearchBest(s Scenario, grid []fl.Params, seeds []int64) fl.Params {
+	cells := make([]cell, len(grid))
+	for i, p := range grid {
+		cells[i] = cell{s, staticSpec(p, "")}
+	}
+	sums := r.summaries(cells, seeds)
+	best, bestPPW := grid[0], math.Inf(-1)
+	for i, p := range grid {
+		if sums[i].MeanPPW > bestPPW {
+			best, bestPPW = p, sums[i].MeanPPW
+		}
+	}
+	return best
+}
+
+// staticSpec names a fixed-(B,E,K) contender. The label participates
+// in the cache key: a labeled controller records its label in the
+// stored result, so labeled and unlabeled runs of the same setting
+// stay distinct cells.
+func staticSpec(p fl.Params, label string) spec {
+	name := label
+	if name == "" {
+		name = "Fixed" + p.String()
+	}
+	key := "static/" + p.String()
+	if label != "" {
+		key += "/label=" + label
+	}
+	return spec{name, key, func() fl.Controller { return &fl.Static{P: p, Label: label} }}
+}
+
+// fedgpoWarmSpec names the paper's steady-state FedGPO contender: the
+// Q-tables are trained on a warm-up run (distinct seed) and frozen,
+// matching the paper's §5.4 framing of the learning phase as amortized
+// server-side infrastructure.
+func fedgpoWarmSpec(s Scenario) spec {
+	return fedgpoVariantSpec(s, "FedGPO", nil)
+}
+
+// fedgpoVariantSpec builds a warm-started FedGPO contender with a
+// customized configuration. The canonical key serializes the full
+// controller config plus the warm-up deployment, so any config
+// deviation names a distinct cell.
+func fedgpoVariantSpec(s Scenario, name string, mutate func(*core.Config)) spec {
+	cfg := core.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	warmRounds := minInt(150, s.rounds())
+	key := fmt.Sprintf("fedgpo-warm/cfg=%s/warmseed=%d/warmrounds=%d",
+		canonJSON(cfg), warmupSeed, warmRounds)
+	return spec{name, key, func() fl.Controller {
+		warmCfg := s.Config(warmupSeed)
+		warmCfg.MaxRounds = warmRounds
+		return core.Pretrained(cfg, warmCfg)
+	}}
+}
+
+// fedgpoColdSpec names the cold FedGPO contender (learning inside the
+// measured run).
+func fedgpoColdSpec() spec {
+	cfg := core.DefaultConfig()
+	return spec{"FedGPO (cold)", "fedgpo-cold/cfg=" + canonJSON(cfg),
+		func() fl.Controller { return core.New(cfg) }}
+}
+
+// canonJSON canonically serializes a controller config for use inside
+// a cache key. Struct fields marshal in declaration order, so the
+// encoding is stable across processes.
+func canonJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("exp: unmarshalable config in cache key: " + err.Error())
+	}
+	return string(b)
+}

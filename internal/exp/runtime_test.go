@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"fedgpo/internal/fl"
+	"fedgpo/internal/workload"
+)
+
+// The tentpole guarantee of the parallel runtime: a table generated
+// with one worker is byte-identical to the same table generated with
+// eight, regardless of scheduling.
+func TestParallelTableByteIdenticalToSerial(t *testing.T) {
+	serialOpts := Tiny()
+	serialOpts.Parallel = 1
+	parallelOpts := Tiny()
+	parallelOpts.Parallel = 8
+
+	for _, id := range []string{"fig1", "fig11"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := e.Run(serialOpts).String()
+		parallel := e.Run(parallelOpts).String()
+		if serial != parallel {
+			t.Errorf("%s: parallel=8 output differs from parallel=1:\n--- serial ---\n%s--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+	}
+}
+
+// A warm-cache rerun of report experiments must perform zero new
+// simulations — every cell, including the fixed-best grid search, the
+// FedGPO warm-up runs, and the sec54/oracle probes, is served from the
+// on-disk cache — and must reproduce the same bytes.
+func TestWarmCacheRerunZeroSimulations(t *testing.T) {
+	dir := t.TempDir()
+	ids := []string{"fig1", "fig5", "fig6", "fig11", "tab5", "sec54"}
+
+	runAll := func(rt *Runtime) string {
+		opts := Options{FleetSize: 20, Seeds: []int64{1}, MaxRounds: 60}.WithRuntime(rt)
+		var b strings.Builder
+		for _, id := range ids {
+			e, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.WriteString(e.Run(opts).String())
+		}
+		return b.String()
+	}
+
+	rt1, err := NewRuntime(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := runAll(rt1)
+	coldStats := rt1.Stats()
+	if coldStats.Runs == 0 {
+		t.Fatal("cold run should have simulated cells")
+	}
+
+	// Drop the in-process fixed-best memo so the warm rerun exercises
+	// the disk-cache path for the grid-search selection too, as a real
+	// cross-process rerun would.
+	fixedBestCache = sync.Map{}
+
+	rt2, err := NewRuntime(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := runAll(rt2)
+	warmStats := rt2.Stats()
+	if warmStats.Runs != 0 {
+		t.Errorf("warm rerun simulated %d cells, want 0 (hits=%d)", warmStats.Runs, warmStats.Hits)
+	}
+	if warmStats.Hits == 0 {
+		t.Error("warm rerun should have served cells from the cache")
+	}
+	if warm != cold {
+		t.Error("warm-cache rerun produced different bytes than the cold run")
+	}
+}
+
+// Identical cells requested twice under one shared runtime (Fig5 and
+// Fig6 use the same two cells) must be simulated only once.
+func TestSharedRuntimeDeduplicatesCells(t *testing.T) {
+	rt, err := NewRuntime(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Tiny().WithRuntime(rt)
+	Fig5(opts)
+	afterFig5 := rt.Stats()
+	Fig6(opts)
+	afterFig6 := rt.Stats()
+	if afterFig6.Runs != afterFig5.Runs {
+		t.Errorf("Fig6 re-simulated %d cells that Fig5 already ran", afterFig6.Runs-afterFig5.Runs)
+	}
+	if afterFig6.Hits <= afterFig5.Hits {
+		t.Error("Fig6's cells should be cache hits after Fig5")
+	}
+}
+
+// SweepStatic must report per-run results in params order, matching a
+// direct serial fl.Run of each cell.
+func TestSweepStaticMatchesDirectRuns(t *testing.T) {
+	o := Tiny()
+	s := o.apply(Ideal(workload.CNNMNIST()))
+	params := []fl.Params{{B: 8, E: 10, K: 20}, {B: 2, E: 10, K: 20}, {B: 8, E: 5, K: 10}}
+	got := SweepStatic(o, s, params, 1)
+	if len(got) != len(params) {
+		t.Fatalf("got %d results for %d params", len(got), len(params))
+	}
+	for i, p := range params {
+		want := fl.Run(s.Config(1), fl.NewStatic(p))
+		if got[i].PPW != want.PPW || got[i].ConvergenceRound != want.ConvergenceRound {
+			t.Errorf("param %v: sweep result diverges from direct run (PPW %v vs %v)",
+				p, got[i].PPW, want.PPW)
+		}
+	}
+}
+
+// With retention enabled, the result store must record every cell a
+// figure ran, with round histories attached; without it, nothing is
+// retained.
+func TestRuntimeStoreRecordsCells(t *testing.T) {
+	off, err := NewRuntime(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Fig1(Tiny().WithRuntime(off))
+	if n := off.Store().Len(); n != 0 {
+		t.Errorf("store retained %d cells without EnableStore", n)
+	}
+
+	rt, err := NewRuntime(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.EnableStore()
+	Fig1(Tiny().WithRuntime(rt))
+	rs := rt.Store().Results()
+	if len(rs) == 0 {
+		t.Fatal("store is empty after Fig1")
+	}
+	for _, r := range rs {
+		if r.Key == "" {
+			t.Error("stored result missing canonical key")
+		}
+		if len(r.Sim.History) == 0 {
+			t.Errorf("stored result %q missing round history", r.Key)
+		}
+	}
+}
+
+func TestScenarioCacheKeyDistinguishesDeployments(t *testing.T) {
+	w := workload.CNNMNIST()
+	keys := map[string]string{}
+	for _, s := range []Scenario{
+		Ideal(w), Realistic(w), InterferenceOnly(w),
+		UnstableNetworkOnly(w), NonIIDScenario(w), RealisticNonIID(w),
+		Tiny().apply(Ideal(w)),
+	} {
+		k := s.cacheKey()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("scenarios %q and %q share cache key %q", prev, s.Name, k)
+		}
+		keys[k] = s.Name
+	}
+	// Defaults must resolve: the zero-valued paper fleet and the
+	// explicit one name the same deployment.
+	a := Ideal(w)
+	b := Ideal(w)
+	b.FleetSize = paperFleet
+	b.MaxRounds = defaultMaxRounds
+	if a.cacheKey() != b.cacheKey() {
+		t.Error("explicit defaults should share the cache key with zero values")
+	}
+}

@@ -129,6 +129,29 @@ func deadlineFor(w workload.Workload) float64 {
 	return 1.35*clean + 15
 }
 
+// rounds returns the effective round budget (Config's default
+// applied).
+func (s Scenario) rounds() int {
+	if s.MaxRounds == 0 {
+		return defaultMaxRounds
+	}
+	return s.MaxRounds
+}
+
+// cacheKey canonically serializes every Scenario field that influences
+// a run's outcome; it names the scenario half of a runtime job key.
+// Defaults are resolved first so that equivalent scenarios (explicit
+// paper fleet vs zero-valued FleetSize) share cache entries.
+func (s Scenario) cacheKey() string {
+	fleet := s.FleetSize
+	if fleet == 0 {
+		fleet = paperFleet
+	}
+	return fmt.Sprintf("%s/%s/fleet=%d/rounds=%d/noniid=%t/pseed=%d/intf=%t/net=%t/deadline=%g/agg=%d",
+		s.Workload.Name, s.Name, fleet, s.rounds(), s.NonIID, s.PartitionSeed,
+		s.Interference, s.UnstableNet, s.DeadlineSec, aggregationOverheadSec)
+}
+
 // Config materializes the scenario for a run seed.
 func (s Scenario) Config(seed int64) fl.Config {
 	if s.FleetSize == 0 {

@@ -29,12 +29,27 @@ func RunSeeds(cfg Config, factory ControllerFactory, seeds []int64) Summary {
 	if len(seeds) == 0 {
 		panic("fl: RunSeeds needs at least one seed")
 	}
-	s := Summary{Seeds: len(seeds), EnergyByCategory: make(map[device.Category]float64)}
-	for _, seed := range seeds {
+	results := make([]Result, len(seeds))
+	for i, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		ctrl := factory()
-		r := Run(c, ctrl)
+		results[i] = Run(c, factory())
+	}
+	return Summarize(cfg.MaxRounds, results)
+}
+
+// Summarize aggregates per-seed results in slice order, exactly as
+// RunSeeds does; maxRounds is the round budget unconverged runs are
+// charged. The parallel experiment runtime calls this on results it
+// executed out-of-process or served from cache, so the aggregation
+// (including float accumulation order) must stay byte-identical to the
+// serial path.
+func Summarize(maxRounds int, results []Result) Summary {
+	if len(results) == 0 {
+		panic("fl: Summarize needs at least one result")
+	}
+	s := Summary{Seeds: len(results), EnergyByCategory: make(map[device.Category]float64)}
+	for _, r := range results {
 		s.Controller = r.Controller
 		s.MeanPPW += r.PPW
 		s.MeanTimeToConvSec += r.TimeToConvergenceSec
@@ -46,13 +61,13 @@ func RunSeeds(cfg Config, factory ControllerFactory, seeds []int64) Summary {
 			s.ConvergedFraction++
 			s.MeanConvergenceRound += float64(r.ConvergenceRound)
 		} else {
-			s.MeanConvergenceRound += float64(cfg.MaxRounds)
+			s.MeanConvergenceRound += float64(maxRounds)
 		}
 		for cat, e := range r.EnergyByCategory {
 			s.EnergyByCategory[cat] += e
 		}
 	}
-	n := float64(len(seeds))
+	n := float64(len(results))
 	s.MeanPPW /= n
 	s.MeanTimeToConvSec /= n
 	s.MeanEnergyToConvJ /= n

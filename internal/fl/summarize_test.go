@@ -1,0 +1,39 @@
+package fl
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Summarize must reproduce RunSeeds' aggregation exactly: the parallel
+// experiment runtime relies on the two paths being byte-identical.
+func TestSummarizeMatchesRunSeeds(t *testing.T) {
+	cfg := testConfig()
+	seeds := []int64{1, 2, 3}
+	factory := func() Controller { return NewStatic(Params{B: 8, E: 10, K: 10}) }
+
+	want := RunSeeds(cfg, factory, seeds)
+
+	results := make([]Result, len(seeds))
+	for i, seed := range seeds {
+		c := cfg
+		c.Seed = seed
+		results[i] = Run(c, factory())
+	}
+	got := Summarize(cfg.MaxRounds, results)
+	// Controller overhead is wall-clock measured, so it differs between
+	// the two sets of runs; every simulated quantity must match exactly.
+	want.MeanOverheadSec, got.MeanOverheadSec = 0, 0
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("Summarize diverges from RunSeeds:\nRunSeeds:  %+v\nSummarize: %+v", want, got)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty result slice")
+		}
+	}()
+	Summarize(100, nil)
+}

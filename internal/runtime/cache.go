@@ -1,0 +1,105 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// envelope is the on-disk cache entry: the canonical key travels with
+// the payload so a disk hit can be verified against the requested key.
+type envelope struct {
+	Key     string          `json:"key"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Cache is the content-addressed run cache. Without a directory it
+// keeps payloads in an in-memory map of key-hash to JSON; with one,
+// entries live in <dir>/<hash>.json files only — hits re-read from
+// disk rather than pinning every cell's round history in process
+// memory for the report's lifetime. It is safe for concurrent use.
+type Cache struct {
+	mu  sync.RWMutex
+	mem map[string][]byte // hash -> payload JSON (memory-only mode)
+	dir string
+}
+
+// NewCache returns a cache. dir == "" keeps entries in memory only;
+// otherwise entries persist under dir (created if missing).
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("runtime: cache dir: %w", err)
+		}
+	}
+	return &Cache{mem: make(map[string][]byte), dir: dir}, nil
+}
+
+// Dir returns the on-disk directory, or "" for a memory-only cache.
+func (c *Cache) Dir() string { return c.dir }
+
+// Get looks the key up and unmarshals the payload into v on a hit.
+func (c *Cache) Get(key string, v any) bool {
+	hash := HashKey(key)
+	if c.dir == "" {
+		c.mu.RLock()
+		payload, ok := c.mem[hash]
+		c.mu.RUnlock()
+		if !ok {
+			return false
+		}
+		return json.Unmarshal(payload, v) == nil
+	}
+	b, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return false
+	}
+	var env envelope
+	// A corrupted or foreign file — including an envelope whose key
+	// does not match (hash collision) — is a miss, not an error.
+	if json.Unmarshal(b, &env) != nil || env.Key != key {
+		return false
+	}
+	return json.Unmarshal(env.Payload, v) == nil
+}
+
+// Put stores v under the key, in memory or (when configured) on disk.
+func (c *Cache) Put(key string, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runtime: cache payload: %w", err)
+	}
+	hash := HashKey(key)
+	if c.dir == "" {
+		c.mu.Lock()
+		c.mem[hash] = payload
+		c.mu.Unlock()
+		return nil
+	}
+	b, err := json.Marshal(envelope{Key: key, Payload: payload})
+	if err != nil {
+		return err
+	}
+	// Atomic publish: a concurrent reader sees either nothing or the
+	// complete entry, never a torn write.
+	tmp, err := os.CreateTemp(c.dir, "put-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(hash))
+}
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash+".json")
+}

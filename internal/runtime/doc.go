@@ -1,0 +1,58 @@
+// Package runtime is the parallel experiment runtime: it executes
+// independent simulation cells ("jobs") across a sharded worker pool
+// and memoizes completed cells in a content-addressed run cache, so
+// that regenerating a report or sweep only simulates cells whose
+// configuration actually changed.
+//
+// # Jobs and canonical keys
+//
+// A Job names one simulation cell — a (scenario, controller, seed)
+// triple plus a Kind tag distinguishing job families that carry
+// different payloads ("sim" for plain runs, "sec54" for the overhead
+// probe, "oracle" for Table 5's prediction-accuracy probe, ...). The
+// naming fields are canonical strings built by the caller from every
+// input that influences the cell's outcome: the scenario descriptor
+// serializes fleet size, round budget, partition, variance models and
+// deadline; the controller descriptor serializes the policy family and
+// its full configuration (for configurable controllers, the JSON
+// encoding of their config struct). Job.Key joins these fields with a
+// version prefix; bump keyVersion whenever result semantics change so
+// stale cache entries can never be replayed.
+//
+// # Execution model
+//
+// Executor.RunAll fans a batch of jobs out over N workers (default
+// GOMAXPROCS) pulling indices from a shared channel, and writes each
+// result into the slot matching its job's position, so the returned
+// slice order is deterministic regardless of worker count or
+// scheduling. A panic inside one job is recovered by its worker and
+// recorded in Result.Err; the remaining jobs still run. Progress
+// callbacks fire once per completed job (serialized by a mutex) and
+// report done/total counts plus whether the cell was served from
+// cache.
+//
+// # Cache layout
+//
+// The cache is content-addressed by the SHA-256 hex digest of the
+// canonical job key. Without a directory, entries live in an
+// in-memory map; when one is configured (the CLIs' -cachedir flag)
+// entries live on disk only — hits re-read the file rather than
+// pinning every cell's history in process memory — persisted as
+// <dir>/<hash>.json files holding a small envelope
+//
+//	{"key": "<canonical key>", "payload": <result JSON>}
+//
+// written atomically (temp file + rename). On a disk hit the envelope
+// key is compared against the requested key — a mismatch (hash
+// collision or a corrupted/foreign file) is treated as a miss and the
+// cell re-runs. Results that ended in an error are never cached.
+//
+// # Result store
+//
+// Result carries the full structured outcome of a cell: the
+// simulator's summary metrics and per-round history (fl.Result) plus
+// an optional Kind-specific Extra payload. Store collects the results
+// a batch produced, in insertion order, and can round-trip them to a
+// single JSON file so table/figure constructors — or external tooling
+// — can consume completed runs without re-simulating.
+package runtime

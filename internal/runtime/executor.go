@@ -1,0 +1,143 @@
+package runtime
+
+import (
+	"fmt"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Progress describes one completed job within a batch.
+type Progress struct {
+	// Done is the number of jobs completed so far in this batch; Total
+	// the batch size.
+	Done, Total int
+	// Key is the completed job's canonical key.
+	Key string
+	// Cached reports whether the job was served from the run cache.
+	Cached bool
+	// Failed reports whether the job body panicked.
+	Failed bool
+}
+
+// Stats counts the executor's lifetime activity.
+type Stats struct {
+	// Hits counts jobs served from the run cache.
+	Hits int64
+	// Runs counts jobs whose body actually executed (cache misses plus
+	// all jobs when no cache is attached).
+	Runs int64
+	// Errors counts jobs whose body panicked.
+	Errors int64
+}
+
+// Executor runs job batches across a sharded worker pool with
+// deterministic result ordering and per-job panic isolation.
+type Executor struct {
+	workers    int
+	cache      *Cache
+	progressMu sync.Mutex
+	onProgress func(Progress)
+
+	hits, runs, errors atomic.Int64
+}
+
+// NewExecutor returns an executor with the given worker count
+// (workers <= 0 selects GOMAXPROCS) and optional run cache (nil runs
+// every job).
+func NewExecutor(workers int, cache *Cache) *Executor {
+	if workers <= 0 {
+		workers = stdruntime.GOMAXPROCS(0)
+	}
+	return &Executor{workers: workers, cache: cache}
+}
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Cache returns the attached run cache (nil when uncached).
+func (e *Executor) Cache() *Cache { return e.cache }
+
+// SetProgress installs a callback fired once per completed job.
+// Callbacks are serialized; fn need not be safe for concurrent use.
+func (e *Executor) SetProgress(fn func(Progress)) { e.onProgress = fn }
+
+// Stats returns the lifetime hit/run/error counters.
+func (e *Executor) Stats() Stats {
+	return Stats{Hits: e.hits.Load(), Runs: e.runs.Load(), Errors: e.errors.Load()}
+}
+
+// RunAll executes the batch and returns results in job order:
+// results[i] always belongs to jobs[i], regardless of worker count or
+// scheduling. A job that panics yields a Result with Err set; the
+// remaining jobs are unaffected.
+func (e *Executor) RunAll(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var done atomic.Int64
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = e.runOne(jobs[i])
+				if e.onProgress != nil {
+					// Done is incremented inside the critical section so
+					// events are delivered in monotonically increasing
+					// Done order.
+					e.progressMu.Lock()
+					e.onProgress(Progress{
+						Done:   int(done.Add(1)),
+						Total:  len(jobs),
+						Key:    results[i].Key,
+						Cached: results[i].Cached,
+						Failed: results[i].Err != "",
+					})
+					e.progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne serves one job from the cache or executes it, isolating
+// panics.
+func (e *Executor) runOne(j Job) (res Result) {
+	key := j.Key()
+	if e.cache != nil {
+		var cached Result
+		if e.cache.Get(key, &cached) && cached.Err == "" {
+			cached.Cached = true
+			e.hits.Add(1)
+			return cached
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.errors.Add(1)
+			res = Result{Key: key, Err: fmt.Sprintf("%v", r)}
+		}
+	}()
+	e.runs.Add(1)
+	res = j.Run()
+	res.Key = key
+	if e.cache != nil && res.Err == "" {
+		// A failed disk write only costs a future re-run.
+		_ = e.cache.Put(key, res)
+	}
+	return res
+}

@@ -1,0 +1,56 @@
+package runtime
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// keyVersion prefixes every job key; bump it whenever the meaning of a
+// cached result changes so old cache directories invalidate wholesale.
+const keyVersion = "v1"
+
+// Job names one simulation cell and knows how to execute it.
+type Job struct {
+	// Kind tags the job family ("sim", "sec54", "oracle", ...). Jobs of
+	// different kinds carry different Extra payloads and must never
+	// share a cache entry.
+	Kind string
+	// Scenario is the canonical scenario descriptor: every deployment
+	// knob that influences the outcome (workload, fleet size, round
+	// budget, partition, variance models, deadline).
+	Scenario string
+	// Controller is the canonical controller descriptor: the policy
+	// family plus its full configuration.
+	Controller string
+	// Seed is the run seed.
+	Seed int64
+	// Run executes the cell on a cache miss. It is called from a worker
+	// goroutine and must not share mutable state with other jobs.
+	Run func() Result
+}
+
+// Key returns the stable canonical key naming this cell.
+func (j Job) Key() string {
+	return strings.Join([]string{
+		keyVersion, j.Kind, j.Scenario, j.Controller,
+		fmt.Sprintf("seed=%d", j.Seed),
+	}, "|")
+}
+
+// Hash returns the content address of the cell: the SHA-256 hex digest
+// of the canonical key.
+func (j Job) Hash() string { return HashKey(j.Key()) }
+
+// KeyFor builds a canonical cache key for a non-job artifact (e.g. a
+// grid-search selection) under the same version prefix as job keys.
+func KeyFor(kind string, parts ...string) string {
+	return strings.Join(append([]string{keyVersion, kind}, parts...), "|")
+}
+
+// HashKey content-addresses an arbitrary canonical key.
+func HashKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}

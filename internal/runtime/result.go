@@ -1,0 +1,38 @@
+package runtime
+
+import (
+	"encoding/json"
+
+	"fedgpo/internal/fl"
+)
+
+// Result is the serializable outcome of one job: the simulator's
+// summary metrics and round history, plus an optional Kind-specific
+// payload.
+type Result struct {
+	// Key echoes the canonical job key the result was produced under.
+	Key string `json:"key"`
+	// Sim is the simulator outcome (summary metrics + per-round
+	// history).
+	Sim fl.Result `json:"sim"`
+	// Extra carries Kind-specific measurements (e.g. reward history and
+	// controller overhead for the sec54 probe).
+	Extra json.RawMessage `json:"extra,omitempty"`
+	// Err records a panic raised by the job body; errored results are
+	// never cached.
+	Err string `json:"err,omitempty"`
+	// Cached reports whether this result was served from the run cache.
+	Cached bool `json:"-"`
+}
+
+// SetExtra marshals v into the Extra payload.
+func (r *Result) SetExtra(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("runtime: unmarshalable extra payload: " + err.Error())
+	}
+	r.Extra = b
+}
+
+// GetExtra unmarshals the Extra payload into v.
+func (r Result) GetExtra(v any) error { return json.Unmarshal(r.Extra, v) }

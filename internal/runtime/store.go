@@ -1,0 +1,84 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Store is a keyed collection of job results in insertion order — the
+// structured record of what a report or sweep actually ran, including
+// each cell's JSON round history and summary metrics. It is safe for
+// concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	order []string
+	byKey map[string]Result
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{byKey: make(map[string]Result)} }
+
+// Add records results; a repeated key keeps its original position and
+// is overwritten in place.
+func (s *Store) Add(rs ...Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range rs {
+		if _, seen := s.byKey[r.Key]; !seen {
+			s.order = append(s.order, r.Key)
+		}
+		s.byKey[r.Key] = r
+	}
+}
+
+// Get returns the result stored under the canonical key.
+func (s *Store) Get(key string) (Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.byKey[key]
+	return r, ok
+}
+
+// Len returns the number of distinct results.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Results returns all results in insertion order.
+func (s *Store) Results() []Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Result, len(s.order))
+	for i, k := range s.order {
+		out[i] = s.byKey[k]
+	}
+	return out
+}
+
+// WriteFile persists the store as one JSON array in insertion order.
+func (s *Store) WriteFile(path string) error {
+	b, err := json.MarshalIndent(s.Results(), "", " ")
+	if err != nil {
+		return fmt.Errorf("runtime: store encode: %w", err)
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadStore loads a store previously written by WriteFile.
+func ReadStore(path string) (*Store, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(b, &rs); err != nil {
+		return nil, fmt.Errorf("runtime: store decode: %w", err)
+	}
+	st := NewStore()
+	st.Add(rs...)
+	return st, nil
+}
