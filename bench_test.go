@@ -179,11 +179,19 @@ func BenchmarkAblation_ColdStart(b *testing.B) {
 }
 
 // BenchmarkRuntimeSpeedup measures the parallel experiment runtime's
-// wall-clock win: the same batch of independent simulation cells
-// executed on one worker versus all cores, reported as a speedup ratio
-// (and the worker count used) via b.ReportMetric so the perf
-// trajectory tracks it. On a single-core machine the ratio is ~1 by
-// construction.
+// wall-clock wins, reported via b.ReportMetric so the perf trajectory
+// tracks them:
+//
+//   - speedup_x: the same batch of independent simulation cells
+//     executed on one worker versus all cores (cross-cell sharding).
+//     On a single-core machine the ratio is ~1 by construction.
+//   - inner_speedup_x: a single serial cell stream with per-round
+//     participant fan-out off versus on (intra-round parallelism).
+//   - fig11_seconds / pretrain_warmups: cold generation time of a
+//     comparison figure and how many FedGPO Q-table warm-ups it
+//     actually ran — the pretrained-controller cache shares one
+//     warm-up per scenario across every cell, seed and probe, which
+//     is the dominant fixed cost of the comparison figures.
 func BenchmarkRuntimeSpeedup(b *testing.B) {
 	s := exp.Ideal(workload.CNNMNIST())
 	s.FleetSize = 20
@@ -194,18 +202,42 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 			params = append(params, fl.Params{B: bb, E: e, K: 10})
 		}
 	}
-	sweep := func(parallel int) time.Duration {
+	sweep := func(parallel, inner int) time.Duration {
 		o := exp.Tiny()
 		o.Parallel = parallel
+		o.InnerParallel = inner
 		start := time.Now()
 		exp.SweepStatic(o, s, params, 1)
 		return time.Since(start)
 	}
-	var serial, parallel time.Duration
+	fig11 := func() (time.Duration, int) {
+		rt, err := exp.NewRuntime(0, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := exp.Tiny()
+		o.Seeds = []int64{1, 2}
+		start := time.Now()
+		exp.Fig11(o.WithRuntime(rt))
+		warmups, _ := rt.PretrainStats()
+		return time.Since(start), warmups
+	}
+	cores := stdruntime.GOMAXPROCS(0)
+	var serial, parallel, innerOn, figTime time.Duration
+	warmups := 0
 	for i := 0; i < b.N; i++ {
-		serial += sweep(1)
-		parallel += sweep(0)
+		// sweep(1, 0) doubles as both the outer-parallelism baseline and
+		// the inner-parallelism-off baseline (it is the same config).
+		serial += sweep(1, 0)
+		parallel += sweep(0, 0)
+		innerOn += sweep(1, cores)
+		ft, w := fig11()
+		figTime += ft
+		warmups = w
 	}
 	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_x")
-	b.ReportMetric(float64(stdruntime.GOMAXPROCS(0)), "workers")
+	b.ReportMetric(serial.Seconds()/innerOn.Seconds(), "inner_speedup_x")
+	b.ReportMetric(figTime.Seconds()/float64(b.N), "fig11_seconds")
+	b.ReportMetric(float64(warmups), "pretrain_warmups")
+	b.ReportMetric(float64(cores), "workers")
 }

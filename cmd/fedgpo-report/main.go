@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	fedgpo-report [-quick] [-only fig9,fig12] [-parallel N] [-cachedir PATH] [-results PATH] > EXPERIMENTS.md
+//	fedgpo-report [-quick] [-only fig9,fig12] [-parallel N] [-inner-parallel N] [-cachedir PATH] [-results PATH] > EXPERIMENTS.md
 package main
 
 import (
@@ -23,6 +23,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced fleet and seeds")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	innerParallel := flag.Int("inner-parallel", 0,
+		"per-round participant fan-out budget shared across simulations (0 = serial rounds; results are identical for any value)")
 	cachedir := flag.String("cachedir", "", "persist the run cache under this directory")
 	results := flag.String("results", "", "write the structured result store (JSON) to this path")
 	verbose := flag.Bool("v", false, "per-job progress on stderr")
@@ -37,6 +39,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	rt.SetInnerParallel(*innerParallel)
 	if *verbose {
 		rt.SetProgress(func(p runtime.Progress) {
 			tag := ""
@@ -72,8 +75,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", e.ID, time.Since(start).Seconds())
 	}
 	st := rt.Stats()
-	fmt.Fprintf(os.Stderr, "runtime: %d workers, %d cells simulated, %d served from cache\n",
-		rt.Workers(), st.Runs, st.Hits)
+	pretrainRuns, pretrainKeys := rt.PretrainStats()
+	fmt.Fprintf(os.Stderr, "runtime: %d workers (+%d inner), %d cells simulated, %d served from cache, %d/%d pretrain warm-ups executed\n",
+		rt.Workers(), rt.InnerParallel(), st.Runs, st.Hits, pretrainRuns, pretrainKeys)
 	if *results != "" {
 		if err := rt.Store().WriteFile(*results); err != nil {
 			fmt.Fprintln(os.Stderr, err)

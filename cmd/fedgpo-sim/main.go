@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	fedgpo-sim -exp fig9 [-quick] [-list] [-parallel N] [-cachedir PATH]
+//	fedgpo-sim -exp fig9 [-quick] [-list] [-parallel N] [-inner-parallel N] [-cachedir PATH]
 //
 // The -quick flag shrinks the deployment (100 devices, 1 seed) for a
 // fast smoke run; the default reproduces the paper-scale 200-device
@@ -26,6 +26,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced fleet and seeds for a fast run")
 	list := flag.Bool("list", false, "list available experiments")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	innerParallel := flag.Int("inner-parallel", 0,
+		"per-round participant fan-out budget shared across simulations (0 = serial rounds; results are identical for any value)")
 	cachedir := flag.String("cachedir", "", "persist the run cache under this directory")
 	flag.Parse()
 
@@ -54,6 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	rt.SetInnerParallel(*innerParallel)
 	opts = opts.WithRuntime(rt)
 	start := time.Now()
 	table := e.Run(opts)

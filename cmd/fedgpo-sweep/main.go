@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	fedgpo-sweep -workload CNN-MNIST [-noniid] [-variance] [-quick] [-parallel N] [-cachedir PATH]
+//	fedgpo-sweep -workload CNN-MNIST [-noniid] [-variance] [-quick] [-parallel N] [-inner-parallel N] [-cachedir PATH]
 package main
 
 import (
@@ -26,6 +26,8 @@ func main() {
 	variance := flag.Bool("variance", false, "enable interference + unstable network")
 	quick := flag.Bool("quick", false, "reduced fleet for a fast run")
 	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
+	innerParallel := flag.Int("inner-parallel", 0,
+		"per-round participant fan-out budget shared across simulations (0 = serial rounds; results are identical for any value)")
 	cachedir := flag.String("cachedir", "", "persist the run cache under this directory")
 	flag.Parse()
 
@@ -54,6 +56,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	rt.SetInnerParallel(*innerParallel)
 	opts = opts.WithRuntime(rt)
 	if opts.FleetSize > 0 {
 		s.FleetSize = opts.FleetSize

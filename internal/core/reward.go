@@ -108,3 +108,26 @@ func (n *EnergyNormalizer) Normalize(joules float64) float64 {
 
 // Value returns the current reference average in joules.
 func (n *EnergyNormalizer) Value() float64 { return n.ema.Value() }
+
+// NormalizerSnapshot is the serializable state of an EnergyNormalizer:
+// the reference average and how many observations it has absorbed
+// (which determines whether it is still adapting or locked).
+type NormalizerSnapshot struct {
+	Value float64 `json:"value"`
+	Init  bool    `json:"init"`
+	Adds  int     `json:"adds"`
+}
+
+// Snapshot captures the normalizer's state.
+func (n *EnergyNormalizer) Snapshot() NormalizerSnapshot {
+	v, init := n.ema.State()
+	return NormalizerSnapshot{Value: v, Init: init, Adds: n.adds}
+}
+
+// RestoreNormalizer rebuilds a normalizer from a snapshot.
+func RestoreNormalizer(s NormalizerSnapshot) *EnergyNormalizer {
+	n := NewEnergyNormalizer()
+	n.ema.Restore(s.Value, s.Init)
+	n.adds = s.Adds
+	return n
+}

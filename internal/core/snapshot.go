@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sort"
+
+	"fedgpo/internal/device"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/rl"
+)
+
+// Snapshot is the serializable learned state of a FedGPO controller:
+// every Q-table, the energy normalizers' references, the feasibility
+// context (observed deadline plus the profile behind each table, so
+// masks can be recomputed if the deadline changes), and the freeze
+// state. It is what the experiment runtime's pretrained-controller
+// cache stores — building the snapshot once per scenario and restoring
+// it for every figure/table cell replaces re-running the Q-table
+// warm-up per cell.
+//
+// A snapshot round-trips through JSON losslessly (Go's float64 JSON
+// encoding is shortest-round-trip), so a controller restored from a
+// disk-cached snapshot behaves identically to one restored from the
+// in-memory snapshot that produced it.
+//
+// Deliberately not captured: the controller RNG (restored controllers
+// get a fresh deterministic stream — after FinishLearning exploration
+// is off, so the stream only seeds Q rows for states the warm-up never
+// visited), wall-clock overhead counters, and the reward history
+// (which belongs to the warm-up run, not the evaluation run).
+type Snapshot struct {
+	LocalTables   map[string]rl.TableSnapshot            `json:"localTables"`
+	KTable        *rl.TableSnapshot                      `json:"kTable,omitempty"`
+	TableProfiles map[string]device.Profile              `json:"tableProfiles"`
+	GlobalNorm    NormalizerSnapshot                     `json:"globalNorm"`
+	KLocalNorm    NormalizerSnapshot                     `json:"kLocalNorm"`
+	LocalNorm     map[device.Category]NormalizerSnapshot `json:"localNorm"`
+	Deadline      float64                                `json:"deadline"`
+	Frozen        bool                                   `json:"frozen"`
+	FrozenRound   int                                    `json:"frozenRound"`
+}
+
+// Snapshot captures the controller's learned state.
+func (c *Controller) Snapshot() Snapshot {
+	s := Snapshot{
+		LocalTables:   make(map[string]rl.TableSnapshot, len(c.localTables)),
+		TableProfiles: make(map[string]device.Profile, len(c.tableProfiles)),
+		GlobalNorm:    c.globalNorm.Snapshot(),
+		KLocalNorm:    c.kLocalNorm.Snapshot(),
+		LocalNorm:     make(map[device.Category]NormalizerSnapshot, len(c.localNorm)),
+		Deadline:      c.deadline,
+		Frozen:        c.frozen,
+		FrozenRound:   c.frozenRound,
+	}
+	for key, t := range c.localTables {
+		s.LocalTables[key] = t.Snapshot()
+	}
+	for key, p := range c.tableProfiles {
+		s.TableProfiles[key] = p
+	}
+	if c.kTable != nil {
+		kt := c.kTable.Snapshot()
+		s.KTable = &kt
+	}
+	for cat, n := range c.localNorm {
+		s.LocalNorm[cat] = n.Snapshot()
+	}
+	return s
+}
+
+// FromSnapshot rebuilds a controller under the given configuration
+// from a captured snapshot. Tables are restored in sorted key order so
+// each receives its RNG stream deterministically regardless of map
+// iteration; restoring the same snapshot therefore always yields the
+// same controller behavior.
+func FromSnapshot(cfg Config, snap Snapshot) *Controller {
+	c := New(cfg)
+	keys := make([]string, 0, len(snap.LocalTables))
+	for key := range snap.LocalTables {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		c.localTables[key] = rl.Restore(len(c.localActions), c.cfg.RL, c.rng.Split(),
+			snap.LocalTables[key])
+		if p, ok := snap.TableProfiles[key]; ok {
+			c.tableProfiles[key] = p
+		}
+	}
+	if snap.KTable != nil {
+		c.kTable = rl.Restore(len(c.kActions), c.cfg.RL, c.rng.Split(), *snap.KTable)
+	}
+	c.globalNorm = RestoreNormalizer(snap.GlobalNorm)
+	c.kLocalNorm = RestoreNormalizer(snap.KLocalNorm)
+	for cat, n := range snap.LocalNorm {
+		c.localNorm[cat] = RestoreNormalizer(n)
+	}
+	c.deadline = snap.Deadline
+	c.frozen = snap.Frozen
+	c.frozenRound = snap.FrozenRound
+	return c
+}
+
+// PretrainSnapshot runs the Pretrained warm-up and captures the
+// resulting controller state — the producer side of the experiment
+// runtime's pretrained-controller cache.
+func PretrainSnapshot(cfg Config, warmup fl.Config) Snapshot {
+	return Pretrained(cfg, warmup).Snapshot()
+}

@@ -20,10 +20,11 @@ func AblationEpsilon(o Options) Table {
 		Header: []string{"epsilon", "PPW (norm to eps=0.1)", "conv round", "accuracy"},
 	}
 	epsilons := []float64{0.1, 0.5, 0.9}
+	rt := o.runtime()
 	cells := make([]cell, len(epsilons))
 	for i, eps := range epsilons {
 		eps := eps
-		cells[i] = cell{s, fedgpoVariantSpec(s, fmt.Sprintf("FedGPO eps=%.1f", eps),
+		cells[i] = cell{s, fedgpoVariantSpec(rt, s, fmt.Sprintf("FedGPO eps=%.1f", eps),
 			func(c *core.Config) {
 				c.RL.Epsilon = eps
 				// The sensitivity question is about exploration during
@@ -31,7 +32,7 @@ func AblationEpsilon(o Options) Table {
 				c.FreezeAfterRounds = 0
 			})}
 	}
-	sums := o.runtime().summaries(cells, o.seeds())
+	sums := rt.summaries(cells, o.seeds())
 	base := sums[0].MeanPPW
 	for i, eps := range epsilons {
 		sum := sums[i]
@@ -58,18 +59,19 @@ func AblationGammaMu(o Options) Table {
 	gammas := []float64{0.1, 0.5, 0.9}
 	mus := []float64{0.5, 0.9}
 
-	cells := []cell{{s, fedgpoVariantSpec(s, "FedGPO", nil)}}
+	rt := o.runtime()
+	cells := []cell{{s, fedgpoVariantSpec(rt, s, "FedGPO", nil)}}
 	for _, gamma := range gammas {
 		g := gamma
-		cells = append(cells, cell{s, fedgpoVariantSpec(s, fmt.Sprintf("FedGPO gamma=%.1f", g),
+		cells = append(cells, cell{s, fedgpoVariantSpec(rt, s, fmt.Sprintf("FedGPO gamma=%.1f", g),
 			func(c *core.Config) { c.RL.LearningRate = g })})
 	}
 	for _, mu := range mus {
 		m := mu
-		cells = append(cells, cell{s, fedgpoVariantSpec(s, fmt.Sprintf("FedGPO mu=%.1f", m),
+		cells = append(cells, cell{s, fedgpoVariantSpec(rt, s, fmt.Sprintf("FedGPO mu=%.1f", m),
 			func(c *core.Config) { c.RL.Discount = m })})
 	}
-	sums := o.runtime().summaries(cells, o.seeds())
+	sums := rt.summaries(cells, o.seeds())
 
 	base := sums[0]
 	t.AddRow(fmt.Sprintf("%.2f (default)", def.RL.LearningRate),
@@ -136,7 +138,7 @@ func AblationTables(o Options) Table {
 	memJobs := make([]runtime.Job, len(variants))
 	for i, v := range variants {
 		perDev := v.perDevice
-		sp := fedgpoVariantSpec(s, v.name, func(c *core.Config) { c.PerDeviceTables = perDev })
+		sp := fedgpoVariantSpec(rt, s, v.name, func(c *core.Config) { c.PerDeviceTables = perDev })
 		cells[i] = cell{s, sp}
 		memJobs[i] = qmemJob(s, sp)
 	}
@@ -171,13 +173,14 @@ func AblationBeta(o Options) Table {
 	}
 	def := core.DefaultConfig().Reward.Beta
 	betas := []float64{5, 100}
-	cells := []cell{{s, fedgpoVariantSpec(s, "FedGPO", nil)}}
+	rt := o.runtime()
+	cells := []cell{{s, fedgpoVariantSpec(rt, s, "FedGPO", nil)}}
 	for _, beta := range betas {
 		b := beta
-		cells = append(cells, cell{s, fedgpoVariantSpec(s, fmt.Sprintf("FedGPO beta=%.0f", b),
+		cells = append(cells, cell{s, fedgpoVariantSpec(rt, s, fmt.Sprintf("FedGPO beta=%.0f", b),
 			func(c *core.Config) { c.Reward.Beta = b })})
 	}
-	sums := o.runtime().summaries(cells, o.seeds())
+	sums := rt.summaries(cells, o.seeds())
 
 	base := sums[0]
 	t.AddRow(fmt.Sprintf("%.0f (default)", def), "1.00x",
@@ -202,10 +205,11 @@ func AblationColdStart(o Options) Table {
 		Title:  "learning-phase cost: cold vs warm-started FedGPO (CNN-MNIST, realistic)",
 		Header: []string{"controller", "PPW (norm to Fixed)", "conv round", "accuracy"},
 	}
-	sums := o.runtime().summaries([]cell{
+	rt := o.runtime()
+	sums := rt.summaries([]cell{
 		{s, staticSpec(best, "Fixed (Best)")},
 		{s, fedgpoColdSpec()},
-		{s, fedgpoWarmSpec(s)},
+		{s, fedgpoWarmSpec(rt, s)},
 	}, o.seeds())
 
 	fixed := sums[0]

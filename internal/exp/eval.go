@@ -45,13 +45,13 @@ func FixedBestParams(w workload.Workload, o Options) fl.Params {
 
 // contenders builds the Fig. 9–11 comparison set for a scenario:
 // Fixed (Best), Adaptive (BO), Adaptive (GA), and FedGPO (warm).
-func contenders(w workload.Workload, s Scenario, o Options) []spec {
+func contenders(w workload.Workload, s Scenario, o Options, rt *Runtime) []spec {
 	best := FixedBestParams(w, o)
 	return []spec{
 		staticSpec(best, "Fixed (Best)"),
 		{"Adaptive (BO)", "adaptive-bo/seed=1", func() fl.Controller { return baseline.NewBO(1) }},
 		{"Adaptive (GA)", "adaptive-ga/seed=1", func() fl.Controller { return baseline.NewGA(1) }},
-		fedgpoWarmSpec(s),
+		fedgpoWarmSpec(rt, s),
 	}
 }
 
@@ -108,7 +108,7 @@ func Fig9(o Options) Table {
 	var groups []compareGroup
 	for _, w := range workload.All() {
 		s := o.apply(Realistic(w))
-		groups = append(groups, compareGroup{w.Name, s, contenders(w, s, o)})
+		groups = append(groups, compareGroup{w.Name, s, contenders(w, s, o, rt)})
 	}
 	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
@@ -133,7 +133,7 @@ func Fig10(o Options) Table {
 		o.apply(InterferenceOnly(w)),
 		o.apply(UnstableNetworkOnly(w)),
 	} {
-		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o)})
+		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o, rt)})
 	}
 	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
@@ -156,7 +156,7 @@ func Fig11(o Options) Table {
 		o.apply(Ideal(w)),
 		o.apply(NonIIDScenario(w)),
 	} {
-		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o)})
+		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o, rt)})
 	}
 	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
@@ -187,7 +187,7 @@ func Fig12(o Options) Table {
 			{"FedEX", "fedex/seed=1", func() fl.Controller { return baseline.NewFedEX(1) }},
 			{"ABS", "abs/cfg=" + canonJSON(abs.DefaultConfig()),
 				func() fl.Controller { return abs.New(abs.DefaultConfig()) }},
-			fedgpoWarmSpec(s),
+			fedgpoWarmSpec(rt, s),
 		}
 		groups = append(groups, compareGroup{s.Name, s, cs})
 	}

@@ -21,6 +21,14 @@ type Options struct {
 	MaxRounds int
 	// Parallel is the runtime worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallel int
+	// InnerParallel is the per-round participant fan-out budget shared
+	// across every concurrently running simulation (0 = serial rounds).
+	// It only shapes wall-clock: results are byte-identical for any
+	// value. It configures the transient runtime built for direct
+	// figure calls; a runtime bound via WithRuntime carries its own
+	// budget (set it with Runtime.SetInnerParallel) and this field is
+	// ignored.
+	InnerParallel int
 	// CacheDir, when set, persists the content-addressed run cache on
 	// disk so reruns only simulate cells whose configuration changed.
 	CacheDir string
@@ -64,6 +72,7 @@ func (o Options) runtime() *Runtime {
 	if err != nil {
 		panic(err)
 	}
+	rt.SetInnerParallel(o.InnerParallel)
 	return rt
 }
 
@@ -270,9 +279,10 @@ func Fig4(Options) Table {
 // come from a warmed-up FedGPO controller in the realistic environment.
 func Fig5(o Options) Table {
 	s := o.apply(Realistic(workload.CNNMNIST()))
-	sums := o.runtime().summaries([]cell{
+	rt := o.runtime()
+	sums := rt.summaries([]cell{
 		{s, staticSpec(fl.Params{B: 8, E: 10, K: 20}, "")},
-		{s, fedgpoWarmSpec(s)},
+		{s, fedgpoWarmSpec(rt, s)},
 	}, o.seeds())
 	fixed, adaptive := sums[0], sums[1]
 
@@ -303,9 +313,10 @@ func Fig5(o Options) Table {
 // a shared runtime they are served from the run cache.
 func Fig6(o Options) Table {
 	s := o.apply(Realistic(workload.CNNMNIST()))
-	sums := o.runtime().summaries([]cell{
+	rt := o.runtime()
+	sums := rt.summaries([]cell{
 		{s, staticSpec(fl.Params{B: 8, E: 10, K: 20}, "")},
-		{s, fedgpoWarmSpec(s)},
+		{s, fedgpoWarmSpec(rt, s)},
 	}, o.seeds())
 	fixed, adaptive := sums[0], sums[1]
 	t := Table{

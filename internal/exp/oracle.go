@@ -32,9 +32,12 @@ type oracleExtra struct {
 // oracleJob builds the runtime job measuring FedGPO's selection
 // accuracy on one scenario. The controller key derives from the warm
 // FedGPO spec so the probe's cache identity tracks any change to the
-// warm-up naming scheme.
-func oracleJob(s Scenario, o Options, rounds int) runtime.Job {
-	wsp := fedgpoWarmSpec(s)
+// warm-up naming scheme; the spec also routes the probe's controller
+// through the runtime's pretrained-controller cache, so the probe
+// shares its Q-table warm-up with the comparison figures touching the
+// same scenario.
+func oracleJob(rt *Runtime, s Scenario, o Options, rounds int) runtime.Job {
+	wsp := fedgpoWarmSpec(rt, s)
 	seed := o.seeds()[0]
 	return runtime.Job{
 		Kind:       "oracle",
@@ -42,7 +45,7 @@ func oracleJob(s Scenario, o Options, rounds int) runtime.Job {
 		Controller: wsp.key + "/probe",
 		Seed:       seed,
 		Run: func() runtime.Result {
-			cfg := s.Config(seed)
+			cfg := rt.config(s, seed)
 			cfg.MaxRounds = rounds
 			cfg.StopAtConvergence = false
 
@@ -91,7 +94,8 @@ func oracleJob(s Scenario, o Options, rounds int) runtime.Job {
 // predicted times come from the same device/network models the
 // simulator executes, evaluated at the observed per-device state.
 func PredictionAccuracy(s Scenario, o Options, rounds int) float64 {
-	out := o.runtime().runAll([]runtime.Job{oracleJob(s, o, rounds)})[0]
+	rt := o.runtime()
+	out := rt.runAll([]runtime.Job{oracleJob(rt, s, o, rounds)})[0]
 	var ex oracleExtra
 	if err := out.GetExtra(&ex); err != nil {
 		panic("exp: oracle payload: " + err.Error())
@@ -141,11 +145,12 @@ func Table5(o Options) Table {
 		{"no", "yes", o.apply(NonIIDScenario(w))},
 		{"yes", "yes", o.apply(RealisticNonIID(w))},
 	}
+	rt := o.runtime()
 	jobs := make([]runtime.Job, len(rows))
 	for i, r := range rows {
-		jobs[i] = oracleJob(r.s, o, rounds)
+		jobs[i] = oracleJob(rt, r.s, o, rounds)
 	}
-	results := o.runtime().runAll(jobs)
+	results := rt.runAll(jobs)
 	for i, r := range rows {
 		var ex oracleExtra
 		if err := results[i].GetExtra(&ex); err != nil {

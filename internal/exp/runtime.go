@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"fedgpo/internal/core"
 	"fedgpo/internal/fl"
@@ -12,7 +14,8 @@ import (
 
 // Runtime bundles the experiment runtime shared by every figure
 // generated under one Options value: the sharded worker pool, the
-// content-addressed run cache, and the structured result store.
+// content-addressed run cache, the inner (per-round) worker budget,
+// the pretrained-controller cache, and the structured result store.
 type Runtime struct {
 	exec  *runtime.Executor
 	cache *runtime.Cache
@@ -21,6 +24,31 @@ type Runtime struct {
 	// every cell are kept in memory only when a consumer asked for them
 	// (see EnableStore).
 	record bool
+	// inner is the shared per-round participant fan-out budget wired
+	// into every fl.Config this runtime builds (nil = serial rounds).
+	inner *fl.Pool
+
+	// The pretrained-controller singleflight: one warm-up per distinct
+	// (scenario, controller config, warm-up seed/rounds) key per
+	// process, no matter how many cells across how many workers request
+	// the same pretrained Q-tables concurrently.
+	pretrainMu   sync.Mutex
+	pretrains    map[string]*pretrainEntry
+	pretrainRuns atomic.Int64
+}
+
+// pretrainEntry is one pretrain key's singleflight slot. A plain
+// sync.Once would be wrong here: a panic inside the warm-up would mark
+// the once done and hand every sibling cell a zero-value snapshot —
+// an untrained controller producing plausible-but-wrong results that
+// would then be cached. Instead the entry records the outcome and
+// replays a panic to every requester, so each affected cell fails
+// loudly (and is never cached) exactly like the cell that warmed it.
+type pretrainEntry struct {
+	mu       sync.Mutex
+	done     bool
+	snap     core.Snapshot
+	panicked any
 }
 
 // NewRuntime builds a runtime with the given worker count (0 selects
@@ -32,9 +60,10 @@ func NewRuntime(parallel int, cacheDir string) (*Runtime, error) {
 		return nil, err
 	}
 	return &Runtime{
-		exec:  runtime.NewExecutor(parallel, cache),
-		cache: cache,
-		store: runtime.NewStore(),
+		exec:      runtime.NewExecutor(parallel, cache),
+		cache:     cache,
+		store:     runtime.NewStore(),
+		pretrains: make(map[string]*pretrainEntry),
 	}, nil
 }
 
@@ -43,6 +72,88 @@ func (r *Runtime) Stats() runtime.Stats { return r.exec.Stats() }
 
 // Workers returns the worker-pool size.
 func (r *Runtime) Workers() int { return r.exec.Workers() }
+
+// SetInnerParallel sets the shared per-round participant fan-out
+// budget: up to n extra goroutines, lent across every simulation this
+// runtime executes concurrently (n <= 0 runs rounds serially). Results
+// are byte-identical for any value — the budget shapes wall-clock
+// only, so it deliberately does not participate in cache keys.
+func (r *Runtime) SetInnerParallel(n int) { r.inner = fl.NewPool(n) }
+
+// InnerParallel returns the configured inner worker budget.
+func (r *Runtime) InnerParallel() int { return r.inner.Extra() }
+
+// config materializes a scenario for a seed with the runtime's inner
+// worker budget attached. Every fl.Config this runtime runs — cells,
+// probes and pretraining warm-ups alike — is built here.
+func (r *Runtime) config(s Scenario, seed int64) fl.Config {
+	cfg := s.Config(seed)
+	cfg.Inner = r.inner
+	return cfg
+}
+
+// PretrainStats reports the pretrained-controller cache's activity:
+// runs is how many Q-table warm-ups actually executed in this process,
+// distinct how many distinct pretrain keys were requested. On a cold
+// run runs == distinct (exactly one warm-up per scenario/config); on a
+// warm disk-cache rerun runs == 0.
+func (r *Runtime) PretrainStats() (runs, distinct int) {
+	r.pretrainMu.Lock()
+	defer r.pretrainMu.Unlock()
+	return int(r.pretrainRuns.Load()), len(r.pretrains)
+}
+
+// pretrainedSnapshot returns (building at most once per process, and
+// at most once ever under a persistent cache directory) the pretrained
+// FedGPO controller snapshot for a scenario. The snapshot is always
+// served through the content-addressed cache's JSON round-trip, so
+// every consumer sees identical bytes regardless of which cell warmed
+// the cache first.
+func (r *Runtime) pretrainedSnapshot(s Scenario, cfg core.Config, warmRounds int, key string) core.Snapshot {
+	r.pretrainMu.Lock()
+	e, ok := r.pretrains[key]
+	if !ok {
+		e = &pretrainEntry{}
+		r.pretrains[key] = e
+	}
+	r.pretrainMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.panicked != nil {
+		// The warm-up is deterministic, so retrying would fail the same
+		// way; replay the failure for every cell that depends on it.
+		panic(e.panicked)
+	}
+	if e.done {
+		return e.snap
+	}
+	if !r.cache.Get(key, &e.snap) {
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					e.panicked = rec
+					panic(rec)
+				}
+			}()
+			warmCfg := r.config(s, warmupSeed)
+			warmCfg.MaxRounds = warmRounds
+			snap := core.PretrainSnapshot(cfg, warmCfg)
+			r.pretrainRuns.Add(1)
+			_ = r.cache.Put(key, snap)
+			var cached core.Snapshot
+			if r.cache.Get(key, &cached) {
+				e.snap = cached
+			} else {
+				// Cache write failed; fall back to the in-memory snapshot
+				// (a JSON round-trip is lossless, so behavior is
+				// unchanged).
+				e.snap = snap
+			}
+		}()
+	}
+	e.done = true
+	return e.snap
+}
 
 // SetProgress installs a per-job progress callback.
 func (r *Runtime) SetProgress(fn func(runtime.Progress)) { r.exec.SetProgress(fn) }
@@ -91,15 +202,16 @@ func (r *Runtime) runAll(jobs []runtime.Job) []runtime.Result {
 
 // simJob names one plain simulation cell: figures, sweeps and the
 // grid search all build their jobs here so the cells share cache
-// identity.
-func simJob(s Scenario, sp spec, seed int64) runtime.Job {
+// identity. The runtime receiver wires its inner worker budget into
+// the cell's config (which never affects the cell's result or key).
+func (r *Runtime) simJob(s Scenario, sp spec, seed int64) runtime.Job {
 	return runtime.Job{
 		Kind:       "sim",
 		Scenario:   s.cacheKey(),
 		Controller: sp.key,
 		Seed:       seed,
 		Run: func() runtime.Result {
-			return runtime.Result{Sim: fl.Run(s.Config(seed), sp.factory())}
+			return runtime.Result{Sim: fl.Run(r.config(s, seed), sp.factory())}
 		},
 	}
 }
@@ -112,7 +224,7 @@ func (r *Runtime) summaries(cells []cell, seeds []int64) []fl.Summary {
 	jobs := make([]runtime.Job, 0, len(cells)*len(seeds))
 	for _, cl := range cells {
 		for _, seed := range seeds {
-			jobs = append(jobs, simJob(cl.s, cl.c, seed))
+			jobs = append(jobs, r.simJob(cl.s, cl.c, seed))
 		}
 	}
 	results := r.runAll(jobs)
@@ -136,7 +248,7 @@ func SweepStatic(o Options, s Scenario, params []fl.Params, seed int64) []fl.Res
 	rt := o.runtime()
 	jobs := make([]runtime.Job, len(params))
 	for i, p := range params {
-		jobs[i] = simJob(s, staticSpec(p, ""), seed)
+		jobs[i] = rt.simJob(s, staticSpec(p, ""), seed)
 	}
 	results := rt.runAll(jobs)
 	out := make([]fl.Result, len(results))
@@ -185,15 +297,18 @@ func staticSpec(p fl.Params, label string) spec {
 // Q-tables are trained on a warm-up run (distinct seed) and frozen,
 // matching the paper's §5.4 framing of the learning phase as amortized
 // server-side infrastructure.
-func fedgpoWarmSpec(s Scenario) spec {
-	return fedgpoVariantSpec(s, "FedGPO", nil)
+func fedgpoWarmSpec(rt *Runtime, s Scenario) spec {
+	return fedgpoVariantSpec(rt, s, "FedGPO", nil)
 }
 
 // fedgpoVariantSpec builds a warm-started FedGPO contender with a
 // customized configuration. The canonical key serializes the full
 // controller config plus the warm-up deployment, so any config
-// deviation names a distinct cell.
-func fedgpoVariantSpec(s Scenario, name string, mutate func(*core.Config)) spec {
+// deviation names a distinct cell. The factory restores the controller
+// from the runtime's pretrained-controller cache — the Q-table warm-up
+// runs once per (scenario, config, warm-up seed/rounds), not once per
+// (cell, seed).
+func fedgpoVariantSpec(rt *Runtime, s Scenario, name string, mutate func(*core.Config)) spec {
 	cfg := core.DefaultConfig()
 	if mutate != nil {
 		mutate(&cfg)
@@ -201,10 +316,11 @@ func fedgpoVariantSpec(s Scenario, name string, mutate func(*core.Config)) spec 
 	warmRounds := minInt(150, s.rounds())
 	key := fmt.Sprintf("fedgpo-warm/cfg=%s/warmseed=%d/warmrounds=%d",
 		canonJSON(cfg), warmupSeed, warmRounds)
+	pretrainKey := runtime.KeyFor("pretrain", s.cacheKey(), "cfg="+canonJSON(cfg),
+		fmt.Sprintf("warmseed=%d", warmupSeed), fmt.Sprintf("warmrounds=%d", warmRounds))
 	return spec{name, key, func() fl.Controller {
-		warmCfg := s.Config(warmupSeed)
-		warmCfg.MaxRounds = warmRounds
-		return core.Pretrained(cfg, warmCfg)
+		snap := rt.pretrainedSnapshot(s, cfg, warmRounds, pretrainKey)
+		return core.FromSnapshot(cfg, snap)
 	}}
 }
 

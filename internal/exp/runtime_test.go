@@ -32,10 +32,60 @@ func TestParallelTableByteIdenticalToSerial(t *testing.T) {
 	}
 }
 
+// Inner-round parallelism must be invisible in every output byte: the
+// same table generated with per-round fan-out budgets of 1, 2 and 8
+// must match the serial-rounds table exactly. Fig6 covers the warm
+// FedGPO contender, so the pretrained-controller cache path is under
+// the same invariance contract.
+func TestInnerParallelTablesByteIdentical(t *testing.T) {
+	render := func(inner int) string {
+		o := Tiny()
+		o.InnerParallel = inner
+		return Fig6(o).String()
+	}
+	want := render(0) // serial rounds
+	for _, inner := range []int{1, 2, 8} {
+		if got := render(inner); got != want {
+			t.Errorf("inner parallelism %d changed the table:\n--- serial ---\n%s--- inner=%d ---\n%s",
+				inner, want, inner, got)
+		}
+	}
+}
+
+// A panicking pretrain warm-up must fail every cell that depends on
+// it, not just the first: the singleflight entry replays the panic, so
+// no sibling cell can silently proceed with an untrained zero-value
+// controller (which would complete "successfully" and poison the run
+// cache with plausible-but-wrong results).
+func TestPretrainPanicReplaysToEveryCell(t *testing.T) {
+	rt, err := NewRuntime(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Tiny().apply(Ideal(workload.Workload{})) // invalid workload: warm-up panics
+	sp := fedgpoWarmSpec(rt, bad)
+	mustPanic := func(pass string) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s factory call should panic, not hand out an untrained controller", pass)
+			}
+		}()
+		sp.factory()
+	}
+	mustPanic("first")
+	mustPanic("second")
+	if runs, _ := rt.PretrainStats(); runs != 0 {
+		t.Errorf("aborted warm-up counted as %d executed runs, want 0", runs)
+	}
+}
+
 // A warm-cache rerun of report experiments must perform zero new
 // simulations — every cell, including the fixed-best grid search, the
 // FedGPO warm-up runs, and the sec54/oracle probes, is served from the
-// on-disk cache — and must reproduce the same bytes.
+// on-disk cache — and must reproduce the same bytes. The
+// pretrained-controller cache is under the same contract: the cold run
+// executes exactly one Q-table warm-up per distinct pretrain key
+// (scenario × controller config), and the warm rerun executes none.
 func TestWarmCacheRerunZeroSimulations(t *testing.T) {
 	dir := t.TempDir()
 	ids := []string{"fig1", "fig5", "fig6", "fig11", "tab5", "sec54"}
@@ -62,6 +112,14 @@ func TestWarmCacheRerunZeroSimulations(t *testing.T) {
 	if coldStats.Runs == 0 {
 		t.Fatal("cold run should have simulated cells")
 	}
+	coldWarmups, coldKeys := rt1.PretrainStats()
+	if coldKeys == 0 {
+		t.Fatal("report experiments should have requested pretrained controllers")
+	}
+	if coldWarmups != coldKeys {
+		t.Errorf("cold run executed %d pretrain warm-ups for %d distinct keys; want exactly one per key",
+			coldWarmups, coldKeys)
+	}
 
 	// Drop the in-process fixed-best memo so the warm rerun exercises
 	// the disk-cache path for the grid-search selection too, as a real
@@ -79,6 +137,9 @@ func TestWarmCacheRerunZeroSimulations(t *testing.T) {
 	}
 	if warmStats.Hits == 0 {
 		t.Error("warm rerun should have served cells from the cache")
+	}
+	if warmups, _ := rt2.PretrainStats(); warmups != 0 {
+		t.Errorf("warm rerun executed %d pretrain warm-ups, want 0", warmups)
 	}
 	if warm != cold {
 		t.Error("warm-cache rerun produced different bytes than the cold run")

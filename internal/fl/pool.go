@@ -1,0 +1,109 @@
+package fl
+
+import "sync"
+
+// Pool is the bounded inner worker budget shared by every simulation
+// run wired to it: a token bucket of "extra" goroutines that
+// per-round participant modeling may borrow on top of the goroutine
+// the run already occupies. One Pool is typically shared across all
+// concurrent runs of an experiment runtime, so the combined inner
+// fan-out stays bounded no matter how many outer workers are
+// executing simulation cells at once (the outer pool's own budget is
+// its worker count; this is the inner half of that budget).
+//
+// Borrowing is non-blocking: when every token is lent out, a round
+// simply executes its participant loop on its own goroutine. Output is
+// byte-identical either way — see ForEach.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool lending up to extra concurrent helper
+// goroutines, or nil (the serial pool) when extra <= 0. The nil Pool
+// is valid: every method degrades to serial execution.
+func NewPool(extra int) *Pool {
+	if extra <= 0 {
+		return nil
+	}
+	return &Pool{sem: make(chan struct{}, extra)}
+}
+
+// Extra returns the pool's helper budget (0 for the nil/serial pool).
+func (p *Pool) Extra() int {
+	if p == nil {
+		return 0
+	}
+	return cap(p.sem)
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning contiguous index
+// chunks across the calling goroutine plus however many helpers the
+// shared budget can lend right now.
+//
+// fn must be deterministic in i and must only write state owned by
+// index i (distinct slice slots); under that contract the results are
+// byte-identical for any pool size, including nil, because every
+// reduction over the per-index outputs happens in the caller
+// afterwards, in index order. A panic in any chunk is re-raised on the
+// calling goroutine after the remaining helpers drain.
+func (p *Pool) ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	helpers := 0
+	if p != nil {
+		max := n - 1
+		if max > cap(p.sem) {
+			max = cap(p.sem)
+		}
+	acquire:
+		for helpers < max {
+			select {
+			case p.sem <- struct{}{}:
+				helpers++
+			default:
+				break acquire
+			}
+		}
+	}
+	if helpers == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := helpers + 1
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+	)
+	run := func(lo, hi int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicVal == nil {
+					panicVal = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	}
+	for c := 1; c <= helpers; c++ {
+		lo, hi := c*n/workers, (c+1)*n/workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			defer func() { <-p.sem }()
+			run(lo, hi)
+		}(lo, hi)
+	}
+	run(0, n/workers)
+	wg.Wait()
+	if panicVal != nil {
+		panic(panicVal)
+	}
+}

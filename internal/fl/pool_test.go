@@ -1,0 +1,107 @@
+package fl
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+
+	"fedgpo/internal/device"
+	"fedgpo/internal/interfere"
+	"fedgpo/internal/netsim"
+)
+
+func TestPoolForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, extra := range []int{0, 1, 3, 16} {
+		p := NewPool(extra)
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]int32, n)
+			p.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("extra=%d n=%d: index %d visited %d times", extra, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolNilIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Extra() != 0 {
+		t.Error("nil pool should have no helper budget")
+	}
+	order := []int{}
+	p.ForEach(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool must run serially in order, got %v", order)
+		}
+	}
+}
+
+func TestPoolForEachPropagatesPanic(t *testing.T) {
+	p := NewPool(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic inside ForEach must reach the caller")
+		}
+	}()
+	p.ForEach(64, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+}
+
+// The tentpole guarantee of inner-round parallelism: the run's entire
+// serialized Result — metrics, energy accounting, full round history —
+// is byte-identical for any worker count, including serial. The config
+// exercises the straggler-drop and variance paths so the parallel
+// phase covers every accounting branch.
+func TestRunByteIdenticalAcrossInnerWorkerCounts(t *testing.T) {
+	cfg := testConfig()
+	cfg.Channel = netsim.UnstableChannel()
+	cfg.Interference = interfere.Paper()
+	// A deadline between the mid and low categories' clean times keeps
+	// the straggler-drop branches active round after round.
+	w := cfg.Workload
+	lowT := device.ComputeSeconds(device.Profiles()[device.Low], w.Shape, 8, 10,
+		w.SamplesPerDevice, device.Interference{})
+	midT := device.ComputeSeconds(device.Profiles()[device.Mid], w.Shape, 8, 10,
+		w.SamplesPerDevice, device.Interference{})
+	cfg.DeadlineSec = (lowT + midT) / 2
+	cfg.AggregationOverheadSec = 10
+	cfg.MaxRounds = 80
+	cfg.StopAtConvergence = false
+
+	run := func(extra int) Result {
+		c := cfg
+		c.Inner = NewPool(extra)
+		return Run(c, NewStatic(Params{B: 8, E: 10, K: 10}))
+	}
+	marshal := func(r Result) string {
+		// ControllerOverheadSec is wall-clock measured (§5.4 accounting)
+		// and so differs between any two runs, parallel or not; every
+		// simulated quantity must be bit-identical.
+		r.ControllerOverheadSec = 0
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	base := run(0) // nil pool: the fully serial path
+	dropped := 0
+	for _, rec := range base.History {
+		dropped += rec.Dropped
+	}
+	if dropped == 0 {
+		t.Fatal("test deadline should drop some participants (branch coverage)")
+	}
+	want := marshal(base)
+	for _, extra := range []int{1, 2, 8} {
+		if got := marshal(run(extra)); got != want {
+			t.Errorf("inner parallelism %d produced different Result JSON than serial", extra)
+		}
+	}
+}

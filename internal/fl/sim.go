@@ -49,6 +49,13 @@ type Config struct {
 	// StopAtConvergence ends the run once the tracker fires (plus its
 	// settle window); disable to collect full-length histories.
 	StopAtConvergence bool
+	// Inner, when non-nil, parallelizes the deterministic per-participant
+	// modeling inside each round (compute timing, communication,
+	// per-device energy terms) across the pool's shared worker budget.
+	// All stochastic state is sampled serially before the fan-out and
+	// results are merged in fixed device order, so the run's outcome is
+	// byte-identical for any pool size (nil runs rounds serially).
+	Inner *Pool
 }
 
 // Validate reports configuration inconsistencies.
@@ -276,37 +283,61 @@ func observeStates(cfg Config, samples []int, rng *stats.RNG) []DeviceState {
 
 // executeRound runs the selected devices' local training and computes
 // the round's timing and fleet-wide energy.
+//
+// It executes in three phases. Phase 1 asks the controller for each
+// participant's local parameters, serially in selected-device order:
+// controllers are stateful and may draw randomness, so the call order
+// is part of the reproducibility contract. Phase 2 evaluates the
+// deterministic device/channel models per participant, optionally
+// fanned across cfg.Inner's worker budget — each index writes only its
+// own slots. Phase 3 merges serially in fixed device order (straggler
+// semantics, energy accounting, aggregation), so every float
+// accumulation happens in the same order for any pool size and the
+// round outcome is byte-identical with or without inner parallelism.
 func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 	profiles []device.Profile, samples []int) RoundResult {
 
-	parts := make([]DeviceRound, 0, len(selected))
-	times := make([]float64, 0, len(selected))
-	for _, id := range selected {
-		st := states[id]
-		lp := plan.Local(cfg.Fleet[id], st)
+	// Phase 1: controller assignments (serial; may mutate controller
+	// state and consume controller randomness).
+	parts := make([]DeviceRound, len(selected))
+	for i, id := range selected {
+		lp := plan.Local(cfg.Fleet[id], states[id])
 		if lp.B < 1 {
 			lp.B = 1
 		}
 		if lp.E < 1 {
 			lp.E = 1
 		}
-		comp := device.ComputeSeconds(profiles[id], cfg.Workload.Shape, lp.B, lp.E,
+		parts[i] = DeviceRound{DeviceID: id, Category: profiles[id].Category, Local: lp}
+	}
+
+	// Phase 2: deterministic per-participant modeling (parallelizable).
+	// The round trip is computed once per participant and reused for
+	// both its seconds and its joules below: the two are one physical
+	// transfer, and a second model call would silently diverge the
+	// moment the channel model becomes stochastic per call.
+	commJoules := make([]float64, len(selected))
+	cfg.Inner.ForEach(len(selected), func(i int) {
+		p := &parts[i]
+		id := p.DeviceID
+		st := states[id]
+		comp := device.ComputeSeconds(profiles[id], cfg.Workload.Shape, p.Local.B, p.Local.E,
 			samples[id], st.Interference)
 		comm := cfg.Channel.CommRoundTrip(cfg.Workload.Shape.ModelBytes, st.Network)
-		total := comp + comm.Seconds
-		parts = append(parts, DeviceRound{
-			DeviceID:   id,
-			Category:   profiles[id].Category,
-			Local:      lp,
-			ComputeSec: comp,
-			CommSec:    comm.Seconds,
-			TotalSec:   total,
-			Samples:    samples[id],
-			SkewDegree: cfg.Partition.NonIIDDegree(id),
-			Interfered: st.Interference.CPUUsage > 0 || st.Interference.MemUsage > 0,
-			NetworkBad: !st.Network.Regular(),
-		})
-		times = append(times, total)
+		p.ComputeSec = comp
+		p.CommSec = comm.Seconds
+		p.TotalSec = comp + comm.Seconds
+		p.Samples = samples[id]
+		p.SkewDegree = cfg.Partition.NonIIDDegree(id)
+		p.Interfered = st.Interference.CPUUsage > 0 || st.Interference.MemUsage > 0
+		p.NetworkBad = !st.Network.Regular()
+		commJoules[i] = comm.Joules
+	})
+
+	// Phase 3: serial merge in fixed device order.
+	times := make([]float64, len(parts))
+	for i := range parts {
+		times[i] = parts[i].TotalSec
 	}
 
 	// Straggler semantics: the round lasts until the slowest surviving
@@ -337,9 +368,7 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 	for i := range parts {
 		p := &parts[i]
 		prof := profiles[p.DeviceID]
-		busyComp, commJ := p.ComputeSec, 0.0
-		commJ = cfg.Channel.CommRoundTrip(cfg.Workload.Shape.ModelBytes,
-			states[p.DeviceID].Network).Joules
+		busyComp, commJ := p.ComputeSec, commJoules[i]
 		waitIdle := roundSec - p.TotalSec
 		if p.Dropped {
 			// The device worked until it was cut off at the deadline;

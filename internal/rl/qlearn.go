@@ -278,6 +278,57 @@ func abs(x float64) float64 {
 	return x
 }
 
+// TableSnapshot is the serializable learned state of a QTable: the
+// materialized Q rows plus everything that shapes future selection and
+// convergence tracking. It deliberately excludes the RNG — snapshots
+// are restored into a fresh deterministic stream (see Restore), which
+// only matters for lazily initializing states the table has not seen.
+type TableSnapshot struct {
+	Q         map[string][]float64 `json:"q"`
+	Mask      []bool               `json:"mask,omitempty"`
+	Epsilon   float64              `json:"epsilon"`
+	Updates   int                  `json:"updates"`
+	Delta     float64              `json:"delta"`
+	DeltaInit bool                 `json:"deltaInit"`
+}
+
+// Snapshot captures the table's learned state. The returned rows are
+// deep copies; mutating the table afterwards does not affect them.
+func (t *QTable) Snapshot() TableSnapshot {
+	q := make(map[string][]float64, len(t.q))
+	for s, row := range t.q {
+		q[s] = append([]float64(nil), row...)
+	}
+	delta, init := t.deltaEMA.State()
+	return TableSnapshot{
+		Q:         q,
+		Mask:      append([]bool(nil), t.mask...),
+		Epsilon:   t.cfg.Epsilon,
+		Updates:   t.updates,
+		Delta:     delta,
+		DeltaInit: init,
+	}
+}
+
+// Restore builds a table from a snapshot. cfg supplies the learning
+// hyperparameters (the snapshot's epsilon overrides cfg's — a frozen
+// table comes back frozen); rng drives lazy initialization of states
+// the snapshot has not materialized, so restoration from an identical
+// snapshot with an identically seeded rng behaves identically.
+func Restore(actions int, cfg Config, rng *stats.RNG, snap TableSnapshot) *QTable {
+	cfg.Epsilon = snap.Epsilon
+	t := NewQTable(actions, cfg, rng)
+	for s, row := range snap.Q {
+		t.q[s] = append([]float64(nil), row...)
+	}
+	if len(snap.Mask) > 0 {
+		t.SetMask(snap.Mask)
+	}
+	t.updates = snap.Updates
+	t.deltaEMA.Restore(snap.Delta, snap.DeltaInit)
+	return t
+}
+
 // KnownStates lists the states materialized so far, in map order.
 func (t *QTable) KnownStates() []string {
 	out := make([]string, 0, len(t.q))

@@ -31,6 +31,16 @@
 // report done/total counts plus whether the cell was served from
 // cache.
 //
+// Below the job level sits a second, inner tier of parallelism: each
+// simulation may fan its per-round participant modeling across an
+// fl.Pool — a token bucket of extra goroutines shared by every run the
+// experiment runtime executes concurrently, so the combined outer
+// (cells) and inner (participants) goroutine count stays bounded by
+// worker count + inner budget. Inner fan-out is borrow-only and
+// non-blocking, and the per-round merge happens serially in fixed
+// device order, so results are byte-identical for any inner budget;
+// the budget therefore never appears in a cache key.
+//
 // # Cache layout
 //
 // The cache is content-addressed by the SHA-256 hex digest of the
@@ -42,10 +52,34 @@
 //
 //	{"key": "<canonical key>", "payload": <result JSON>}
 //
-// written atomically (temp file + rename). On a disk hit the envelope
-// key is compared against the requested key — a mismatch (hash
-// collision or a corrupted/foreign file) is treated as a miss and the
-// cell re-runs. Results that ended in an error are never cached.
+// written atomically (temp file + rename, so a crash mid-write can
+// never publish a torn entry). On a disk hit the envelope key is
+// compared against the requested key — a mismatch (hash collision or
+// a corrupted/foreign file) is treated as a miss and the cell re-runs,
+// repairing the entry in place. Results that ended in an error are
+// never cached.
+//
+// # Pretrained-controller cache
+//
+// The cache also stores non-job artifacts under KeyFor-built keys.
+// The largest such family is the pretrained-controller cache: the warm
+// FedGPO contender's Q-table warm-up is executed once per scenario and
+// captured as a core.Snapshot under
+//
+//	<keyVersion>|pretrain|<scenario key>|cfg=<controller config JSON>|warmseed=<N>|warmrounds=<N>
+//
+// so every figure/table cell (and the Table 5 oracle probes) that
+// evaluates the same warmed controller restores it from the snapshot
+// instead of re-running the warm-up per (cell, seed). The key carries
+// the full controller configuration and the warm-up deployment, so
+// ablation variants and different scenarios never share tables.
+// Snapshots are always served through the cache's JSON round-trip
+// (which is lossless for float64), so a cell's result does not depend
+// on whether its snapshot was built in-process or read from disk.
+// The experiment runtime's in-process singleflight guarantees at most
+// one warm-up per key even when many workers request it concurrently.
+// Grid-search selections ("fixed-best" keys) follow the same
+// KeyFor pattern.
 //
 // # Result store
 //

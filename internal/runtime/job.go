@@ -9,7 +9,11 @@ import (
 
 // keyVersion prefixes every job key; bump it whenever the meaning of a
 // cached result changes so old cache directories invalidate wholesale.
-const keyVersion = "v1"
+// v2: warm FedGPO contenders are restored from pretrained-controller
+// snapshots instead of re-running the warm-up per cell, which changes
+// the exact cell results (the restored controller's RNG stream differs
+// from a freshly warmed one's).
+const keyVersion = "v2"
 
 // Job names one simulation cell and knows how to execute it.
 type Job struct {

@@ -27,7 +27,7 @@ func simJob(i int) Job {
 func TestJobKeyStableAndHashed(t *testing.T) {
 	j := simJob(3)
 	key := j.Key()
-	if key != "v1|sim|scenario-3|static/(8,10,20)|seed=3" {
+	if key != "v2|sim|scenario-3|static/(8,10,20)|seed=3" {
 		t.Errorf("unexpected canonical key %q", key)
 	}
 	if j.Key() != key {
@@ -162,6 +162,64 @@ func TestCacheDiskRoundTripAndVerification(t *testing.T) {
 	c4, _ := NewCache(dir)
 	if c4.Get("some|canonical|key", &got) {
 		t.Error("key-mismatched envelope should miss")
+	}
+}
+
+// A corrupt disk entry — e.g. a file torn by a crash before the
+// temp-file-plus-rename publish existed, or external tampering — must
+// degrade to a cache miss: the executor recomputes the cell, repairs
+// the entry in place, and later readers get clean hits. The run itself
+// must never fail.
+func TestCorruptDiskEntryIsDiscardedAndRecomputed(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs int
+	job := Job{
+		Kind:     "sim",
+		Scenario: "corrupt-test",
+		Seed:     7,
+		Run: func() Result {
+			runs++
+			return Result{Sim: fl.Result{PPW: 42}}
+		},
+	}
+	e := NewExecutor(1, cache)
+	if res := e.RunAll([]Job{job})[0]; res.Err != "" || res.Sim.PPW != 42 {
+		t.Fatalf("first run failed: %+v", res)
+	}
+	if runs != 1 {
+		t.Fatalf("job ran %d times, want 1", runs)
+	}
+
+	// Tear the entry the way an interrupted write would.
+	path := filepath.Join(dir, job.Hash()+".json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache entry not on disk: %v", err)
+	}
+	if err := os.WriteFile(path, []byte(`{"key":"v2|sim|corrupt-te`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res := e.RunAll([]Job{job})[0]
+	if res.Err != "" {
+		t.Fatalf("corrupt entry must not fail the run: %s", res.Err)
+	}
+	if res.Cached {
+		t.Error("corrupt entry must be a miss, not a hit")
+	}
+	if runs != 2 {
+		t.Fatalf("job should have been recomputed once, ran %d times", runs)
+	}
+	if res.Sim.PPW != 42 {
+		t.Errorf("recomputed result wrong: %+v", res.Sim)
+	}
+
+	// The recompute must have repaired the entry: a third pass is a hit.
+	if res := e.RunAll([]Job{job})[0]; !res.Cached || runs != 2 {
+		t.Errorf("repaired entry should serve a hit (cached=%v, runs=%d)", res.Cached, runs)
 	}
 }
 

@@ -232,3 +232,17 @@ func (e *EMA) Add(x float64) float64 {
 
 // Value returns the current average (0 before any observation).
 func (e *EMA) Value() float64 { return e.value }
+
+// State exposes the average and whether any observation has been
+// folded in yet — together with the alpha, the EMA's full state, so
+// learned components (Q-tables, energy normalizers) can be
+// snapshotted and restored bit-for-bit.
+func (e *EMA) State() (value float64, initialized bool) {
+	return e.value, e.init
+}
+
+// Restore overwrites the average with a previously captured State.
+func (e *EMA) Restore(value float64, initialized bool) {
+	e.value = value
+	e.init = initialized
+}
