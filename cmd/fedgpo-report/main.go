@@ -1,11 +1,15 @@
 // Command fedgpo-report runs the full experiment suite and emits a
 // markdown report (the generator behind EXPERIMENTS.md). Simulation
-// cells fan out over the parallel experiment runtime; with -cachedir a
-// rerun only simulates cells whose configuration changed.
+// cells fan out over the experiment runtime's execution backend —
+// in-process workers by default, worker subprocesses with
+// -backend=procs — and with -cachedir a rerun only simulates cells
+// whose configuration changed.
 //
 // Usage:
 //
-//	fedgpo-report [-quick] [-only fig9,fig12] [-parallel N] [-inner-parallel N] [-cachedir PATH] [-results PATH] > EXPERIMENTS.md
+//	fedgpo-report [-quick] [-only fig9,fig12] [-parallel N] [-inner-parallel N]
+//	              [-backend pool|procs] [-procs N] [-cachedir PATH] [-cache-max-bytes N]
+//	              [-results PATH] > EXPERIMENTS.md
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"fedgpo/internal/cli"
 	"fedgpo/internal/exp"
 	"fedgpo/internal/runtime"
 )
@@ -22,24 +27,20 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced fleet and seeds")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
-	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
-	innerParallel := flag.Int("inner-parallel", 0,
-		"per-round participant fan-out budget shared across simulations (0 = serial rounds; results are identical for any value)")
-	cachedir := flag.String("cachedir", "", "persist the run cache under this directory")
 	results := flag.String("results", "", "write the structured result store (JSON) to this path")
 	verbose := flag.Bool("v", false, "per-job progress on stderr")
+	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
 
 	opts := exp.Default()
 	if *quick {
 		opts = exp.Quick()
 	}
-	rt, err := exp.NewRuntime(*parallel, *cachedir)
+	rt, err := rtFlags.Runtime()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rt.SetInnerParallel(*innerParallel)
 	if *verbose {
 		rt.SetProgress(func(p runtime.Progress) {
 			tag := ""
@@ -76,8 +77,8 @@ func main() {
 	}
 	st := rt.Stats()
 	pretrainRuns, pretrainKeys := rt.PretrainStats()
-	fmt.Fprintf(os.Stderr, "runtime: %d workers (+%d inner), %d cells simulated, %d served from cache, %d/%d pretrain warm-ups executed\n",
-		rt.Workers(), rt.InnerParallel(), st.Runs, st.Hits, pretrainRuns, pretrainKeys)
+	fmt.Fprintf(os.Stderr, "runtime: %s backend, %d workers (+%d inner), %d cells simulated, %d served from cache, %d/%d pretrain warm-ups executed\n",
+		rtFlags.Backend, rt.Workers(), rt.InnerParallel(), st.Runs, st.Hits, pretrainRuns, pretrainKeys)
 	if *results != "" {
 		if err := rt.Store().WriteFile(*results); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	fedgpo-sim -exp fig9 [-quick] [-list] [-parallel N] [-inner-parallel N] [-cachedir PATH]
+//	fedgpo-sim -exp fig9 [-quick | -tiny] [-list] [-parallel N] [-inner-parallel N]
+//	           [-backend pool|procs] [-procs N] [-cachedir PATH] [-cache-max-bytes N]
 //
 // The -quick flag shrinks the deployment (100 devices, 1 seed) for a
-// fast smoke run; the default reproduces the paper-scale 200-device
-// deployment. Simulation cells fan out over the parallel experiment
-// runtime; -cachedir persists completed cells so reruns only simulate
-// what changed.
+// fast smoke run; -tiny shrinks it further (20 devices) for CI smoke
+// tests whose absolute numbers are not representative. The default
+// reproduces the paper-scale 200-device deployment. Simulation cells
+// fan out over the experiment runtime's execution backend (in-process
+// workers, or worker subprocesses with -backend=procs); -cachedir
+// persists completed cells so reruns only simulate what changed.
 package main
 
 import (
@@ -18,17 +21,16 @@ import (
 	"os"
 	"time"
 
+	"fedgpo/internal/cli"
 	"fedgpo/internal/exp"
 )
 
 func main() {
 	expID := flag.String("exp", "", "experiment id (see -list)")
 	quick := flag.Bool("quick", false, "reduced fleet and seeds for a fast run")
+	tiny := flag.Bool("tiny", false, "smallest deployment (20 devices) for smoke tests; not representative")
 	list := flag.Bool("list", false, "list available experiments")
-	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
-	innerParallel := flag.Int("inner-parallel", 0,
-		"per-round participant fan-out budget shared across simulations (0 = serial rounds; results are identical for any value)")
-	cachedir := flag.String("cachedir", "", "persist the run cache under this directory")
+	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list || *expID == "" {
@@ -48,20 +50,22 @@ func main() {
 		os.Exit(1)
 	}
 	opts := exp.Default()
-	if *quick {
+	switch {
+	case *tiny:
+		opts = exp.Tiny()
+	case *quick:
 		opts = exp.Quick()
 	}
-	rt, err := exp.NewRuntime(*parallel, *cachedir)
+	rt, err := rtFlags.Runtime()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rt.SetInnerParallel(*innerParallel)
 	opts = opts.WithRuntime(rt)
 	start := time.Now()
 	table := e.Run(opts)
 	fmt.Print(table.String())
 	st := rt.Stats()
-	fmt.Printf("(%s in %.1fs; %d workers, %d cells simulated, %d cached)\n",
-		e.ID, time.Since(start).Seconds(), rt.Workers(), st.Runs, st.Hits)
+	fmt.Printf("(%s in %.1fs; %s backend, %d workers, %d cells simulated, %d cached)\n",
+		e.ID, time.Since(start).Seconds(), rtFlags.Backend, rt.Workers(), st.Runs, st.Hits)
 }

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	fedgpo-sweep -workload CNN-MNIST [-noniid] [-variance] [-quick] [-parallel N] [-inner-parallel N] [-cachedir PATH]
+//	fedgpo-sweep -workload CNN-MNIST [-noniid] [-variance] [-quick] [-parallel N] [-inner-parallel N]
+//	             [-backend pool|procs] [-procs N] [-cachedir PATH] [-cache-max-bytes N]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"fedgpo/internal/cli"
 	"fedgpo/internal/exp"
 	"fedgpo/internal/fl"
 	"fedgpo/internal/workload"
@@ -25,10 +27,7 @@ func main() {
 	noniid := flag.Bool("noniid", false, "use the Dirichlet(0.1) non-IID partition")
 	variance := flag.Bool("variance", false, "enable interference + unstable network")
 	quick := flag.Bool("quick", false, "reduced fleet for a fast run")
-	parallel := flag.Int("parallel", 0, "simulation worker count (0 = all cores)")
-	innerParallel := flag.Int("inner-parallel", 0,
-		"per-round participant fan-out budget shared across simulations (0 = serial rounds; results are identical for any value)")
-	cachedir := flag.String("cachedir", "", "persist the run cache under this directory")
+	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
 
 	w, err := workload.ByName(*wname)
@@ -51,12 +50,11 @@ func main() {
 	if *quick {
 		opts = exp.Quick()
 	}
-	rt, err := exp.NewRuntime(*parallel, *cachedir)
+	rt, err := rtFlags.Runtime()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rt.SetInnerParallel(*innerParallel)
 	opts = opts.WithRuntime(rt)
 	if opts.FleetSize > 0 {
 		s.FleetSize = opts.FleetSize

@@ -1,0 +1,59 @@
+// Command fedgpo-worker is the execution half of the multi-process
+// shard coordinator (-backend=procs on the fedgpo CLIs): it reads
+// serialized job specs from stdin — one JSON WireRequest per line —
+// reconstructs each job, executes it, and writes one JSON WireResponse
+// per request to stdout, in request order.
+//
+// With -cachedir pointing at the coordinator's cache directory, the
+// worker shares the coordinator's content-addressed run cache and
+// pretrained-controller snapshots, so hit semantics match the
+// in-process pool backend exactly. The worker never prunes the cache;
+// eviction is the coordinator's startup job.
+//
+// Usage (normally spawned by a coordinator, not by hand):
+//
+//	fedgpo-worker [-cachedir PATH] [-inner-parallel N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fedgpo/internal/exp"
+	"fedgpo/internal/runtime"
+)
+
+func main() {
+	cachedir := flag.String("cachedir", "", "share the coordinator's run cache under this directory")
+	innerParallel := flag.Int("inner-parallel", 0,
+		"per-round participant fan-out budget (0 = serial rounds; results are identical for any value)")
+	flag.Parse()
+
+	rt, err := exp.NewRuntime(1, *cachedir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedgpo-worker:", err)
+		os.Exit(1)
+	}
+	rt.SetInnerParallel(*innerParallel)
+
+	err = runtime.ServeWorker(os.Stdin, os.Stdout, func(key string, spec json.RawMessage) runtime.Result {
+		sp, err := exp.DecodeJobSpec(spec)
+		if err != nil {
+			return runtime.Result{Key: key, Err: "fedgpo-worker: " + err.Error()}
+		}
+		job := rt.Job(sp)
+		if got := job.Key(); got != key {
+			// The spec must address the cell it was dispatched as;
+			// anything else would poison the shared cache under the
+			// dispatched key.
+			return runtime.Result{Key: key, Err: fmt.Sprintf("fedgpo-worker: spec addresses %q, dispatched as %q", got, key)}
+		}
+		return rt.RunJob(job)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fedgpo-worker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+// Package cli centralizes the experiment-runtime flag surface shared
+// by the fedgpo CLIs (report, sweep, sim): worker counts, run-cache
+// location and byte budget, and execution-backend selection. Each CLI
+// registers the block once and builds its exp.Runtime from the parsed
+// values, so a new runtime knob lands in every tool by construction.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"fedgpo/internal/exp"
+	"fedgpo/internal/runtime"
+)
+
+// BackendPool and BackendProcs are the -backend flag values.
+const (
+	BackendPool  = "pool"
+	BackendProcs = "procs"
+)
+
+// RuntimeFlags holds the shared runtime flag block after parsing.
+type RuntimeFlags struct {
+	// Parallel is the in-process simulation worker count (pool
+	// backend; 0 = all cores).
+	Parallel int
+	// InnerParallel is the per-round participant fan-out budget
+	// (results are identical for any value).
+	InnerParallel int
+	// CacheDir persists the content-addressed run cache.
+	CacheDir string
+	// CacheMaxBytes, when positive, prunes the cache directory at
+	// startup — oldest entries first — until it fits the budget.
+	CacheMaxBytes int64
+	// Backend selects the execution backend (pool or procs).
+	Backend string
+	// Procs is the worker subprocess count for -backend=procs.
+	Procs int
+	// WorkerBin overrides the fedgpo-worker binary location.
+	WorkerBin string
+}
+
+// Register installs the shared runtime flags on fs and returns the
+// struct they parse into; read it after fs.Parse.
+func Register(fs *flag.FlagSet) *RuntimeFlags {
+	f := &RuntimeFlags{}
+	fs.IntVar(&f.Parallel, "parallel", 0, "simulation worker count (0 = all cores)")
+	fs.IntVar(&f.InnerParallel, "inner-parallel", 0,
+		"per-round participant fan-out budget shared across simulations (0 = serial rounds; results are identical for any value)")
+	fs.StringVar(&f.CacheDir, "cachedir", "", "persist the run cache under this directory")
+	fs.Int64Var(&f.CacheMaxBytes, "cache-max-bytes", 0,
+		"evict least-recently-used cache entries at startup until the cache dir fits this byte budget (0 = keep everything)")
+	fs.StringVar(&f.Backend, "backend", BackendPool,
+		"execution backend: pool (in-process workers) or procs (worker subprocesses sharing -cachedir)")
+	fs.IntVar(&f.Procs, "procs", 0, "worker subprocess count for -backend=procs (0 = -parallel if set, else all cores)")
+	fs.StringVar(&f.WorkerBin, "worker-bin", "",
+		"fedgpo-worker binary for -backend=procs (default: next to this binary, then $PATH)")
+	return f
+}
+
+// Runtime builds the experiment runtime the parsed flags describe:
+// cache (pruned to the byte budget), execution backend, and inner
+// worker budget.
+func (f *RuntimeFlags) Runtime() (*exp.Runtime, error) {
+	cache, err := runtime.NewCache(f.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cache.Prune(f.CacheMaxBytes); err != nil {
+		return nil, err
+	}
+	var backend runtime.Backend
+	switch f.Backend {
+	case "", BackendPool:
+		backend = runtime.NewPoolBackend(f.Parallel)
+	case BackendProcs:
+		bin, err := f.workerBin()
+		if err != nil {
+			return nil, err
+		}
+		procs := f.Procs
+		if procs <= 0 {
+			// A requested parallelism cap applies to whichever backend
+			// runs the batch: without an explicit -procs, -parallel
+			// bounds the subprocess count too (never silently ignored).
+			procs = f.Parallel
+		}
+		backend = runtime.NewProcBackend(runtime.ProcConfig{
+			WorkerBin:     bin,
+			Procs:         procs,
+			CacheDir:      f.CacheDir,
+			InnerParallel: f.InnerParallel,
+		})
+	default:
+		return nil, fmt.Errorf("cli: unknown backend %q (valid: %s, %s)", f.Backend, BackendPool, BackendProcs)
+	}
+	rt := exp.NewRuntimeWithBackend(backend, cache)
+	rt.SetInnerParallel(f.InnerParallel)
+	return rt, nil
+}
+
+// workerBin resolves the fedgpo-worker binary: the explicit flag, a
+// sibling of the running executable, then $PATH.
+func (f *RuntimeFlags) workerBin() (string, error) {
+	if f.WorkerBin != "" {
+		if _, err := os.Stat(f.WorkerBin); err != nil {
+			return "", fmt.Errorf("cli: -worker-bin: %w", err)
+		}
+		return f.WorkerBin, nil
+	}
+	if self, err := os.Executable(); err == nil {
+		cand := filepath.Join(filepath.Dir(self), "fedgpo-worker")
+		if _, err := os.Stat(cand); err == nil {
+			return cand, nil
+		}
+	}
+	if p, err := exec.LookPath("fedgpo-worker"); err == nil {
+		return p, nil
+	}
+	return "", errors.New("cli: fedgpo-worker binary not found (build cmd/fedgpo-worker next to this binary, put it on $PATH, or pass -worker-bin)")
+}

@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fedgpo/internal/runtime"
+)
+
+func parse(t *testing.T, args ...string) *RuntimeFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// The shared block must register every runtime flag once, with the
+// pool backend as the default.
+func TestRegisterDefaultsAndParsing(t *testing.T) {
+	f := parse(t)
+	if f.Backend != BackendPool || f.Parallel != 0 || f.CacheDir != "" || f.CacheMaxBytes != 0 {
+		t.Errorf("unexpected defaults: %+v", f)
+	}
+	f = parse(t, "-parallel", "3", "-inner-parallel", "2", "-cachedir", "/tmp/x",
+		"-cache-max-bytes", "1024", "-backend", "procs", "-procs", "4", "-worker-bin", "/bin/w")
+	if f.Parallel != 3 || f.InnerParallel != 2 || f.CacheDir != "/tmp/x" ||
+		f.CacheMaxBytes != 1024 || f.Backend != "procs" || f.Procs != 4 || f.WorkerBin != "/bin/w" {
+		t.Errorf("flags not parsed: %+v", f)
+	}
+}
+
+// Runtime must build a pool runtime, apply the inner budget, and
+// prune the cache directory to the configured byte budget at startup.
+func TestRuntimeBuildsPoolAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := runtime.NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := cache.Put(strings.Repeat("k", i+1), runtime.Result{Key: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := parse(t, "-parallel", "2", "-inner-parallel", "3", "-cachedir", dir, "-cache-max-bytes", "1")
+	rt, err := f.Runtime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Workers() != 2 || rt.InnerParallel() != 3 {
+		t.Errorf("runtime knobs lost: workers=%d inner=%d", rt.Workers(), rt.InnerParallel())
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Errorf("cache dir holds %d entries after a 1-byte budget prune", len(left))
+	}
+}
+
+// An unknown backend and a missing worker binary must fail loudly at
+// startup, not at first batch.
+func TestRuntimeRejectsBadBackendConfig(t *testing.T) {
+	if _, err := parse(t, "-backend", "bogus").Runtime(); err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("bogus backend error = %v", err)
+	}
+	missing := filepath.Join(t.TempDir(), "nope")
+	if _, err := parse(t, "-backend", "procs", "-worker-bin", missing).Runtime(); err == nil || !strings.Contains(err.Error(), "worker-bin") {
+		t.Errorf("missing worker-bin error = %v", err)
+	}
+}
+
+// With an explicit existing worker binary, the procs runtime builds;
+// without -procs, a -parallel cap bounds the subprocess count instead
+// of being silently ignored.
+func TestRuntimeBuildsProcs(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "fedgpo-worker")
+	if err := os.WriteFile(bin, []byte("#!/bin/sh\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f := parse(t, "-backend", "procs", "-procs", "2", "-worker-bin", bin)
+	rt, err := f.Runtime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Workers() != 2 {
+		t.Errorf("procs runtime workers = %d, want 2", rt.Workers())
+	}
+	f = parse(t, "-backend", "procs", "-parallel", "3", "-worker-bin", bin)
+	rt, err = f.Runtime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Workers() != 3 {
+		t.Errorf("procs runtime with -parallel 3 got %d workers, want 3", rt.Workers())
+	}
+}

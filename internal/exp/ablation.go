@@ -24,7 +24,7 @@ func AblationEpsilon(o Options) Table {
 	cells := make([]cell, len(epsilons))
 	for i, eps := range epsilons {
 		eps := eps
-		cells[i] = cell{s, fedgpoVariantSpec(rt, s, fmt.Sprintf("FedGPO eps=%.1f", eps),
+		cells[i] = cell{s, fedgpoVariantContender(s, fmt.Sprintf("FedGPO eps=%.1f", eps),
 			func(c *core.Config) {
 				c.RL.Epsilon = eps
 				// The sensitivity question is about exploration during
@@ -60,15 +60,15 @@ func AblationGammaMu(o Options) Table {
 	mus := []float64{0.5, 0.9}
 
 	rt := o.runtime()
-	cells := []cell{{s, fedgpoVariantSpec(rt, s, "FedGPO", nil)}}
+	cells := []cell{{s, fedgpoVariantContender(s, "FedGPO", nil)}}
 	for _, gamma := range gammas {
 		g := gamma
-		cells = append(cells, cell{s, fedgpoVariantSpec(rt, s, fmt.Sprintf("FedGPO gamma=%.1f", g),
+		cells = append(cells, cell{s, fedgpoVariantContender(s, fmt.Sprintf("FedGPO gamma=%.1f", g),
 			func(c *core.Config) { c.RL.LearningRate = g })})
 	}
 	for _, mu := range mus {
 		m := mu
-		cells = append(cells, cell{s, fedgpoVariantSpec(rt, s, fmt.Sprintf("FedGPO mu=%.1f", m),
+		cells = append(cells, cell{s, fedgpoVariantContender(s, fmt.Sprintf("FedGPO mu=%.1f", m),
 			func(c *core.Config) { c.RL.Discount = m })})
 	}
 	sums := rt.summaries(cells, o.seeds())
@@ -99,20 +99,16 @@ type qmemExtra struct {
 	MemBytes int `json:"memBytes"`
 }
 
-// qmemJob probes a warm controller's Q-table memory without running an
-// evaluation — kept separate from the "sim" cells so those stay
-// shareable with every other figure touching the same deployment.
-func qmemJob(s Scenario, sp spec) runtime.Job {
-	return runtime.Job{
-		Kind:       "qmem",
-		Scenario:   s.cacheKey(),
-		Controller: sp.key,
-		Run: func() runtime.Result {
-			var res runtime.Result
-			res.SetExtra(qmemExtra{MemBytes: sp.factory().(*core.Controller).MemoryBytes()})
-			return res
-		},
-	}
+// executeQMem runs a "qmem" spec: it materializes the warm controller
+// (restoring its Q-tables from the pretrained-controller cache) and
+// measures the table footprint — kept separate from the "sim" cells so
+// those stay shareable with every other figure touching the same
+// deployment.
+func executeQMem(r *Runtime, sp JobSpec) runtime.Result {
+	var res runtime.Result
+	ctrl := r.controller(sp.Scenario, sp.Contender).(*core.Controller)
+	res.SetExtra(qmemExtra{MemBytes: ctrl.MemoryBytes()})
+	return res
 }
 
 // AblationTables reproduces the paper's footnote-2 variant: per-device
@@ -135,17 +131,17 @@ func AblationTables(o Options) Table {
 	}{{"shared per-category", false}, {"per-device", true}}
 
 	cells := make([]cell, len(variants))
-	memJobs := make([]runtime.Job, len(variants))
+	memSpecs := make([]JobSpec, len(variants))
 	for i, v := range variants {
 		perDev := v.perDevice
-		sp := fedgpoVariantSpec(rt, s, v.name, func(c *core.Config) { c.PerDeviceTables = perDev })
-		cells[i] = cell{s, sp}
-		memJobs[i] = qmemJob(s, sp)
+		c := fedgpoVariantContender(s, v.name, func(cc *core.Config) { cc.PerDeviceTables = perDev })
+		cells[i] = cell{s, c}
+		memSpecs[i] = JobSpec{Kind: KindQMem, Scenario: s, Contender: c}
 	}
 	// The shared-variant config equals the default, so its sim cells
 	// are the same cache entries Fig5/Fig6/Fig9 use.
 	sums := rt.summaries(cells, o.seeds())
-	memResults := rt.runAll(memJobs)
+	memResults := rt.runSpecs(memSpecs)
 
 	base := sums[0].MeanPPW
 	for i, v := range variants {
@@ -174,10 +170,10 @@ func AblationBeta(o Options) Table {
 	def := core.DefaultConfig().Reward.Beta
 	betas := []float64{5, 100}
 	rt := o.runtime()
-	cells := []cell{{s, fedgpoVariantSpec(rt, s, "FedGPO", nil)}}
+	cells := []cell{{s, fedgpoVariantContender(s, "FedGPO", nil)}}
 	for _, beta := range betas {
 		b := beta
-		cells = append(cells, cell{s, fedgpoVariantSpec(rt, s, fmt.Sprintf("FedGPO beta=%.0f", b),
+		cells = append(cells, cell{s, fedgpoVariantContender(s, fmt.Sprintf("FedGPO beta=%.0f", b),
 			func(c *core.Config) { c.Reward.Beta = b })})
 	}
 	sums := rt.summaries(cells, o.seeds())
@@ -207,9 +203,9 @@ func AblationColdStart(o Options) Table {
 	}
 	rt := o.runtime()
 	sums := rt.summaries([]cell{
-		{s, staticSpec(best, "Fixed (Best)")},
-		{s, fedgpoColdSpec()},
-		{s, fedgpoWarmSpec(rt, s)},
+		{s, staticContender(best, "Fixed (Best)")},
+		{s, fedgpoColdContender()},
+		{s, fedgpoWarmContender(s)},
 	}, o.seeds())
 
 	fixed := sums[0]

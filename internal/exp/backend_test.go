@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"fedgpo/internal/runtime"
+)
+
+// buildWorker compiles the real fedgpo-worker binary for the
+// cross-backend tests. The test environment always has the Go
+// toolchain (it is running the tests).
+func buildWorker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "fedgpo-worker")
+	out, err := exec.Command("go", "build", "-o", bin, "fedgpo/cmd/fedgpo-worker").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building fedgpo-worker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runRegistry renders every registry experiment under one runtime, in
+// registry order.
+func runRegistry(t *testing.T, rt *Runtime) map[string]Table {
+	t.Helper()
+	opts := registryOptions().WithRuntime(rt)
+	tables := make(map[string]Table, len(Registry()))
+	for _, e := range Registry() {
+		tables[e.ID] = e.Run(opts)
+	}
+	return tables
+}
+
+// sec54WallClockRows names the Sec54 rows whose measured column is
+// wall-clock time — the documented exception to cross-execution byte
+// identity (two fresh runs measure different real microseconds; see
+// sec54Extra). Everything else in the table is deterministic.
+var sec54WallClockRows = map[string]bool{
+	"identify per-device states":   true,
+	"choose global parameters":     true,
+	"calculate reward":             true,
+	"update Q-tables":              true,
+	"total controller overhead":    true,
+	"overhead share of round time": true,
+}
+
+// renderMasked renders a table for fresh-run-vs-fresh-run comparison:
+// identical bytes everywhere except Sec54's wall-clock cells, which
+// are blanked on both sides.
+func renderMasked(tab Table) string {
+	if tab.ID == "sec54" {
+		for i, row := range tab.Rows {
+			if len(row) >= 2 && sec54WallClockRows[row[0]] {
+				masked := append([]string(nil), row...)
+				masked[1] = "<wall-clock>"
+				tab.Rows[i] = masked
+			}
+		}
+	}
+	return tab.String()
+}
+
+// The acceptance contract of the pluggable-backend refactor, enforced
+// registry-wide:
+//
+//  1. a fresh procs run produces byte-identical tables to a fresh pool
+//     run (modulo Sec54's documented wall-clock cells — proc-count
+//     invariance itself is covered by the runtime package's backend
+//     tests at procs = 1, 2 and 5);
+//  2. a warm -cachedir rerun on the procs backend performs zero
+//     simulations and reproduces the pool run's bytes exactly, Sec54
+//     included (cached replay) — without ever spawning a worker.
+func TestProcsBackendMatchesPoolAcrossRegistry(t *testing.T) {
+	t.Cleanup(func() { fixedBestCache = sync.Map{} })
+	worker := buildWorker(t)
+
+	// Fresh pool run, persisted to disk.
+	poolDir := t.TempDir()
+	fixedBestCache = sync.Map{}
+	rtPool, err := NewRuntime(0, poolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolTables := runRegistry(t, rtPool)
+	if rtPool.Stats().Runs == 0 {
+		t.Fatal("pool run simulated nothing")
+	}
+
+	// Warm procs rerun over the pool run's cache. The worker binary is
+	// deliberately bogus: if any cell were dispatched instead of served
+	// from cache, the run would fail loudly.
+	fixedBestCache = sync.Map{}
+	warmCache, err := runtime.NewCache(poolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtWarm := NewRuntimeWithBackend(runtime.NewProcBackend(runtime.ProcConfig{
+		WorkerBin: "/nonexistent-fedgpo-worker", Procs: 4, CacheDir: poolDir,
+	}), warmCache)
+	warmTables := runRegistry(t, rtWarm)
+	if st := rtWarm.Stats(); st.Runs != 0 || st.Hits == 0 {
+		t.Errorf("warm procs rerun stats = %+v, want zero runs and nonzero hits", st)
+	}
+	if warmups, _ := rtWarm.PretrainStats(); warmups != 0 {
+		t.Errorf("warm procs rerun executed %d pretrain warm-ups, want 0", warmups)
+	}
+	for _, e := range Registry() {
+		if warmTables[e.ID].String() != poolTables[e.ID].String() {
+			t.Errorf("%s: warm procs rerun differs from the pool run", e.ID)
+		}
+	}
+
+	// Fresh procs run against its own cache directory: every cell
+	// actually executes inside worker subprocesses.
+	procsDir := t.TempDir()
+	fixedBestCache = sync.Map{}
+	procsCache, err := runtime.NewCache(procsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtProcs := NewRuntimeWithBackend(runtime.NewProcBackend(runtime.ProcConfig{
+		WorkerBin: worker, Procs: 3, CacheDir: procsDir,
+	}), procsCache)
+	procsTables := runRegistry(t, rtProcs)
+	if rtProcs.Stats().Runs == 0 {
+		t.Fatal("fresh procs run simulated nothing")
+	}
+	for _, e := range Registry() {
+		pool, procs := renderMasked(poolTables[e.ID]), renderMasked(procsTables[e.ID])
+		if pool != procs {
+			t.Errorf("%s: procs backend output differs from pool backend:\n--- pool ---\n%s--- procs ---\n%s",
+				e.ID, pool, procs)
+		}
+	}
+}

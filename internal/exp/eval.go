@@ -45,13 +45,13 @@ func FixedBestParams(w workload.Workload, o Options) fl.Params {
 
 // contenders builds the Fig. 9–11 comparison set for a scenario:
 // Fixed (Best), Adaptive (BO), Adaptive (GA), and FedGPO (warm).
-func contenders(w workload.Workload, s Scenario, o Options, rt *Runtime) []spec {
+func contenders(w workload.Workload, s Scenario, o Options) []ContenderSpec {
 	best := FixedBestParams(w, o)
-	return []spec{
-		staticSpec(best, "Fixed (Best)"),
-		{"Adaptive (BO)", "adaptive-bo/seed=1", func() fl.Controller { return baseline.NewBO(1) }},
-		{"Adaptive (GA)", "adaptive-ga/seed=1", func() fl.Controller { return baseline.NewGA(1) }},
-		fedgpoWarmSpec(rt, s),
+	return []ContenderSpec{
+		staticContender(best, "Fixed (Best)"),
+		{Type: ContBO, Name: "Adaptive (BO)", CtrlSeed: 1},
+		{Type: ContGA, Name: "Adaptive (GA)", CtrlSeed: 1},
+		fedgpoWarmContender(s),
 	}
 }
 
@@ -60,7 +60,7 @@ func contenders(w workload.Workload, s Scenario, o Options, rt *Runtime) []spec 
 type compareGroup struct {
 	label string
 	s     Scenario
-	cs    []spec
+	cs    []ContenderSpec
 }
 
 // comparisonRows fans every group's (contender × seed) cells through
@@ -87,7 +87,7 @@ func comparisonRows(t *Table, groups []compareGroup, seeds []int64, rt *Runtime)
 			}
 			ppwN := sum.MeanPPW / baseSummary.MeanPPW
 			speedN := baseSummary.MeanTimeToConvSec / sum.MeanTimeToConvSec
-			t.AddRow(g.label, c.name, fmtRatio(ppwN), fmtRatio(speedN),
+			t.AddRow(g.label, c.Name, fmtRatio(ppwN), fmtRatio(speedN),
 				fmtPct(100*sum.MeanFinalAccuracy),
 				fmt.Sprintf("%.0f", sum.MeanConvergenceRound))
 		}
@@ -108,7 +108,7 @@ func Fig9(o Options) Table {
 	var groups []compareGroup
 	for _, w := range workload.All() {
 		s := o.apply(Realistic(w))
-		groups = append(groups, compareGroup{w.Name, s, contenders(w, s, o, rt)})
+		groups = append(groups, compareGroup{w.Name, s, contenders(w, s, o)})
 	}
 	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
@@ -133,7 +133,7 @@ func Fig10(o Options) Table {
 		o.apply(InterferenceOnly(w)),
 		o.apply(UnstableNetworkOnly(w)),
 	} {
-		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o, rt)})
+		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o)})
 	}
 	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
@@ -156,7 +156,7 @@ func Fig11(o Options) Table {
 		o.apply(Ideal(w)),
 		o.apply(NonIIDScenario(w)),
 	} {
-		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o, rt)})
+		groups = append(groups, compareGroup{s.Name, s, contenders(w, s, o)})
 	}
 	comparisonRows(&t, groups, o.seeds(), rt)
 	t.Notes = append(t.Notes,
@@ -183,11 +183,11 @@ func Fig12(o Options) Table {
 	} {
 		// Normalize to FedEX (first row) so the FedGPO rows read as the
 		// paper's "1.5x over FedEX" style ratios.
-		cs := []spec{
-			{"FedEX", "fedex/seed=1", func() fl.Controller { return baseline.NewFedEX(1) }},
-			{"ABS", "abs/cfg=" + canonJSON(abs.DefaultConfig()),
-				func() fl.Controller { return abs.New(abs.DefaultConfig()) }},
-			fedgpoWarmSpec(rt, s),
+		absCfg := abs.DefaultConfig()
+		cs := []ContenderSpec{
+			{Type: ContFedEX, Name: "FedEX", CtrlSeed: 1},
+			{Type: ContABS, Name: "ABS", ABS: &absCfg},
+			fedgpoWarmContender(s),
 		}
 		groups = append(groups, compareGroup{s.Name, s, cs})
 	}

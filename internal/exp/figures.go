@@ -122,9 +122,9 @@ func Fig1(o Options) Table {
 	}
 
 	cells := make([]cell, 0, len(points)+1)
-	cells = append(cells, cell{s, staticSpec(fl.DefaultParams(), "")})
+	cells = append(cells, cell{s, staticContender(fl.DefaultParams(), "")})
 	for _, pt := range points {
-		cells = append(cells, cell{s, staticSpec(pt.p, "")})
+		cells = append(cells, cell{s, staticContender(pt.p, "")})
 	}
 	sums := rt.summaries(cells, seeds)
 	base := sums[0]
@@ -165,10 +165,10 @@ func Fig2(o Options) Table {
 	var cells []cell
 	for _, w := range ws {
 		s := o.apply(Ideal(w))
-		cells = append(cells, cell{s, staticSpec(fl.DefaultParams(), "")})
+		cells = append(cells, cell{s, staticContender(fl.DefaultParams(), "")})
 		for _, b := range bGrid {
 			for _, e := range eGrid {
-				cells = append(cells, cell{s, staticSpec(fl.Params{B: b, E: e, K: 20}, "")})
+				cells = append(cells, cell{s, staticContender(fl.Params{B: b, E: e, K: 20}, "")})
 			}
 		}
 	}
@@ -281,8 +281,8 @@ func Fig5(o Options) Table {
 	s := o.apply(Realistic(workload.CNNMNIST()))
 	rt := o.runtime()
 	sums := rt.summaries([]cell{
-		{s, staticSpec(fl.Params{B: 8, E: 10, K: 20}, "")},
-		{s, fedgpoWarmSpec(rt, s)},
+		{s, staticContender(fl.Params{B: 8, E: 10, K: 20}, "")},
+		{s, fedgpoWarmContender(s)},
 	}, o.seeds())
 	fixed, adaptive := sums[0], sums[1]
 
@@ -315,8 +315,8 @@ func Fig6(o Options) Table {
 	s := o.apply(Realistic(workload.CNNMNIST()))
 	rt := o.runtime()
 	sums := rt.summaries([]cell{
-		{s, staticSpec(fl.Params{B: 8, E: 10, K: 20}, "")},
-		{s, fedgpoWarmSpec(rt, s)},
+		{s, staticContender(fl.Params{B: 8, E: 10, K: 20}, "")},
+		{s, fedgpoWarmContender(s)},
 	}, o.seeds())
 	fixed, adaptive := sums[0], sums[1]
 	t := Table{
@@ -366,7 +366,7 @@ func Fig7(o Options) Table {
 	var cells []cell
 	for _, regime := range regimes {
 		for _, p := range grid {
-			cells = append(cells, cell{regime.s, staticSpec(p, "")})
+			cells = append(cells, cell{regime.s, staticContender(p, "")})
 		}
 	}
 	sums := rt.summaries(cells, seeds)

@@ -29,54 +29,58 @@ type oracleExtra struct {
 	MeanAccPct float64 `json:"meanAccPct"`
 }
 
-// oracleJob builds the runtime job measuring FedGPO's selection
-// accuracy on one scenario. The controller key derives from the warm
-// FedGPO spec so the probe's cache identity tracks any change to the
-// warm-up naming scheme; the spec also routes the probe's controller
-// through the runtime's pretrained-controller cache, so the probe
+// oracleSpec describes the job measuring FedGPO's selection accuracy
+// on one scenario. The controller key derives from the warm FedGPO
+// contender so the probe's cache identity tracks any change to the
+// warm-up naming scheme; the contender also routes the probe's
+// controller through the pretrained-controller cache, so the probe
 // shares its Q-table warm-up with the comparison figures touching the
 // same scenario.
-func oracleJob(rt *Runtime, s Scenario, o Options, rounds int) runtime.Job {
-	wsp := fedgpoWarmSpec(rt, s)
-	seed := o.seeds()[0]
-	return runtime.Job{
-		Kind:       "oracle",
-		Scenario:   s.cacheKey() + fmt.Sprintf("/proberounds=%d", rounds),
-		Controller: wsp.key + "/probe",
-		Seed:       seed,
-		Run: func() runtime.Result {
-			cfg := rt.config(s, seed)
-			cfg.MaxRounds = rounds
-			cfg.StopAtConvergence = false
+func oracleSpec(s Scenario, o Options, rounds int) JobSpec {
+	return JobSpec{
+		Kind:        KindOracle,
+		Scenario:    s,
+		Contender:   fedgpoWarmContender(s),
+		Seed:        o.seeds()[0],
+		ProbeRounds: rounds,
+	}
+}
 
-			ctrl := wsp.factory()
+// executeOracle runs an "oracle" spec: a full-length probe run whose
+// controller is tapped each round to score how fully the selected
+// parameters fill the round's critical path (see PredictionAccuracy).
+func executeOracle(r *Runtime, sp JobSpec) runtime.Result {
+	s := sp.Scenario
+	cfg := r.config(s, sp.Seed)
+	cfg.MaxRounds = sp.ProbeRounds
+	cfg.StopAtConvergence = false
 
-			accs := make([]float64, 0, rounds)
-			probe := &oracleProbe{
-				inner: ctrl,
-				onRound: func(obs fl.Observation, rr fl.RoundResult) {
-					if len(rr.Participants) == 0 {
-						return
-					}
-					var sumT, maxT float64
-					for _, p := range rr.Participants {
-						pt := predictedTime(s, cfg.Channel, cfg.Fleet[p.DeviceID], rr.States[p.DeviceID], p.Local)
-						sumT += pt
-						if pt > maxT {
-							maxT = pt
-						}
-					}
-					if maxT <= 0 {
-						return
-					}
-					accs = append(accs, 100*sumT/(float64(len(rr.Participants))*maxT))
-				},
+	ctrl := r.controller(s, sp.Contender)
+
+	accs := make([]float64, 0, sp.ProbeRounds)
+	probe := &oracleProbe{
+		inner: ctrl,
+		onRound: func(obs fl.Observation, rr fl.RoundResult) {
+			if len(rr.Participants) == 0 {
+				return
 			}
-			res := runtime.Result{Sim: fl.Run(cfg, probe)}
-			res.SetExtra(oracleExtra{MeanAccPct: stats.Mean(accs)})
-			return res
+			var sumT, maxT float64
+			for _, p := range rr.Participants {
+				pt := predictedTime(s, cfg.Channel, cfg.Fleet[p.DeviceID], rr.States[p.DeviceID], p.Local)
+				sumT += pt
+				if pt > maxT {
+					maxT = pt
+				}
+			}
+			if maxT <= 0 {
+				return
+			}
+			accs = append(accs, 100*sumT/(float64(len(rr.Participants))*maxT))
 		},
 	}
+	res := runtime.Result{Sim: fl.Run(cfg, probe)}
+	res.SetExtra(oracleExtra{MeanAccPct: stats.Mean(accs)})
+	return res
 }
 
 // PredictionAccuracy measures how close FedGPO's per-round selections
@@ -95,7 +99,7 @@ func oracleJob(rt *Runtime, s Scenario, o Options, rounds int) runtime.Job {
 // simulator executes, evaluated at the observed per-device state.
 func PredictionAccuracy(s Scenario, o Options, rounds int) float64 {
 	rt := o.runtime()
-	out := rt.runAll([]runtime.Job{oracleJob(rt, s, o, rounds)})[0]
+	out := rt.runSpecs([]JobSpec{oracleSpec(s, o, rounds)})[0]
 	var ex oracleExtra
 	if err := out.GetExtra(&ex); err != nil {
 		panic("exp: oracle payload: " + err.Error())
@@ -146,11 +150,11 @@ func Table5(o Options) Table {
 		{"yes", "yes", o.apply(RealisticNonIID(w))},
 	}
 	rt := o.runtime()
-	jobs := make([]runtime.Job, len(rows))
+	specs := make([]JobSpec, len(rows))
 	for i, r := range rows {
-		jobs[i] = oracleJob(rt, r.s, o, rounds)
+		specs[i] = oracleSpec(r.s, o, rounds)
 	}
-	results := rt.runAll(jobs)
+	results := rt.runSpecs(specs)
 	for i, r := range rows {
 		var ex oracleExtra
 		if err := results[i].GetExtra(&ex); err != nil {

@@ -74,6 +74,29 @@ type sec54Extra struct {
 	MemBytes         int       `json:"memBytes"`
 }
 
+// executeSec54 runs a "sec54" spec: the cold-controller probe run,
+// full length, with the controller's internal phase timers and reward
+// trace captured as the Extra payload. The *NS fields are wall-clock —
+// the one place a spec's execution is not bit-reproducible (see the
+// type comment above).
+func executeSec54(r *Runtime, sp JobSpec) runtime.Result {
+	cfg := r.config(sp.Scenario, sp.Seed)
+	cfg.StopAtConvergence = false
+	ctrl := r.controller(sp.Scenario, sp.Contender).(*core.Controller)
+	res := runtime.Result{Sim: fl.Run(cfg, ctrl)}
+	ov := ctrl.Overhead()
+	res.SetExtra(sec54Extra{
+		RewardHistory:    ctrl.RewardHistory(),
+		IdentifyStatesNS: int64(ov.IdentifyStates),
+		ChooseParamsNS:   int64(ov.ChooseParams),
+		CalcRewardNS:     int64(ov.CalcReward),
+		UpdateTablesNS:   int64(ov.UpdateTables),
+		OverheadRounds:   ov.Rounds,
+		MemBytes:         ctrl.MemoryBytes(),
+	})
+	return res
+}
+
 // Sec54 reproduces the paper's §5.4 convergence and overhead analysis:
 // the round at which the Q-table reward converges (paper: 30–40), the
 // pre- vs post-convergence energy-efficiency gap (paper: 24.2% below
@@ -86,39 +109,13 @@ func Sec54(o Options) Table {
 	if o.MaxRounds == 0 {
 		s.MaxRounds = 150
 	}
-	seed := o.seeds()[0]
-	// The controller key comes from the cold FedGPO spec so the probe's
-	// cache identity tracks any change to the cold-controller naming
-	// scheme.
-	csp := fedgpoColdSpec()
 	rt := o.runtime()
-
-	job := runtime.Job{
-		Kind: "sec54",
-		// The probe runs full-length (no convergence stop) so the
-		// reward trace covers the whole trajectory.
-		Scenario:   s.cacheKey() + "/stopconv=false",
-		Controller: csp.key,
-		Seed:       seed,
-		Run: func() runtime.Result {
-			cfg := rt.config(s, seed)
-			cfg.StopAtConvergence = false
-			ctrl := csp.factory().(*core.Controller)
-			res := runtime.Result{Sim: fl.Run(cfg, ctrl)}
-			ov := ctrl.Overhead()
-			res.SetExtra(sec54Extra{
-				RewardHistory:    ctrl.RewardHistory(),
-				IdentifyStatesNS: int64(ov.IdentifyStates),
-				ChooseParamsNS:   int64(ov.ChooseParams),
-				CalcRewardNS:     int64(ov.CalcReward),
-				UpdateTablesNS:   int64(ov.UpdateTables),
-				OverheadRounds:   ov.Rounds,
-				MemBytes:         ctrl.MemoryBytes(),
-			})
-			return res
-		},
-	}
-	out := rt.runAll([]runtime.Job{job})[0]
+	// The contender is the cold FedGPO spec so the probe's cache
+	// identity tracks any change to the cold-controller naming scheme;
+	// the sec54 kind runs it full-length (no convergence stop) so the
+	// reward trace covers the whole trajectory.
+	sp := JobSpec{Kind: KindSec54, Scenario: s, Contender: fedgpoColdContender(), Seed: o.seeds()[0]}
+	out := rt.runSpecs([]JobSpec{sp})[0]
 	var ex sec54Extra
 	if err := out.GetExtra(&ex); err != nil {
 		panic("exp: sec54 payload: " + err.Error())

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
@@ -13,7 +12,8 @@ import (
 )
 
 // Runtime bundles the experiment runtime shared by every figure
-// generated under one Options value: the sharded worker pool, the
+// generated under one Options value: the execution backend (in-process
+// worker pool or multi-process shard coordinator), the
 // content-addressed run cache, the inner (per-round) worker budget,
 // the pretrained-controller cache, and the structured result store.
 type Runtime struct {
@@ -27,6 +27,9 @@ type Runtime struct {
 	// inner is the shared per-round participant fan-out budget wired
 	// into every fl.Config this runtime builds (nil = serial rounds).
 	inner *fl.Pool
+	// onJob, when set, observes every job a batch submits (test hook
+	// for spec round-trip coverage).
+	onJob func(runtime.Job)
 
 	// The pretrained-controller singleflight: one warm-up per distinct
 	// (scenario, controller config, warm-up seed/rounds) key per
@@ -51,26 +54,36 @@ type pretrainEntry struct {
 	panicked any
 }
 
-// NewRuntime builds a runtime with the given worker count (0 selects
-// GOMAXPROCS) and optional on-disk cache directory ("" keeps the run
-// cache in memory only).
+// NewRuntime builds a runtime on the in-process pool backend with the
+// given worker count (0 selects GOMAXPROCS) and optional on-disk cache
+// directory ("" keeps the run cache in memory only).
 func NewRuntime(parallel int, cacheDir string) (*Runtime, error) {
 	cache, err := runtime.NewCache(cacheDir)
 	if err != nil {
 		return nil, err
 	}
+	return NewRuntimeWithBackend(runtime.NewPoolBackend(parallel), cache), nil
+}
+
+// NewRuntimeWithBackend builds a runtime on an explicit execution
+// backend and cache — the constructor behind the CLIs' -backend flag.
+// With a ProcBackend the batch is partitioned by canonical key across
+// worker subprocesses; sharing the cache's directory with the workers
+// gives run results and pretrained-controller snapshots one home, so
+// hit semantics match the pool backend's exactly.
+func NewRuntimeWithBackend(b runtime.Backend, cache *runtime.Cache) *Runtime {
 	return &Runtime{
-		exec:      runtime.NewExecutor(parallel, cache),
+		exec:      runtime.NewExecutorBackend(b, cache),
 		cache:     cache,
 		store:     runtime.NewStore(),
 		pretrains: make(map[string]*pretrainEntry),
-	}, nil
+	}
 }
 
 // Stats returns the executor's lifetime cache-hit/run counters.
 func (r *Runtime) Stats() runtime.Stats { return r.exec.Stats() }
 
-// Workers returns the worker-pool size.
+// Workers returns the execution backend's parallelism.
 func (r *Runtime) Workers() int { return r.exec.Workers() }
 
 // SetInnerParallel sets the shared per-round participant fan-out
@@ -96,7 +109,9 @@ func (r *Runtime) config(s Scenario, seed int64) fl.Config {
 // runs is how many Q-table warm-ups actually executed in this process,
 // distinct how many distinct pretrain keys were requested. On a cold
 // run runs == distinct (exactly one warm-up per scenario/config); on a
-// warm disk-cache rerun runs == 0.
+// warm disk-cache rerun runs == 0. Under the procs backend the
+// warm-ups execute inside worker subprocesses, so the coordinator's
+// counters stay at zero.
 func (r *Runtime) PretrainStats() (runs, distinct int) {
 	r.pretrainMu.Lock()
 	defer r.pretrainMu.Unlock()
@@ -109,7 +124,7 @@ func (r *Runtime) PretrainStats() (runs, distinct int) {
 // served through the content-addressed cache's JSON round-trip, so
 // every consumer sees identical bytes regardless of which cell warmed
 // the cache first.
-func (r *Runtime) pretrainedSnapshot(s Scenario, cfg core.Config, warmRounds int, key string) core.Snapshot {
+func (r *Runtime) pretrainedSnapshot(s Scenario, cfg core.Config, warmSeed int64, warmRounds int, key string) core.Snapshot {
 	r.pretrainMu.Lock()
 	e, ok := r.pretrains[key]
 	if !ok {
@@ -135,7 +150,7 @@ func (r *Runtime) pretrainedSnapshot(s Scenario, cfg core.Config, warmRounds int
 					panic(rec)
 				}
 			}()
-			warmCfg := r.config(s, warmupSeed)
+			warmCfg := r.config(s, warmSeed)
 			warmCfg.MaxRounds = warmRounds
 			snap := core.PretrainSnapshot(cfg, warmCfg)
 			r.pretrainRuns.Add(1)
@@ -169,25 +184,31 @@ func (r *Runtime) EnableStore() { r.record = true }
 // EnableStore was called (empty otherwise).
 func (r *Runtime) Store() *runtime.Store { return r.store }
 
-// spec pairs a contender's display name and canonical cache descriptor
-// with its controller factory.
-type spec struct {
-	name    string
-	key     string
-	factory fl.ControllerFactory
-}
-
-// cell is one (scenario, controller) simulation cell; crossed with the
-// seed set it names the runtime jobs of an experiment.
+// cell is one (scenario, contender) simulation cell; crossed with the
+// seed set it names the jobs of an experiment.
 type cell struct {
 	s Scenario
-	c spec
+	c ContenderSpec
+}
+
+// runSpecs compiles a spec batch and executes it; see runAll.
+func (r *Runtime) runSpecs(specs []JobSpec) []runtime.Result {
+	jobs := make([]runtime.Job, len(specs))
+	for i, sp := range specs {
+		jobs[i] = r.Job(sp)
+	}
+	return r.runAll(jobs)
 }
 
 // runAll executes a job batch, records the results in the store, and
 // re-panics on job failure — matching fl.Run's panic-on-invalid-config
 // semantics while still letting the rest of the batch drain.
 func (r *Runtime) runAll(jobs []runtime.Job) []runtime.Result {
+	if r.onJob != nil {
+		for _, j := range jobs {
+			r.onJob(j)
+		}
+	}
 	results := r.exec.RunAll(jobs)
 	if r.record {
 		r.store.Add(results...)
@@ -200,34 +221,26 @@ func (r *Runtime) runAll(jobs []runtime.Job) []runtime.Result {
 	return results
 }
 
-// simJob names one plain simulation cell: figures, sweeps and the
-// grid search all build their jobs here so the cells share cache
-// identity. The runtime receiver wires its inner worker budget into
-// the cell's config (which never affects the cell's result or key).
-func (r *Runtime) simJob(s Scenario, sp spec, seed int64) runtime.Job {
-	return runtime.Job{
-		Kind:       "sim",
-		Scenario:   s.cacheKey(),
-		Controller: sp.key,
-		Seed:       seed,
-		Run: func() runtime.Result {
-			return runtime.Result{Sim: fl.Run(r.config(s, seed), sp.factory())}
-		},
-	}
+// simSpec names one plain simulation cell: figures, sweeps and the
+// grid search all describe their cells here so they share cache
+// identity.
+func simSpec(s Scenario, c ContenderSpec, seed int64) JobSpec {
+	return JobSpec{Kind: KindSim, Scenario: s, Contender: c, Seed: seed}
 }
 
-// summaries fans len(cells) × len(seeds) jobs out over the worker pool
-// and aggregates each cell over its seeds in seed order, exactly as
-// fl.RunSeeds would — tables built from these summaries are
-// byte-identical to the serial path regardless of worker count.
+// summaries fans len(cells) × len(seeds) jobs out over the execution
+// backend and aggregates each cell over its seeds in seed order,
+// exactly as fl.RunSeeds would — tables built from these summaries are
+// byte-identical to the serial path regardless of backend or worker
+// count.
 func (r *Runtime) summaries(cells []cell, seeds []int64) []fl.Summary {
-	jobs := make([]runtime.Job, 0, len(cells)*len(seeds))
+	specs := make([]JobSpec, 0, len(cells)*len(seeds))
 	for _, cl := range cells {
 		for _, seed := range seeds {
-			jobs = append(jobs, r.simJob(cl.s, cl.c, seed))
+			specs = append(specs, simSpec(cl.s, cl.c, seed))
 		}
 	}
-	results := r.runAll(jobs)
+	results := r.runSpecs(specs)
 	sums := make([]fl.Summary, len(cells))
 	for i, cl := range cells {
 		per := make([]fl.Result, len(seeds))
@@ -246,11 +259,11 @@ func (r *Runtime) summaries(cells []cell, seeds []int64) []fl.Summary {
 // cache and vice versa.
 func SweepStatic(o Options, s Scenario, params []fl.Params, seed int64) []fl.Result {
 	rt := o.runtime()
-	jobs := make([]runtime.Job, len(params))
+	specs := make([]JobSpec, len(params))
 	for i, p := range params {
-		jobs[i] = rt.simJob(s, staticSpec(p, ""), seed)
+		specs[i] = simSpec(s, staticContender(p, ""), seed)
 	}
-	results := rt.runAll(jobs)
+	results := rt.runSpecs(specs)
 	out := make([]fl.Result, len(results))
 	for i, r := range results {
 		out[i] = r.Sim
@@ -261,11 +274,11 @@ func SweepStatic(o Options, s Scenario, params []fl.Params, seed int64) []fl.Res
 // gridSearchBest mirrors baseline.GridSearchBest through the runtime:
 // same candidate order, same per-candidate seed averaging, same
 // first-strictly-greater argmax — but with the grid's cells fanned out
-// over the worker pool and individually cached.
+// over the execution backend and individually cached.
 func (r *Runtime) gridSearchBest(s Scenario, grid []fl.Params, seeds []int64) fl.Params {
 	cells := make([]cell, len(grid))
 	for i, p := range grid {
-		cells[i] = cell{s, staticSpec(p, "")}
+		cells[i] = cell{s, staticContender(p, "")}
 	}
 	sums := r.summaries(cells, seeds)
 	best, bestPPW := grid[0], math.Inf(-1)
@@ -275,70 +288,4 @@ func (r *Runtime) gridSearchBest(s Scenario, grid []fl.Params, seeds []int64) fl
 		}
 	}
 	return best
-}
-
-// staticSpec names a fixed-(B,E,K) contender. The label participates
-// in the cache key: a labeled controller records its label in the
-// stored result, so labeled and unlabeled runs of the same setting
-// stay distinct cells.
-func staticSpec(p fl.Params, label string) spec {
-	name := label
-	if name == "" {
-		name = "Fixed" + p.String()
-	}
-	key := "static/" + p.String()
-	if label != "" {
-		key += "/label=" + label
-	}
-	return spec{name, key, func() fl.Controller { return &fl.Static{P: p, Label: label} }}
-}
-
-// fedgpoWarmSpec names the paper's steady-state FedGPO contender: the
-// Q-tables are trained on a warm-up run (distinct seed) and frozen,
-// matching the paper's §5.4 framing of the learning phase as amortized
-// server-side infrastructure.
-func fedgpoWarmSpec(rt *Runtime, s Scenario) spec {
-	return fedgpoVariantSpec(rt, s, "FedGPO", nil)
-}
-
-// fedgpoVariantSpec builds a warm-started FedGPO contender with a
-// customized configuration. The canonical key serializes the full
-// controller config plus the warm-up deployment, so any config
-// deviation names a distinct cell. The factory restores the controller
-// from the runtime's pretrained-controller cache — the Q-table warm-up
-// runs once per (scenario, config, warm-up seed/rounds), not once per
-// (cell, seed).
-func fedgpoVariantSpec(rt *Runtime, s Scenario, name string, mutate func(*core.Config)) spec {
-	cfg := core.DefaultConfig()
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	warmRounds := minInt(150, s.rounds())
-	key := fmt.Sprintf("fedgpo-warm/cfg=%s/warmseed=%d/warmrounds=%d",
-		canonJSON(cfg), warmupSeed, warmRounds)
-	pretrainKey := runtime.KeyFor("pretrain", s.cacheKey(), "cfg="+canonJSON(cfg),
-		fmt.Sprintf("warmseed=%d", warmupSeed), fmt.Sprintf("warmrounds=%d", warmRounds))
-	return spec{name, key, func() fl.Controller {
-		snap := rt.pretrainedSnapshot(s, cfg, warmRounds, pretrainKey)
-		return core.FromSnapshot(cfg, snap)
-	}}
-}
-
-// fedgpoColdSpec names the cold FedGPO contender (learning inside the
-// measured run).
-func fedgpoColdSpec() spec {
-	cfg := core.DefaultConfig()
-	return spec{"FedGPO (cold)", "fedgpo-cold/cfg=" + canonJSON(cfg),
-		func() fl.Controller { return core.New(cfg) }}
-}
-
-// canonJSON canonically serializes a controller config for use inside
-// a cache key. Struct fields marshal in declaration order, so the
-// encoding is stable across processes.
-func canonJSON(v any) string {
-	b, err := json.Marshal(v)
-	if err != nil {
-		panic("exp: unmarshalable config in cache key: " + err.Error())
-	}
-	return string(b)
 }

@@ -63,14 +63,14 @@ func TestPretrainPanicReplaysToEveryCell(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := Tiny().apply(Ideal(workload.Workload{})) // invalid workload: warm-up panics
-	sp := fedgpoWarmSpec(rt, bad)
+	c := fedgpoWarmContender(bad)
 	mustPanic := func(pass string) {
 		defer func() {
 			if recover() == nil {
-				t.Fatalf("%s factory call should panic, not hand out an untrained controller", pass)
+				t.Fatalf("%s controller build should panic, not hand out an untrained controller", pass)
 			}
 		}()
-		sp.factory()
+		rt.controller(bad, c)
 	}
 	mustPanic("first")
 	mustPanic("second")
@@ -87,6 +87,10 @@ func TestPretrainPanicReplaysToEveryCell(t *testing.T) {
 // executes exactly one Q-table warm-up per distinct pretrain key
 // (scenario × controller config), and the warm rerun executes none.
 func TestWarmCacheRerunZeroSimulations(t *testing.T) {
+	// Drop any fixed-best selection memoized by earlier tests at this
+	// deployment scale: the cold run must select (and disk-cache) it
+	// itself, or the warm rerun would have to re-run the grid search.
+	fixedBestCache = sync.Map{}
 	dir := t.TempDir()
 	ids := []string{"fig1", "fig5", "fig6", "fig11", "tab5", "sec54"}
 

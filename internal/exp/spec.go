@@ -1,0 +1,348 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"fedgpo/internal/abs"
+	"fedgpo/internal/baseline"
+	"fedgpo/internal/core"
+	"fedgpo/internal/fl"
+	"fedgpo/internal/runtime"
+)
+
+// Job kinds: the families of work a JobSpec can describe. Each kind
+// carries a different Extra payload and derives its cache identity
+// differently, so kinds never share cache entries.
+const (
+	// KindSim is a plain simulation cell (figures, sweeps, grid search).
+	KindSim = "sim"
+	// KindQMem probes a warm controller's Q-table memory footprint
+	// without running an evaluation.
+	KindQMem = "qmem"
+	// KindOracle measures FedGPO's selection accuracy against the
+	// per-round gap-free oracle (Table 5).
+	KindOracle = "oracle"
+	// KindSec54 is the §5.4 convergence/overhead probe.
+	KindSec54 = "sec54"
+)
+
+// Contender types: the controller families a ContenderSpec can name.
+const (
+	ContStatic     = "static"
+	ContFedGPOWarm = "fedgpo-warm"
+	ContFedGPOCold = "fedgpo-cold"
+	ContBO         = "bo"
+	ContGA         = "ga"
+	ContFedEX      = "fedex"
+	ContABS        = "abs"
+)
+
+// ContenderSpec declaratively names one controller: the policy family
+// plus every configuration value needed to rebuild it in any process.
+// It replaces the closure-held controller factories the experiment
+// constructors used to carry — a ContenderSpec is pure data, so the
+// same contender can be materialized in-process or inside a worker
+// subprocess and still share one cache identity.
+type ContenderSpec struct {
+	// Type selects the controller family (Cont* constants).
+	Type string `json:"type"`
+	// Name is the display name reports print; it does not participate
+	// in cache identity.
+	Name string `json:"name,omitempty"`
+	// Params and Label configure the static (fixed-parameter)
+	// contender. The label participates in the cache key: a labeled
+	// controller records its label in the stored result, so labeled and
+	// unlabeled runs of the same setting stay distinct cells.
+	Params fl.Params `json:"params,omitempty"`
+	Label  string    `json:"label,omitempty"`
+	// Core is the full FedGPO configuration (warm and cold variants).
+	Core *core.Config `json:"core,omitempty"`
+	// WarmSeed and WarmRounds describe the warm variant's Q-table
+	// warm-up deployment; together with Core and the scenario they
+	// address the pretrained-controller snapshot.
+	WarmSeed   int64 `json:"warmSeed,omitempty"`
+	WarmRounds int   `json:"warmRounds,omitempty"`
+	// ABS is the full ABS configuration.
+	ABS *abs.Config `json:"abs,omitempty"`
+	// CtrlSeed seeds the BO/GA/FedEX baselines.
+	CtrlSeed int64 `json:"ctrlSeed,omitempty"`
+}
+
+// key returns the contender's canonical cache descriptor — the
+// controller half of a job key. The strings are byte-identical to the
+// closure-era scheme, so existing cache directories stay valid.
+func (c ContenderSpec) key() string {
+	switch c.Type {
+	case ContStatic:
+		k := "static/" + c.Params.String()
+		if c.Label != "" {
+			k += "/label=" + c.Label
+		}
+		return k
+	case ContFedGPOWarm:
+		return fmt.Sprintf("fedgpo-warm/cfg=%s/warmseed=%d/warmrounds=%d",
+			canonJSON(*c.Core), c.WarmSeed, c.WarmRounds)
+	case ContFedGPOCold:
+		return "fedgpo-cold/cfg=" + canonJSON(*c.Core)
+	case ContBO:
+		return fmt.Sprintf("adaptive-bo/seed=%d", c.CtrlSeed)
+	case ContGA:
+		return fmt.Sprintf("adaptive-ga/seed=%d", c.CtrlSeed)
+	case ContFedEX:
+		return fmt.Sprintf("fedex/seed=%d", c.CtrlSeed)
+	case ContABS:
+		return "abs/cfg=" + canonJSON(*c.ABS)
+	default:
+		panic("exp: unknown contender type " + c.Type)
+	}
+}
+
+// validate checks that the spec carries the configuration its type
+// requires, so a malformed wire spec fails at decode time rather than
+// as a nil dereference mid-job.
+func (c ContenderSpec) validate() error {
+	switch c.Type {
+	case ContStatic, ContBO, ContGA, ContFedEX:
+		return nil
+	case ContFedGPOWarm, ContFedGPOCold:
+		if c.Core == nil {
+			return fmt.Errorf("exp: contender %q missing core config", c.Type)
+		}
+		return nil
+	case ContABS:
+		if c.ABS == nil {
+			return fmt.Errorf("exp: contender %q missing abs config", c.Type)
+		}
+		return nil
+	default:
+		return fmt.Errorf("exp: unknown contender type %q", c.Type)
+	}
+}
+
+// JobSpec is the declarative, serializable description of one job:
+// scenario configuration, contender specification, run seed, and the
+// kind-specific probe knobs. Every job the experiment harness emits —
+// figure cells, sweep cells, grid-search cells, ablation variants, the
+// oracle and overhead probes — is a JobSpec; Runtime.Execute is the
+// single entry point that reconstructs and runs one, in this process
+// or in a worker subprocess fed the spec's JSON encoding.
+type JobSpec struct {
+	Kind      string        `json:"kind"`
+	Scenario  Scenario      `json:"scenario"`
+	Contender ContenderSpec `json:"contender"`
+	Seed      int64         `json:"seed,omitempty"`
+	// ProbeRounds bounds the oracle probe's run length; it participates
+	// in the oracle job's scenario key.
+	ProbeRounds int `json:"probeRounds,omitempty"`
+}
+
+// scenarioKey returns the scenario half of the job's canonical key,
+// including the kind-specific suffixes of the probe jobs. Identical to
+// the closure-era scheme.
+func (sp JobSpec) scenarioKey() string {
+	switch sp.Kind {
+	case KindOracle:
+		return sp.Scenario.cacheKey() + fmt.Sprintf("/proberounds=%d", sp.ProbeRounds)
+	case KindSec54:
+		return sp.Scenario.cacheKey() + "/stopconv=false"
+	default:
+		return sp.Scenario.cacheKey()
+	}
+}
+
+// controllerKey returns the controller half of the job's canonical
+// key. The oracle probe suffixes the warm contender's descriptor so
+// the probe's cache identity tracks any change to the warm-up naming
+// scheme without colliding with the plain cells.
+func (sp JobSpec) controllerKey() string {
+	k := sp.Contender.key()
+	if sp.Kind == KindOracle {
+		k += "/probe"
+	}
+	return k
+}
+
+// Key returns the job's full canonical key — the same key
+// runtime.Job.Key derives, exposed so workers can verify that a
+// decoded spec addresses the cell it was dispatched as.
+func (sp JobSpec) Key() string {
+	return runtime.Job{
+		Kind:       sp.Kind,
+		Scenario:   sp.scenarioKey(),
+		Controller: sp.controllerKey(),
+		Seed:       sp.Seed,
+	}.Key()
+}
+
+// validate checks kind and contender well-formedness.
+func (sp JobSpec) validate() error {
+	switch sp.Kind {
+	case KindSim, KindQMem, KindOracle, KindSec54:
+	default:
+		return fmt.Errorf("exp: unknown job kind %q", sp.Kind)
+	}
+	return sp.Contender.validate()
+}
+
+// EncodeJobSpec serializes a spec for the wire.
+func EncodeJobSpec(sp JobSpec) json.RawMessage {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		panic("exp: unmarshalable job spec: " + err.Error())
+	}
+	return b
+}
+
+// DecodeJobSpec parses and validates a wire spec.
+func DecodeJobSpec(b []byte) (JobSpec, error) {
+	var sp JobSpec
+	if err := json.Unmarshal(b, &sp); err != nil {
+		return JobSpec{}, fmt.Errorf("exp: job spec decode: %w", err)
+	}
+	if err := sp.validate(); err != nil {
+		return JobSpec{}, err
+	}
+	return sp, nil
+}
+
+// Job compiles a spec into a runnable runtime job: the canonical key
+// fields, the serialized spec for process-crossing backends, and the
+// in-process execution closure for the pool backend. Both execution
+// paths run through Execute, so a cell computes the same result no
+// matter which side of a process boundary it lands on.
+func (r *Runtime) Job(sp JobSpec) runtime.Job {
+	return runtime.Job{
+		Kind:       sp.Kind,
+		Scenario:   sp.scenarioKey(),
+		Controller: sp.controllerKey(),
+		Seed:       sp.Seed,
+		Payload:    EncodeJobSpec(sp),
+		Run:        func() runtime.Result { return r.Execute(sp) },
+	}
+}
+
+// RunJob executes one compiled job through the runtime's executor —
+// run-cache check, panic isolation, cache write-back. It is the
+// worker binary's per-request entry point.
+func (r *Runtime) RunJob(j runtime.Job) runtime.Result {
+	return r.exec.RunAll([]runtime.Job{j})[0]
+}
+
+// Execute reconstructs and runs one job from its declarative spec.
+// It is deterministic in the spec for every kind except the sec54
+// probe's wall-clock overhead measurements (see sec54Extra), and it is
+// the single entry point both backends funnel into — the pool backend
+// through Job's closure, worker subprocesses through the decoded wire
+// spec.
+func (r *Runtime) Execute(sp JobSpec) runtime.Result {
+	if err := sp.validate(); err != nil {
+		panic(err.Error())
+	}
+	switch sp.Kind {
+	case KindSim:
+		return runtime.Result{Sim: fl.Run(r.config(sp.Scenario, sp.Seed), r.controller(sp.Scenario, sp.Contender))}
+	case KindQMem:
+		return executeQMem(r, sp)
+	case KindOracle:
+		return executeOracle(r, sp)
+	case KindSec54:
+		return executeSec54(r, sp)
+	default:
+		panic("exp: unknown job kind " + sp.Kind)
+	}
+}
+
+// controller materializes a contender spec into a live controller for
+// a scenario. The warm FedGPO variant restores its Q-tables from the
+// runtime's pretrained-controller cache, addressed by the spec's
+// scenario, config and warm-up deployment — the warm-up runs once per
+// pretrain key per process, and once ever under a shared cache
+// directory.
+func (r *Runtime) controller(s Scenario, c ContenderSpec) fl.Controller {
+	if err := c.validate(); err != nil {
+		panic(err.Error())
+	}
+	switch c.Type {
+	case ContStatic:
+		return &fl.Static{P: c.Params, Label: c.Label}
+	case ContFedGPOWarm:
+		cfg := *c.Core
+		snap := r.pretrainedSnapshot(s, cfg, c.WarmSeed, c.WarmRounds, pretrainKey(s, cfg, c.WarmSeed, c.WarmRounds))
+		return core.FromSnapshot(cfg, snap)
+	case ContFedGPOCold:
+		return core.New(*c.Core)
+	case ContBO:
+		return baseline.NewBO(c.CtrlSeed)
+	case ContGA:
+		return baseline.NewGA(c.CtrlSeed)
+	case ContFedEX:
+		return baseline.NewFedEX(c.CtrlSeed)
+	case ContABS:
+		return abs.New(*c.ABS)
+	default:
+		panic("exp: unknown contender type " + c.Type)
+	}
+}
+
+// pretrainKey addresses a pretrained-controller snapshot in the
+// content-addressed cache: scenario, full controller config, and the
+// warm-up deployment (see the package doc's key scheme).
+func pretrainKey(s Scenario, cfg core.Config, warmSeed int64, warmRounds int) string {
+	return runtime.KeyFor("pretrain", s.cacheKey(), "cfg="+canonJSON(cfg),
+		fmt.Sprintf("warmseed=%d", warmSeed), fmt.Sprintf("warmrounds=%d", warmRounds))
+}
+
+// staticContender names a fixed-(B,E,K) contender.
+func staticContender(p fl.Params, label string) ContenderSpec {
+	name := label
+	if name == "" {
+		name = "Fixed" + p.String()
+	}
+	return ContenderSpec{Type: ContStatic, Name: name, Params: p, Label: label}
+}
+
+// fedgpoWarmContender names the paper's steady-state FedGPO contender:
+// the Q-tables are trained on a warm-up run (distinct seed) and
+// frozen, matching the paper's §5.4 framing of the learning phase as
+// amortized server-side infrastructure.
+func fedgpoWarmContender(s Scenario) ContenderSpec {
+	return fedgpoVariantContender(s, "FedGPO", nil)
+}
+
+// fedgpoVariantContender builds a warm-started FedGPO contender with a
+// customized configuration. The spec serializes the full controller
+// config plus the warm-up deployment, so any config deviation names a
+// distinct cell — and any process can rebuild the controller from the
+// spec alone.
+func fedgpoVariantContender(s Scenario, name string, mutate func(*core.Config)) ContenderSpec {
+	cfg := core.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return ContenderSpec{
+		Type:       ContFedGPOWarm,
+		Name:       name,
+		Core:       &cfg,
+		WarmSeed:   warmupSeed,
+		WarmRounds: minInt(150, s.rounds()),
+	}
+}
+
+// fedgpoColdContender names the cold FedGPO contender (learning inside
+// the measured run).
+func fedgpoColdContender() ContenderSpec {
+	cfg := core.DefaultConfig()
+	return ContenderSpec{Type: ContFedGPOCold, Name: "FedGPO (cold)", Core: &cfg}
+}
+
+// canonJSON canonically serializes a controller config for use inside
+// a cache key. Struct fields marshal in declaration order, so the
+// encoding is stable across processes.
+func canonJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic("exp: unmarshalable config in cache key: " + err.Error())
+	}
+	return string(b)
+}

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"fedgpo/internal/fl"
+	"fedgpo/internal/runtime"
+	"fedgpo/internal/workload"
+)
+
+// registryOptions is the reduced deployment the registry-wide tests
+// run at (same scale as the warm-cache test).
+func registryOptions() Options {
+	return Options{FleetSize: 20, Seeds: []int64{1}, MaxRounds: 60}
+}
+
+// comparableResult renders the parts of a result that a spec
+// re-execution must reproduce byte-for-byte. The documented exception
+// is wall-clock overhead measured inside the job (see the sec54Extra
+// and ROADMAP caveats): Result.Sim.ControllerOverheadSec on every
+// kind, plus the sec54 probe's phase timers — real elapsed time that
+// two genuine executions can never agree on; a cached replay carries
+// the first run's values. They are zeroed on both sides before
+// comparison. Everything else, every kind, must match exactly.
+func comparableResult(t *testing.T, kind string, r runtime.Result) string {
+	t.Helper()
+	r.Sim.ControllerOverheadSec = 0
+	extra := r.Extra
+	if kind == KindSec54 {
+		var ex sec54Extra
+		if err := r.GetExtra(&ex); err != nil {
+			t.Fatalf("sec54 extra: %v", err)
+		}
+		ex.IdentifyStatesNS, ex.ChooseParamsNS, ex.CalcRewardNS, ex.UpdateTablesNS = 0, 0, 0, 0
+		b, err := json.Marshal(ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		extra = b
+	}
+	b, err := json.Marshal(struct {
+		Sim   fl.Result       `json:"sim"`
+		Extra json.RawMessage `json:"extra"`
+	}{r.Sim, extra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// The tentpole contract of the spec refactor: every job the full
+// registry emits is a self-contained, serializable spec. Encoding the
+// spec, decoding it in (what stands in for) another process, and
+// executing it there must reproduce the in-process run byte for byte —
+// same canonical key, same simulator output, same Extra payload.
+func TestSpecRoundTripRegistry(t *testing.T) {
+	fixedBestCache = sync.Map{}
+	t.Cleanup(func() { fixedBestCache = sync.Map{} })
+	rtA, err := NewRuntime(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtA.EnableStore()
+	type recorded struct {
+		kind    string
+		payload json.RawMessage
+	}
+	jobs := map[string]recorded{} // canonical key -> spec payload
+	rtA.onJob = func(j runtime.Job) {
+		if len(j.Payload) == 0 {
+			t.Errorf("job %q emitted without a serialized spec", j.Key())
+			return
+		}
+		jobs[j.Key()] = recorded{j.Kind, j.Payload}
+	}
+	opts := registryOptions().WithRuntime(rtA)
+	for _, e := range Registry() {
+		e.Run(opts)
+	}
+	if len(jobs) == 0 {
+		t.Fatal("registry emitted no jobs")
+	}
+
+	// Re-execute every distinct spec in a fresh runtime: separate
+	// pretrain singleflight, empty cache — the same situation a worker
+	// subprocess starts from.
+	rtB, err := NewRuntime(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, rec := range jobs {
+		sp, err := DecodeJobSpec(rec.payload)
+		if err != nil {
+			t.Fatalf("job %q: spec does not round-trip: %v", key, err)
+		}
+		if got := sp.Key(); got != key {
+			t.Errorf("decoded spec addresses %q, emitted as %q", got, key)
+			continue
+		}
+		want, ok := rtA.Store().Get(key)
+		if !ok {
+			t.Fatalf("job %q missing from the result store", key)
+		}
+		got := rtB.Execute(sp)
+		if comparableResult(t, rec.kind, got) != comparableResult(t, rec.kind, want) {
+			t.Errorf("job %q: re-executed spec diverges from in-process run", key)
+		}
+	}
+}
+
+// Spec decoding must reject malformed wire payloads instead of
+// producing a runnable-looking job.
+func TestDecodeJobSpecRejectsMalformed(t *testing.T) {
+	good := EncodeJobSpec(simSpec(Tiny().apply(Ideal(workload.CNNMNIST())), staticContender(fl.Params{B: 8, E: 10, K: 20}, ""), 1))
+	if _, err := DecodeJobSpec(good); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	for name, payload := range map[string]string{
+		"not json":          "{nope",
+		"unknown kind":      `{"kind":"bogus","scenario":{},"contender":{"type":"static"}}`,
+		"unknown contender": `{"kind":"sim","scenario":{},"contender":{"type":"bogus"}}`,
+		"warm sans config":  `{"kind":"sim","scenario":{},"contender":{"type":"fedgpo-warm"}}`,
+		"abs sans config":   `{"kind":"sim","scenario":{},"contender":{"type":"abs"}}`,
+	} {
+		if _, err := DecodeJobSpec([]byte(payload)); err == nil {
+			t.Errorf("%s: decode should fail", name)
+		}
+	}
+}
+
+// Spec-derived keys must be byte-identical to the closure-era scheme,
+// so existing cache directories stay valid across the refactor.
+func TestSpecKeysMatchLegacyScheme(t *testing.T) {
+	s := Ideal(workload.CNNMNIST())
+	static := simSpec(s, staticContender(fl.Params{B: 8, E: 10, K: 20}, "Fixed (Best)"), 2)
+	wantStatic := "v2|sim|" + s.cacheKey() + "|static/(8,10,20)/label=Fixed (Best)|seed=2"
+	if got := static.Key(); got != wantStatic {
+		t.Errorf("static key:\n got %q\nwant %q", got, wantStatic)
+	}
+	warm := fedgpoWarmContender(s)
+	wantWarmPrefix := "fedgpo-warm/cfg={"
+	if k := warm.key(); len(k) < len(wantWarmPrefix) || k[:len(wantWarmPrefix)] != wantWarmPrefix {
+		t.Errorf("warm contender key lost its config serialization: %q", k)
+	}
+	oracle := oracleSpec(s, Tiny(), 20)
+	wantOracle := "v2|oracle|" + s.cacheKey() + "/proberounds=20|" + warm.key() + "/probe|seed=1"
+	if got := oracle.Key(); got != wantOracle {
+		t.Errorf("oracle key:\n got %q\nwant %q", got, wantOracle)
+	}
+	cold := JobSpec{Kind: KindSec54, Scenario: s, Contender: fedgpoColdContender(), Seed: 1}
+	wantCold := "v2|sec54|" + s.cacheKey() + "/stopconv=false|" + fedgpoColdContender().key() + "|seed=1"
+	if got := cold.Key(); got != wantCold {
+		t.Errorf("sec54 key:\n got %q\nwant %q", got, wantCold)
+	}
+}

@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // envelope is the on-disk cache entry: the canonical key travels with
@@ -62,7 +65,75 @@ func (c *Cache) Get(key string, v any) bool {
 	if json.Unmarshal(b, &env) != nil || env.Key != key {
 		return false
 	}
-	return json.Unmarshal(env.Payload, v) == nil
+	if json.Unmarshal(env.Payload, v) != nil {
+		return false
+	}
+	// Touch the entry so mtime tracks last use, making Prune's
+	// oldest-mtime-first order an LRU eviction. Best effort: a failed
+	// touch only skews future eviction order.
+	now := time.Now()
+	_ = os.Chtimes(c.path(hash), now, now)
+	return true
+}
+
+// Prune enforces a byte budget on the on-disk cache: entries are
+// removed oldest-mtime-first until the surviving total is at most
+// maxBytes, and orphaned put-* temp files (writers killed mid-publish)
+// are cleared. Get touches entries on every hit, so mtime order is
+// LRU order. It returns the number of entries removed (temp files not
+// counted). Memory-only caches and maxBytes <= 0 are no-ops. Call it
+// at startup, before workers share the directory — it does not
+// coordinate with concurrent writers beyond each removal being
+// atomic.
+func (c *Cache) Prune(maxBytes int64) (int, error) {
+	if c.dir == "" || maxBytes <= 0 {
+		return 0, nil
+	}
+	dirents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, fmt.Errorf("runtime: cache prune: %w", err)
+	}
+	type entry struct {
+		path  string
+		mtime time.Time
+		size  int64
+	}
+	entries := make([]entry, 0, len(dirents))
+	for _, de := range dirents {
+		if de.IsDir() {
+			continue
+		}
+		// Clear orphaned put-* temp files (a writer killed between
+		// CreateTemp and the rename publish — e.g. a worker subprocess
+		// cut down mid-Put). They are invisible to Get, so at startup
+		// they are pure garbage that would otherwise accumulate outside
+		// the byte budget forever.
+		if strings.HasPrefix(de.Name(), "put-") {
+			_ = os.Remove(filepath.Join(c.dir, de.Name()))
+			continue
+		}
+		if !strings.HasSuffix(de.Name(), ".json") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue // deleted under us: nothing to evict
+		}
+		entries = append(entries, entry{filepath.Join(c.dir, de.Name()), info.ModTime(), info.Size()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.After(entries[j].mtime) })
+	var total int64
+	removed := 0
+	for _, e := range entries {
+		total += e.size
+		if total <= maxBytes {
+			continue
+		}
+		if err := os.Remove(e.path); err == nil || os.IsNotExist(err) {
+			removed++
+		}
+	}
+	return removed, nil
 }
 
 // Put stores v under the key, in memory or (when configured) on disk.

@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fedgpo/internal/fl"
+)
+
+// Prune must evict oldest-mtime-first until the directory fits the
+// budget, and Get must touch entries so recently used cells survive
+// over merely recently written ones (LRU, not FIFO).
+func TestCachePruneEvictsLRU(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 4)
+	var entrySize int64
+	for i := range keys {
+		keys[i] = fmt.Sprintf("prune|cell-%d", i)
+		if err := cache.Put(keys[i], Result{Key: keys[i], Sim: fl.Result{PPW: float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(cache.path(HashKey(keys[i])))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entrySize = info.Size()
+		// Stagger mtimes well beyond filesystem timestamp granularity,
+		// oldest first.
+		mt := time.Now().Add(time.Duration(i-len(keys)) * time.Hour)
+		if err := os.Chtimes(cache.path(HashKey(keys[i])), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch the oldest entry through Get: a hit must refresh its mtime
+	// and save it from eviction.
+	var got Result
+	if !cache.Get(keys[0], &got) {
+		t.Fatal("entry 0 should hit before pruning")
+	}
+	// An orphaned temp file — a writer killed between CreateTemp and
+	// the rename publish — must be cleared by the prune (and not
+	// counted as an evicted entry).
+	orphan := filepath.Join(dir, "put-1234567")
+	if err := os.WriteFile(orphan, []byte("torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Budget for exactly two entries: the just-used keys[0] and the
+	// newest-written keys[3] must survive; keys[1] and keys[2] go.
+	removed, err := cache.Prune(2 * entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("pruned %d entries, want 2", removed)
+	}
+	for i, wantAlive := range []bool{true, false, false, true} {
+		if alive := cache.Get(keys[i], &got); alive != wantAlive {
+			t.Errorf("entry %d alive=%v, want %v", i, alive, wantAlive)
+		}
+	}
+	// Survivors must still round-trip intact.
+	if !cache.Get(keys[3], &got) || got.Sim.PPW != 3 {
+		t.Errorf("surviving entry corrupted: %+v", got)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphaned put-* temp file survived the prune")
+	}
+}
+
+// Prune is a no-op for memory caches and non-positive budgets.
+func TestCachePruneNoOps(t *testing.T) {
+	mem, _ := NewCache("")
+	if n, err := mem.Prune(1); n != 0 || err != nil {
+		t.Errorf("memory cache prune = %d, %v", n, err)
+	}
+	disk, _ := NewCache(t.TempDir())
+	disk.Put("k", Result{Key: "k"})
+	if n, err := disk.Prune(0); n != 0 || err != nil {
+		t.Errorf("zero-budget prune = %d, %v", n, err)
+	}
+	var got Result
+	if !disk.Get("k", &got) {
+		t.Error("zero-budget prune must not evict")
+	}
+}
+
+// Stats must come back as one consistent snapshot — a hammered
+// executor's counters always sum to the number of completed jobs.
+func TestStatsConsistentSnapshot(t *testing.T) {
+	cache, _ := NewCache("")
+	jobs := make([]Job, 40)
+	for i := range jobs {
+		jobs[i] = simJob(i % 10)
+	}
+	e := NewExecutor(8, cache)
+	stop := make(chan struct{})
+	bad := make(chan string, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := e.Stats()
+			if st.Hits < 0 || st.Runs < 0 || st.Hits+st.Runs > int64(len(jobs)*2) {
+				select {
+				case bad <- fmt.Sprintf("impossible stats snapshot: %+v", st):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	e.RunAll(jobs)
+	e.RunAll(jobs)
+	close(stop)
+	select {
+	case msg := <-bad:
+		t.Error(msg)
+	default:
+	}
+	st := e.Stats()
+	if st.Hits+st.Runs != int64(len(jobs)*2) {
+		t.Errorf("final stats %+v do not account for %d jobs", st, len(jobs)*2)
+	}
+}

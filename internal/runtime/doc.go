@@ -4,7 +4,7 @@
 // that regenerating a report or sweep only simulates cells whose
 // configuration actually changed.
 //
-// # Jobs and canonical keys
+// # Jobs, canonical keys and spec addressing
 //
 // A Job names one simulation cell — a (scenario, controller, seed)
 // triple plus a Kind tag distinguishing job families that carry
@@ -19,17 +19,75 @@
 // version prefix; bump keyVersion whenever result semantics change so
 // stale cache entries can never be replayed.
 //
-// # Execution model
+// Jobs are spec-addressed: alongside the key fields, Job.Payload
+// carries the serialized JobSpec (exp package) the cell was built
+// from — a self-contained JSON description (scenario config, declared
+// contender, seed, probe knobs) from which any process derives both
+// the same canonical key and the same result. The key fields and the
+// payload are two projections of one spec: the executor addresses the
+// cache with the former, the procs backend ships the latter across
+// the process boundary, and the worker on the far side re-derives the
+// key from the decoded spec and refuses mismatches, so a foreign spec
+// can never poison a cache entry it does not name.
 //
-// Executor.RunAll fans a batch of jobs out over N workers (default
-// GOMAXPROCS) pulling indices from a shared channel, and writes each
-// result into the slot matching its job's position, so the returned
-// slice order is deterministic regardless of worker count or
-// scheduling. A panic inside one job is recovered by its worker and
-// recorded in Result.Err; the remaining jobs still run. Progress
+// # Execution model and backends
+//
+// Executor.RunAll serves each batch in two steps: cache hits are
+// answered directly (looked up concurrently, reported in job order),
+// and the misses are handed to the executor's Backend. Results always
+// come back in job order — results[i] belongs to jobs[i] regardless
+// of backend, parallelism or scheduling — and a failed job yields a
+// Result with Err set while the rest of the batch completes. Progress
 // callbacks fire once per completed job (serialized by a mutex) and
 // report done/total counts plus whether the cell was served from
-// cache.
+// cache. Stats snapshots are taken under one lock, so hits/runs/
+// errors are always mutually consistent even mid-batch.
+//
+// Two backends exist:
+//
+//   - PoolBackend (default): the sharded in-process pool. N workers
+//     (default GOMAXPROCS) pull job indices from a shared channel and
+//     run the job bodies with per-job panic isolation.
+//
+//   - ProcBackend: the multi-process shard coordinator behind the
+//     CLIs' -backend=procs flag. Each batch is partitioned by
+//     canonical key (ShardOf: SHA-256 of the key modulo the proc
+//     count, so a cell lands on the same shard in every process); one
+//     worker subprocess is spawned per non-empty shard and fed the
+//     shard's specs. A shard whose worker fails — crash, truncated or
+//     out-of-order output — is retried once on a fresh subprocess,
+//     resending only the unanswered jobs; anything still unanswered
+//     after the retry surfaces as error results.
+//
+// # Worker wire protocol
+//
+// The coordinator and its workers (cmd/fedgpo-worker) speak
+// newline-delimited JSON over stdio. Each request on the worker's
+// stdin is a WireRequest:
+//
+//	{"key": "<canonical job key>", "spec": <serialized JobSpec>}
+//
+// and each reply on its stdout is a WireResponse, strictly one per
+// request in request order:
+//
+//	{"key": "<canonical job key>", "result": <result JSON>, "cached": bool}
+//
+// The worker decodes the spec, verifies it addresses the dispatched
+// key, and executes it through its own Executor — same cache check,
+// same panic isolation, same cache write-back as the pool path. The
+// "cached" field travels beside the result because Result.Cached is
+// deliberately excluded from result JSON; the coordinator folds it
+// into its own hit/run statistics. Worker stderr passes through to
+// the coordinator's stderr. ServeWorker implements the worker side,
+// so any binary can join the protocol.
+//
+// Workers share the coordinator's -cachedir: run results and
+// pretrained-controller snapshots written by one process are read by
+// all, which is what keeps warm-rerun and pretrain-once semantics
+// identical across backends (with a memory-only cache each worker
+// process warms its own pretrains instead; results are byte-identical
+// either way, because snapshots are deterministic and always served
+// through a lossless JSON round-trip).
 //
 // Below the job level sits a second, inner tier of parallelism: each
 // simulation may fan its per-round participant modeling across an
@@ -58,6 +116,16 @@
 // a corrupted/foreign file) is treated as a miss and the cell re-runs,
 // repairing the entry in place. Results that ended in an error are
 // never cached.
+//
+// # Cache eviction
+//
+// Disk entries no longer live forever: Cache.Prune (the CLIs'
+// -cache-max-bytes flag) removes entries oldest-mtime-first at
+// startup until the directory fits the byte budget. Get touches an
+// entry's mtime on every hit, so mtime order approximates LRU — a
+// cell a warm report still reads outlives a newer cell nothing asks
+// for. Pruning is a coordinator-startup job only; worker subprocesses
+// never prune the directory they share.
 //
 // # Pretrained-controller cache
 //

@@ -1,10 +1,7 @@
 package runtime
 
 import (
-	"fmt"
-	stdruntime "runtime"
 	"sync"
-	"sync/atomic"
 )
 
 // Progress describes one completed job within a batch.
@@ -22,65 +19,169 @@ type Progress struct {
 
 // Stats counts the executor's lifetime activity.
 type Stats struct {
-	// Hits counts jobs served from the run cache.
+	// Hits counts jobs served from the run cache — by this executor
+	// directly or, under the procs backend, by a worker subprocess
+	// reading the shared cache directory.
 	Hits int64
 	// Runs counts jobs whose body actually executed (cache misses plus
 	// all jobs when no cache is attached).
 	Runs int64
-	// Errors counts jobs whose body panicked.
+	// Errors counts jobs whose body panicked or whose worker shard
+	// failed.
 	Errors int64
 }
 
-// Executor runs job batches across a sharded worker pool with
-// deterministic result ordering and per-job panic isolation.
+// Executor runs job batches: it serves cache hits, hands the misses to
+// its execution backend, persists completed results, and keeps
+// deterministic result ordering with per-job panic isolation.
 type Executor struct {
-	workers    int
+	backend    Backend
 	cache      *Cache
 	progressMu sync.Mutex
 	onProgress func(Progress)
 
-	hits, runs, errors atomic.Int64
+	// statsMu guards stats as one unit so Stats returns a consistent
+	// snapshot — hits/runs/errors counted under a single lock, never
+	// three independent atomic loads interleaving with a running batch.
+	statsMu sync.Mutex
+	stats   Stats
 }
 
-// NewExecutor returns an executor with the given worker count
-// (workers <= 0 selects GOMAXPROCS) and optional run cache (nil runs
-// every job).
+// NewExecutor returns an executor on the in-process pool backend with
+// the given worker count (workers <= 0 selects GOMAXPROCS) and
+// optional run cache (nil runs every job).
 func NewExecutor(workers int, cache *Cache) *Executor {
-	if workers <= 0 {
-		workers = stdruntime.GOMAXPROCS(0)
-	}
-	return &Executor{workers: workers, cache: cache}
+	return NewExecutorBackend(NewPoolBackend(workers), cache)
 }
 
-// Workers returns the pool size.
-func (e *Executor) Workers() int { return e.workers }
+// NewExecutorBackend returns an executor on an explicit execution
+// backend with an optional run cache (nil runs every job).
+func NewExecutorBackend(backend Backend, cache *Cache) *Executor {
+	return &Executor{backend: backend, cache: cache}
+}
+
+// Workers returns the backend's parallelism.
+func (e *Executor) Workers() int { return e.backend.Workers() }
 
 // Cache returns the attached run cache (nil when uncached).
 func (e *Executor) Cache() *Cache { return e.cache }
+
+// Backend returns the execution backend.
+func (e *Executor) Backend() Backend { return e.backend }
 
 // SetProgress installs a callback fired once per completed job.
 // Callbacks are serialized; fn need not be safe for concurrent use.
 func (e *Executor) SetProgress(fn func(Progress)) { e.onProgress = fn }
 
-// Stats returns the lifetime hit/run/error counters.
+// Stats returns one consistent snapshot of the lifetime
+// hit/run/error counters.
 func (e *Executor) Stats() Stats {
-	return Stats{Hits: e.hits.Load(), Runs: e.runs.Load(), Errors: e.errors.Load()}
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats
+}
+
+// count applies one completed result to the stats snapshot.
+func (e *Executor) count(r Result) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	if r.Cached {
+		e.stats.Hits++
+	} else {
+		e.stats.Runs++
+	}
+	if r.Err != "" {
+		e.stats.Errors++
+	}
 }
 
 // RunAll executes the batch and returns results in job order:
-// results[i] always belongs to jobs[i], regardless of worker count or
-// scheduling. A job that panics yields a Result with Err set; the
+// results[i] always belongs to jobs[i], regardless of backend,
+// parallelism or scheduling. Cache hits are served without touching
+// the backend; a job that fails yields a Result with Err set and the
 // remaining jobs are unaffected.
 func (e *Executor) RunAll(jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
 	}
-	workers := e.workers
+	completed := 0
+	report := func(r Result) {
+		if e.onProgress == nil {
+			return
+		}
+		// Done is incremented inside the critical section so events are
+		// delivered in monotonically increasing Done order.
+		e.progressMu.Lock()
+		completed++
+		e.onProgress(Progress{
+			Done:   completed,
+			Total:  len(jobs),
+			Key:    r.Key,
+			Cached: r.Cached,
+			Failed: r.Err != "",
+		})
+		e.progressMu.Unlock()
+	}
+
+	// Serve cache hits first — checked in parallel (a warm disk-cache
+	// rerun is otherwise bottlenecked on serial file reads), reported
+	// in job order.
+	hits := e.cacheHits(jobs)
+	missIdx := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if hits[i] != nil {
+			results[i] = *hits[i]
+			e.count(results[i])
+			report(results[i])
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return results
+	}
+
+	miss := make([]Job, len(missIdx))
+	for k, i := range missIdx {
+		miss[k] = jobs[i]
+	}
+	out := e.backend.Run(miss, func(k int, r Result) {
+		e.count(r)
+		if e.cache != nil && r.Err == "" && !r.Persisted {
+			// A failed disk write only costs a future re-run. Results a
+			// worker already published to the shared cache directory are
+			// marked Persisted and skipped — re-serializing every
+			// multi-hundred-round history on the coordinator would double
+			// the cache-write I/O. With a memory-only cache this Put is
+			// what makes a worker's result visible to this process at all.
+			_ = e.cache.Put(miss[k].Key(), r)
+		}
+		report(r)
+	})
+	for k, i := range missIdx {
+		results[i] = out[k]
+	}
+	return results
+}
+
+// cacheHits looks every job up in the run cache concurrently and
+// returns the hits by batch index (nil = miss or no cache). The
+// lookup fan-out respects the backend's configured parallelism — a
+// -parallel 1 run stays single-threaded through warm batches too,
+// lookups (disk read + history unmarshal) included.
+func (e *Executor) cacheHits(jobs []Job) []*Result {
+	hits := make([]*Result, len(jobs))
+	if e.cache == nil {
+		return hits
+	}
+	workers := e.backend.Workers()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	var done atomic.Int64
+	if workers < 1 {
+		workers = 1
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -88,20 +189,10 @@ func (e *Executor) RunAll(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = e.runOne(jobs[i])
-				if e.onProgress != nil {
-					// Done is incremented inside the critical section so
-					// events are delivered in monotonically increasing
-					// Done order.
-					e.progressMu.Lock()
-					e.onProgress(Progress{
-						Done:   int(done.Add(1)),
-						Total:  len(jobs),
-						Key:    results[i].Key,
-						Cached: results[i].Cached,
-						Failed: results[i].Err != "",
-					})
-					e.progressMu.Unlock()
+				var cached Result
+				if e.cache.Get(jobs[i].Key(), &cached) && cached.Err == "" {
+					cached.Cached = true
+					hits[i] = &cached
 				}
 			}
 		}()
@@ -111,33 +202,5 @@ func (e *Executor) RunAll(jobs []Job) []Result {
 	}
 	close(idx)
 	wg.Wait()
-	return results
-}
-
-// runOne serves one job from the cache or executes it, isolating
-// panics.
-func (e *Executor) runOne(j Job) (res Result) {
-	key := j.Key()
-	if e.cache != nil {
-		var cached Result
-		if e.cache.Get(key, &cached) && cached.Err == "" {
-			cached.Cached = true
-			e.hits.Add(1)
-			return cached
-		}
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			e.errors.Add(1)
-			res = Result{Key: key, Err: fmt.Sprintf("%v", r)}
-		}
-	}()
-	e.runs.Add(1)
-	res = j.Run()
-	res.Key = key
-	if e.cache != nil && res.Err == "" {
-		// A failed disk write only costs a future re-run.
-		_ = e.cache.Put(key, res)
-	}
-	return res
+	return hits
 }

@@ -2,7 +2,9 @@ package runtime
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -30,8 +32,16 @@ type Job struct {
 	Controller string
 	// Seed is the run seed.
 	Seed int64
+	// Payload is the job's serialized spec: a self-contained JSON
+	// description from which any process can reconstruct and execute
+	// the cell (the experiment harness encodes its JobSpec here). It is
+	// what the procs backend streams to worker subprocesses; in-process
+	// backends never read it.
+	Payload json.RawMessage
 	// Run executes the cell on a cache miss. It is called from a worker
-	// goroutine and must not share mutable state with other jobs.
+	// goroutine and must not share mutable state with other jobs. For
+	// spec-built jobs it is the in-process compilation of Payload: both
+	// must compute the same result.
 	Run func() Result
 }
 
@@ -57,4 +67,17 @@ func KeyFor(kind string, parts ...string) string {
 func HashKey(key string) string {
 	sum := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(sum[:])
+}
+
+// ShardOf deterministically assigns a canonical key to one of n
+// shards. It reuses the content-address digest, so a cell lands on the
+// same shard in every process and on every run — the property that
+// lets a coordinator partition a batch across workers without
+// coordination.
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	sum := sha256.Sum256([]byte(key))
+	return int(binary.BigEndian.Uint32(sum[:4]) % uint32(n))
 }

@@ -1,0 +1,230 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	stdruntime "runtime"
+	"sync"
+)
+
+// WireRequest is one job dispatched to a worker subprocess: the
+// canonical key it is addressed by plus the serialized spec the worker
+// reconstructs it from (Job.Payload).
+type WireRequest struct {
+	Key  string          `json:"key"`
+	Spec json.RawMessage `json:"spec"`
+}
+
+// WireResponse is a worker's reply to one WireRequest, in request
+// order. Cached travels beside the result because Result.Cached is
+// deliberately excluded from the result's JSON form.
+type WireResponse struct {
+	Key    string `json:"key"`
+	Result Result `json:"result"`
+	Cached bool   `json:"cached,omitempty"`
+}
+
+// ServeWorker runs the worker half of the wire protocol: it decodes
+// WireRequests from r until EOF, executes each via run, and encodes
+// one WireResponse per request to w, in request order. run must not
+// panic — job-level failures belong in Result.Err (the worker binary
+// routes execution through an Executor, which isolates them).
+func ServeWorker(r io.Reader, w io.Writer, run func(key string, spec json.RawMessage) Result) error {
+	dec := json.NewDecoder(r)
+	enc := json.NewEncoder(w)
+	for {
+		var req WireRequest
+		if err := dec.Decode(&req); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("runtime: worker decode: %w", err)
+		}
+		res := run(req.Key, req.Spec)
+		if err := enc.Encode(WireResponse{Key: req.Key, Result: res, Cached: res.Cached}); err != nil {
+			return fmt.Errorf("runtime: worker encode: %w", err)
+		}
+	}
+}
+
+// ProcConfig parameterizes the multi-process shard coordinator.
+type ProcConfig struct {
+	// WorkerBin is the worker binary to spawn (cmd/fedgpo-worker, or
+	// any binary speaking the wire protocol).
+	WorkerBin string
+	// Procs is the worker subprocess count (<= 0 selects GOMAXPROCS).
+	Procs int
+	// CacheDir, when set, is forwarded to every worker as -cachedir so
+	// coordinator and workers share one content-addressed disk cache
+	// (run results and pretrained-controller snapshots alike). It must
+	// be the same directory the coordinator's own Cache reads: results
+	// coming back over the wire are marked Persisted on that
+	// assumption, so the executor skips re-writing entries the worker
+	// already published.
+	CacheDir string
+	// InnerParallel is forwarded to every worker as -inner-parallel.
+	InnerParallel int
+	// Env, when non-nil, replaces the workers' environment (nil
+	// inherits the coordinator's).
+	Env []string
+}
+
+// ProcBackend executes batches across worker subprocesses: it
+// partitions each batch into shards by canonical key (ShardOf), spawns
+// one worker per non-empty shard, streams the jobs' serialized specs
+// over stdin and reads results back from stdout. A shard whose worker
+// fails — crash, truncated output, out-of-order reply — is retried
+// once on a fresh subprocess, resending only the unanswered jobs;
+// jobs still unanswered after the retry yield error results.
+type ProcBackend struct {
+	cfg ProcConfig
+}
+
+// NewProcBackend returns a multi-process coordinator for cfg.
+func NewProcBackend(cfg ProcConfig) *ProcBackend {
+	if cfg.Procs <= 0 {
+		cfg.Procs = stdruntime.GOMAXPROCS(0)
+	}
+	return &ProcBackend{cfg: cfg}
+}
+
+// Workers returns the worker subprocess count.
+func (b *ProcBackend) Workers() int { return b.cfg.Procs }
+
+// Run executes the batch across worker subprocesses; see Backend.Run.
+func (b *ProcBackend) Run(jobs []Job, done func(int, Result)) []Result {
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	shards := make([][]int, b.cfg.Procs)
+	for i, j := range jobs {
+		// A job with no serialized spec cannot cross the process
+		// boundary; that is a programming error on the batch builder,
+		// surfaced per job rather than by panicking the batch.
+		if len(j.Payload) == 0 {
+			results[i] = Result{Key: j.Key(), Err: "runtime: job has no spec payload; procs backend requires spec-built jobs"}
+			if done != nil {
+				done(i, results[i])
+			}
+			continue
+		}
+		s := ShardOf(j.Key(), b.cfg.Procs)
+		shards[s] = append(shards[s], i)
+	}
+	var wg sync.WaitGroup
+	for _, idxs := range shards {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			b.runShard(jobs, idxs, results, done)
+		}(idxs)
+	}
+	wg.Wait()
+	return results
+}
+
+// runShard drives one shard to completion: one worker subprocess,
+// plus one retry on a fresh subprocess covering whatever the first
+// left unanswered.
+func (b *ProcBackend) runShard(jobs []Job, idxs []int, results []Result, done func(int, Result)) {
+	pending := idxs
+	var lastErr error
+	for attempt := 0; attempt < 2 && len(pending) > 0; attempt++ {
+		pending, lastErr = b.runShardProcess(jobs, pending, results, done)
+		if lastErr == nil {
+			return
+		}
+	}
+	for _, i := range pending {
+		results[i] = Result{Key: jobs[i].Key(), Err: fmt.Sprintf("runtime: worker shard failed after retry: %v", lastErr)}
+		if done != nil {
+			done(i, results[i])
+		}
+	}
+}
+
+// runShardProcess spawns one worker, streams the shard's specs to it,
+// and reads responses back in request order. It returns the indices
+// still unanswered when the worker stopped, with the error that
+// stopped it (nil when every job was answered).
+func (b *ProcBackend) runShardProcess(jobs []Job, idxs []int, results []Result, done func(int, Result)) ([]int, error) {
+	args := []string{}
+	if b.cfg.CacheDir != "" {
+		args = append(args, "-cachedir", b.cfg.CacheDir)
+	}
+	if b.cfg.InnerParallel > 0 {
+		args = append(args, "-inner-parallel", fmt.Sprint(b.cfg.InnerParallel))
+	}
+	cmd := exec.Command(b.cfg.WorkerBin, args...)
+	cmd.Env = b.cfg.Env
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return idxs, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return idxs, err
+	}
+	if err := cmd.Start(); err != nil {
+		return idxs, fmt.Errorf("spawn %s: %w", b.cfg.WorkerBin, err)
+	}
+	// Feed requests from a separate goroutine so a slow worker never
+	// deadlocks against a full stdin pipe; an encode error (worker died
+	// mid-stream) just stops the feed — the read side detects and
+	// reports the failure.
+	go func() {
+		enc := json.NewEncoder(stdin)
+		for _, i := range idxs {
+			if enc.Encode(WireRequest{Key: jobs[i].Key(), Spec: jobs[i].Payload}) != nil {
+				break
+			}
+		}
+		stdin.Close()
+	}()
+
+	dec := json.NewDecoder(stdout)
+	answered := 0
+	var protoErr error
+	for answered < len(idxs) {
+		var resp WireResponse
+		if err := dec.Decode(&resp); err != nil {
+			protoErr = fmt.Errorf("worker reply %d/%d: %w", answered+1, len(idxs), err)
+			break
+		}
+		i := idxs[answered]
+		if want := jobs[i].Key(); resp.Key != want {
+			protoErr = fmt.Errorf("worker replied out of order: got %q, want %q", resp.Key, want)
+			break
+		}
+		r := resp.Result
+		r.Cached = resp.Cached
+		// With a shared cache directory the worker's executor already
+		// published the entry (best effort — a failed worker write costs
+		// a future re-run, exactly like a failed coordinator write).
+		r.Persisted = b.cfg.CacheDir != "" && r.Err == ""
+		results[i] = r
+		if done != nil {
+			done(i, r)
+		}
+		answered++
+	}
+	if protoErr != nil {
+		// Stop a worker that is still alive but talking garbage, so
+		// Wait cannot block on its remaining output.
+		_ = cmd.Process.Kill()
+	}
+	waitErr := cmd.Wait()
+	if protoErr != nil {
+		return idxs[answered:], protoErr
+	}
+	// Every job was answered; a nonzero exit after that costs nothing.
+	_ = waitErr
+	return nil, nil
+}

@@ -1,0 +1,261 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"fedgpo/internal/fl"
+)
+
+// The procs tests exercise the shard coordinator against a stub worker
+// speaking the real wire protocol: the test binary re-executes itself
+// (TestMain checks the env var) and serves requests whose "spec" is a
+// stubSpec instead of an exp.JobSpec. The coordinator is payload
+// agnostic, so the protocol, sharding, retry and executor-integration
+// behavior under test is exactly what the fedgpo-worker binary sees.
+const stubWorkerEnv = "FEDGPO_TEST_STUB_WORKER"
+
+// stubSpec is the stub worker's job description.
+type stubSpec struct {
+	// PPW is echoed back as the result's headline metric.
+	PPW float64 `json:"ppw"`
+	// Fail makes the stub return a job-level error result.
+	Fail bool `json:"fail,omitempty"`
+	// DieOncePath makes the stub crash the whole process — before
+	// responding — unless the file already exists (it is created on the
+	// way down, so exactly the first attempt dies).
+	DieOncePath string `json:"dieOncePath,omitempty"`
+	// Garbage makes the stub write a non-protocol line instead of a
+	// response.
+	Garbage bool `json:"garbage,omitempty"`
+}
+
+func TestMain(m *testing.M) {
+	if os.Getenv(stubWorkerEnv) != "" {
+		stubWorkerMain()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func stubWorkerMain() {
+	err := ServeWorker(os.Stdin, os.Stdout, func(key string, spec json.RawMessage) Result {
+		var s stubSpec
+		if err := json.Unmarshal(spec, &s); err != nil {
+			return Result{Key: key, Err: "stub: " + err.Error()}
+		}
+		if s.DieOncePath != "" {
+			if _, err := os.Stat(s.DieOncePath); err != nil {
+				os.WriteFile(s.DieOncePath, []byte("died"), 0o644)
+				os.Exit(3)
+			}
+		}
+		if s.Garbage {
+			fmt.Println("this is not a wire response")
+			os.Exit(0)
+		}
+		if s.Fail {
+			return Result{Key: key, Err: "stub failure"}
+		}
+		return Result{Key: key, Sim: fl.Result{PPW: s.PPW}}
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// stubJob builds a spec-carrying job for the stub worker. Run is the
+// in-process equivalent, so the same jobs can drive PoolBackend.
+func stubJob(i int, s stubSpec) Job {
+	payload, _ := json.Marshal(s)
+	return Job{
+		Kind:     "sim",
+		Scenario: fmt.Sprintf("stub-%d", i),
+		Seed:     int64(i),
+		Payload:  payload,
+		Run:      func() Result { return Result{Sim: fl.Result{PPW: s.PPW}} },
+	}
+}
+
+func stubBackend(t *testing.T, procs int) *ProcBackend {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(stubWorkerEnv, "1")
+	return NewProcBackend(ProcConfig{WorkerBin: self, Procs: procs})
+}
+
+// The coordinator must return results in job order with the same
+// payloads the in-process pool produces, for any proc count.
+func TestProcBackendMatchesPool(t *testing.T) {
+	jobs := make([]Job, 23)
+	for i := range jobs {
+		jobs[i] = stubJob(i, stubSpec{PPW: float64(i) + 0.5})
+	}
+	want := NewPoolBackend(4).Run(jobs, nil)
+	for _, procs := range []int{1, 2, 5} {
+		got := stubBackend(t, procs).Run(jobs, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("procs=%d results differ from pool results", procs)
+		}
+	}
+}
+
+// ShardOf must be a stable total assignment: every job lands on
+// exactly one shard, the same one every time.
+func TestShardOfStableAndBounded(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("v2|sim|scenario-%d|c|seed=1", i)
+		s := ShardOf(key, 7)
+		if s < 0 || s >= 7 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if ShardOf(key, 7) != s {
+			t.Fatal("shard assignment unstable")
+		}
+	}
+	if ShardOf("anything", 1) != 0 {
+		t.Error("single shard must receive everything")
+	}
+}
+
+// A worker crash mid-shard must be retried once on a fresh
+// subprocess; the batch completes with correct results.
+func TestProcBackendRetriesFailedShardOnce(t *testing.T) {
+	marker := filepath.Join(t.TempDir(), "died-once")
+	jobs := []Job{
+		stubJob(0, stubSpec{PPW: 1}),
+		stubJob(1, stubSpec{PPW: 2, DieOncePath: marker}),
+		stubJob(2, stubSpec{PPW: 3}),
+	}
+	done := 0
+	results := stubBackend(t, 1).Run(jobs, func(int, Result) { done++ })
+	for i, want := range []float64{1, 2, 3} {
+		if results[i].Err != "" || results[i].Sim.PPW != want {
+			t.Errorf("job %d after retry: %+v", i, results[i])
+		}
+	}
+	if done != len(jobs) {
+		t.Errorf("done fired %d times, want %d", done, len(jobs))
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Error("stub never crashed; the retry path was not exercised")
+	}
+}
+
+// A shard that fails on both attempts must surface error results for
+// the unanswered jobs — never missing slots, never a panic.
+func TestProcBackendShardFailureSurfaces(t *testing.T) {
+	jobs := []Job{
+		stubJob(0, stubSpec{PPW: 1}),
+		stubJob(1, stubSpec{Garbage: true}),
+		stubJob(2, stubSpec{PPW: 3}),
+	}
+	results := stubBackend(t, 1).Run(jobs, nil)
+	if results[0].Err != "" || results[0].Sim.PPW != 1 {
+		t.Errorf("job answered before the failure should survive: %+v", results[0])
+	}
+	for _, i := range []int{1, 2} {
+		if !strings.Contains(results[i].Err, "worker shard failed") {
+			t.Errorf("job %d should report the shard failure, got %+v", i, results[i])
+		}
+	}
+}
+
+// A job-level error inside the worker is an error result, not a shard
+// failure: the rest of the shard still runs, exactly once.
+func TestProcBackendJobErrorDoesNotFailShard(t *testing.T) {
+	jobs := []Job{
+		stubJob(0, stubSpec{PPW: 1}),
+		stubJob(1, stubSpec{Fail: true}),
+		stubJob(2, stubSpec{PPW: 3}),
+	}
+	results := stubBackend(t, 1).Run(jobs, nil)
+	if results[0].Sim.PPW != 1 || results[2].Sim.PPW != 3 {
+		t.Errorf("healthy jobs corrupted: %+v", results)
+	}
+	if !strings.Contains(results[1].Err, "stub failure") {
+		t.Errorf("job error lost: %+v", results[1])
+	}
+}
+
+// Jobs without a serialized spec cannot cross the process boundary and
+// must fail loudly per job.
+func TestProcBackendRejectsPayloadlessJobs(t *testing.T) {
+	job := Job{Kind: "sim", Scenario: "s", Run: func() Result { return Result{} }}
+	results := stubBackend(t, 2).Run([]Job{job}, nil)
+	if !strings.Contains(results[0].Err, "no spec payload") {
+		t.Errorf("payloadless job should error, got %+v", results[0])
+	}
+}
+
+// The executor on a procs backend must keep exact cache semantics:
+// cold batch dispatches everything, warm rerun over the same cache
+// serves every cell without spawning any worker.
+func TestExecutorOnProcBackendCacheSemantics(t *testing.T) {
+	cache, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = stubJob(i, stubSpec{PPW: float64(i)})
+	}
+	cold := NewExecutorBackend(stubBackend(t, 3), cache)
+	first := cold.RunAll(jobs)
+	if st := cold.Stats(); st.Runs != int64(len(jobs)) || st.Hits != 0 {
+		t.Errorf("cold stats = %+v", st)
+	}
+	// The warm executor's backend points at a worker that would crash
+	// instantly if spawned — proving hits never reach a subprocess.
+	warmBackend := NewProcBackend(ProcConfig{WorkerBin: "/nonexistent-worker-binary", Procs: 3})
+	warm := NewExecutorBackend(warmBackend, cache)
+	second := warm.RunAll(jobs)
+	if st := warm.Stats(); st.Runs != 0 || st.Hits != int64(len(jobs)) {
+		t.Errorf("warm stats = %+v", st)
+	}
+	for i := range jobs {
+		if !second[i].Cached || second[i].Sim.PPW != first[i].Sim.PPW {
+			t.Errorf("warm result %d not served from cache: %+v", i, second[i])
+		}
+	}
+}
+
+// ServeWorker must answer every request in order and propagate the
+// Cached flag across the wire (Result.Cached is excluded from the
+// result's own JSON form).
+func TestServeWorkerOrderAndCachedFlag(t *testing.T) {
+	var in, out bytes.Buffer
+	enc := json.NewEncoder(&in)
+	for i := 0; i < 5; i++ {
+		enc.Encode(WireRequest{Key: fmt.Sprintf("k%d", i), Spec: json.RawMessage(`{}`)})
+	}
+	err := ServeWorker(&in, &out, func(key string, _ json.RawMessage) Result {
+		return Result{Key: key, Cached: key == "k2", Sim: fl.Result{PPW: 7}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&out)
+	for i := 0; i < 5; i++ {
+		var resp WireResponse
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("k%d", i); resp.Key != want {
+			t.Errorf("response %d out of order: %q", i, resp.Key)
+		}
+		if resp.Cached != (resp.Key == "k2") {
+			t.Errorf("cached flag lost for %q", resp.Key)
+		}
+	}
+}

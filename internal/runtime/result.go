@@ -23,6 +23,11 @@ type Result struct {
 	Err string `json:"err,omitempty"`
 	// Cached reports whether this result was served from the run cache.
 	Cached bool `json:"-"`
+	// Persisted reports that the result already lives in the disk cache
+	// the executor reads (set by ProcBackend when its workers share the
+	// executor's cache directory), so the executor skips the redundant
+	// re-serialization and re-write of the entry.
+	Persisted bool `json:"-"`
 }
 
 // SetExtra marshals v into the Extra payload.
