@@ -194,7 +194,7 @@ func BenchmarkAblation_ColdStart(b *testing.B) {
 //     is the dominant fixed cost of the comparison figures.
 func BenchmarkRuntimeSpeedup(b *testing.B) {
 	s := exp.Ideal(workload.CNNMNIST())
-	s.FleetSize = 20
+	s.Fleet.Size = 20
 	s.MaxRounds = 200
 	var params []fl.Params
 	for _, bb := range fl.BValues() {

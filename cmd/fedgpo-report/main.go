@@ -32,6 +32,9 @@ func main() {
 	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
 
+	if rtFlags.HandleListScenarios(os.Stdout) {
+		return
+	}
 	opts := exp.Default()
 	if *quick {
 		opts = exp.Quick()

@@ -33,6 +33,9 @@ func main() {
 	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
 
+	if rtFlags.HandleListScenarios(os.Stdout) {
+		return
+	}
 	if *list || *expID == "" {
 		fmt.Println("available experiments:")
 		for _, e := range exp.Registry() {

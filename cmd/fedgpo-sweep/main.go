@@ -5,16 +5,28 @@
 // -cachedir, repeated sweeps (and figure constructors touching the
 // same cells) are served from the run cache.
 //
+// Beyond the paper's fixed presets, -matrix generates the cross
+// product of scenario axes (fleet mix × partition alpha × network ×
+// interference × deadline × rounds) and runs one cell per generated
+// deployment, and -scenario-file loads explicit ScenarioSpec JSON.
+// Both modes run on either execution backend and share the run cache
+// with every other tool.
+//
 // Usage:
 //
 //	fedgpo-sweep -workload CNN-MNIST [-noniid] [-variance] [-quick] [-parallel N] [-inner-parallel N]
 //	             [-backend pool|procs] [-procs N] [-cachedir PATH] [-cache-max-bytes N]
+//	fedgpo-sweep -matrix "fleet=200,100;alpha=iid,0.5;net=stable,unstable" [-params 8,10,20] [-seed N]
+//	fedgpo-sweep -scenario-file scenarios.json
+//	fedgpo-sweep -list-scenarios
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"fedgpo/internal/cli"
 	"fedgpo/internal/exp"
@@ -27,15 +39,49 @@ func main() {
 	noniid := flag.Bool("noniid", false, "use the Dirichlet(0.1) non-IID partition")
 	variance := flag.Bool("variance", false, "enable interference + unstable network")
 	quick := flag.Bool("quick", false, "reduced fleet for a fast run")
+	matrix := flag.String("matrix", "",
+		"scenario-matrix axes, e.g. \"fleet=200,H5:M5:L10;alpha=iid,0.5;net=stable,unstable;intf=none,web-browsing;deadline=none,auto;rounds=100\"")
+	scenarioFile := flag.String("scenario-file", "", "run ScenarioSpec JSON (one object or an array) from this file")
+	paramsFlag := flag.String("params", "8,10,20", "the (B,E,K) setting matrix/scenario-file cells run at")
+	seed := flag.Int64("seed", 1, "run seed")
 	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
 
+	if rtFlags.HandleListScenarios(os.Stdout) {
+		return
+	}
 	w, err := workload.ByName(*wname)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	var s exp.Scenario
+	rt, err := rtFlags.Runtime()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts := exp.Default()
+	if *quick {
+		opts = exp.Quick()
+	}
+	opts = opts.WithRuntime(rt)
+
+	if *matrix != "" || *scenarioFile != "" {
+		// Scenario mode builds every deployment from its spec; the
+		// preset-selection flags would be silently ignored, so reject
+		// them (use an alpha/net/intf axis or the spec file instead).
+		if *noniid || *variance {
+			fmt.Fprintln(os.Stderr, "fedgpo-sweep: -noniid/-variance do not combine with -matrix/-scenario-file; express the deployment in the matrix axes or the spec file")
+			os.Exit(1)
+		}
+		if *quick {
+			fmt.Fprintln(os.Stderr, "fedgpo-sweep: note: -quick does not rescale -matrix/-scenario-file deployments; the specs say exactly what runs")
+		}
+		runScenarios(opts, rt, w, *matrix, *scenarioFile, *paramsFlag, *seed)
+		return
+	}
+
+	var s exp.ScenarioSpec
 	switch {
 	case *noniid && *variance:
 		s = exp.RealisticNonIID(w)
@@ -46,18 +92,8 @@ func main() {
 	default:
 		s = exp.Ideal(w)
 	}
-	opts := exp.Default()
-	if *quick {
-		opts = exp.Quick()
-	}
-	rt, err := rtFlags.Runtime()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	opts = opts.WithRuntime(rt)
 	if opts.FleetSize > 0 {
-		s.FleetSize = opts.FleetSize
+		s.Fleet.Size = opts.FleetSize
 	}
 
 	// Keep the full grid tractable: sweep the B axis at the default
@@ -72,7 +108,7 @@ func main() {
 	results := exp.SweepStatic(opts, s, params, 1)
 
 	fmt.Printf("workload=%s scenario=%s fleet=%d workers=%d\n",
-		w.Name, s.Name, s.FleetSize, rt.Workers())
+		w.Name, s.Name, s.Fleet.Composition().Total(), rt.Workers())
 	fmt.Printf("%-12s %10s %12s %14s %10s\n", "(B,E,K)", "converged", "conv round", "energy (kJ)", "PPW")
 	for i, p := range params {
 		res := results[i]
@@ -83,6 +119,86 @@ func main() {
 		fmt.Printf("%-12s %10v %12s %14.0f %10.3g\n",
 			p.String(), res.Converged, conv, res.EnergyToConvergenceJ/1000, res.PPW)
 	}
+	printStats(rt)
+}
+
+// runScenarios executes the scenario-matrix / scenario-file mode: one
+// cell per deployment at a single (B,E,K) setting. Options scaling
+// (-quick) is deliberately not applied — the specs say exactly what
+// runs, fleet included.
+func runScenarios(opts exp.Options, rt *exp.Runtime,
+	w workload.Workload, matrix, scenarioFile, paramsFlag string, seed int64) {
+
+	var specs []exp.ScenarioSpec
+	if matrix != "" {
+		ms, err := exp.ScenarioMatrix(w, matrix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = append(specs, ms...)
+	}
+	if scenarioFile != "" {
+		b, err := os.ReadFile(scenarioFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedgpo-sweep:", err)
+			os.Exit(1)
+		}
+		fs, err := exp.DecodeScenarios(b)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		specs = append(specs, fs...)
+	}
+	p, err := parseParams(paramsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	results := exp.SweepScenarios(opts, specs, p, seed)
+
+	fmt.Printf("scenarios=%d params=%s seed=%d workers=%d\n",
+		len(specs), p.String(), seed, rt.Workers())
+	fmt.Printf("%-56s %10s %12s %14s %10s\n", "scenario", "converged", "conv round", "energy (kJ)", "PPW")
+	for i, s := range specs {
+		res := results[i]
+		conv := "-"
+		if res.Converged {
+			conv = fmt.Sprint(res.ConvergenceRound)
+		}
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("scenario-%d", i)
+		}
+		fmt.Printf("%-56s %10v %12s %14.0f %10.3g\n",
+			name, res.Converged, conv, res.EnergyToConvergenceJ/1000, res.PPW)
+	}
+	printStats(rt)
+}
+
+// parseParams parses a -params value: exactly three positive
+// comma-separated integers (Sscanf would silently accept trailing
+// garbage).
+func parseParams(s string) (fl.Params, error) {
+	var p fl.Params
+	parts := strings.Split(s, ",")
+	dst := []*int{&p.B, &p.E, &p.K}
+	if len(parts) != len(dst) {
+		return p, fmt.Errorf("fedgpo-sweep: -params %q: want exactly B,E,K", s)
+	}
+	for i, part := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return p, fmt.Errorf("fedgpo-sweep: -params %q: want B,E,K positive integers", s)
+		}
+		*dst[i] = n
+	}
+	return p, nil
+}
+
+func printStats(rt *exp.Runtime) {
 	st := rt.Stats()
 	fmt.Fprintf(os.Stderr, "runtime: %d cells simulated, %d served from cache\n", st.Runs, st.Hits)
 }

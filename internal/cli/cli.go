@@ -9,12 +9,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 
 	"fedgpo/internal/exp"
 	"fedgpo/internal/runtime"
+	"fedgpo/internal/workload"
 )
 
 // BackendPool and BackendProcs are the -backend flag values.
@@ -29,7 +31,8 @@ type RuntimeFlags struct {
 	// backend; 0 = all cores).
 	Parallel int
 	// InnerParallel is the per-round participant fan-out budget
-	// (results are identical for any value).
+	// (results are identical for any value). Negative selects the
+	// adaptive split: each batch derives its budget from its shape.
 	InnerParallel int
 	// CacheDir persists the content-addressed run cache.
 	CacheDir string
@@ -42,6 +45,8 @@ type RuntimeFlags struct {
 	Procs int
 	// WorkerBin overrides the fedgpo-worker binary location.
 	WorkerBin string
+	// ListScenarios requests the scenario-preset listing and exit.
+	ListScenarios bool
 }
 
 // Register installs the shared runtime flags on fs and returns the
@@ -49,8 +54,8 @@ type RuntimeFlags struct {
 func Register(fs *flag.FlagSet) *RuntimeFlags {
 	f := &RuntimeFlags{}
 	fs.IntVar(&f.Parallel, "parallel", 0, "simulation worker count (0 = all cores)")
-	fs.IntVar(&f.InnerParallel, "inner-parallel", 0,
-		"per-round participant fan-out budget shared across simulations (0 = serial rounds; results are identical for any value)")
+	fs.IntVar(&f.InnerParallel, "inner-parallel", -1,
+		"per-round participant fan-out budget shared across simulations (-1 = derive from batch shape, 0 = serial rounds; results are identical for any value; worker subprocesses only fan out for explicit positive values)")
 	fs.StringVar(&f.CacheDir, "cachedir", "", "persist the run cache under this directory")
 	fs.Int64Var(&f.CacheMaxBytes, "cache-max-bytes", 0,
 		"evict least-recently-used cache entries at startup until the cache dir fits this byte budget (0 = keep everything)")
@@ -59,7 +64,27 @@ func Register(fs *flag.FlagSet) *RuntimeFlags {
 	fs.IntVar(&f.Procs, "procs", 0, "worker subprocess count for -backend=procs (0 = -parallel if set, else all cores)")
 	fs.StringVar(&f.WorkerBin, "worker-bin", "",
 		"fedgpo-worker binary for -backend=procs (default: next to this binary, then $PATH)")
+	fs.BoolVar(&f.ListScenarios, "list-scenarios", false,
+		"print the scenario presets and their resolved spec JSON, then exit")
 	return f
+}
+
+// HandleListScenarios prints the scenario-preset listing to w and
+// reports true when -list-scenarios was requested; callers return
+// immediately on true. Each preset is shown with its resolved
+// ScenarioSpec JSON for the CNN-MNIST workload — other workloads
+// substitute the workload block, everything else is workload-
+// independent (the auto deadline resolves per workload at run time).
+func (f *RuntimeFlags) HandleListScenarios(w io.Writer) bool {
+	if !f.ListScenarios {
+		return false
+	}
+	fmt.Fprintln(w, "scenario presets (spec JSON resolved for CNN-MNIST):")
+	for _, p := range exp.Presets() {
+		fmt.Fprintf(w, "\n%s — %s\n", p.Name, p.Description)
+		fmt.Fprintln(w, string(exp.EncodeScenario(p.Build(workload.CNNMNIST()))))
+	}
+	return true
 }
 
 // Runtime builds the experiment runtime the parsed flags describe:

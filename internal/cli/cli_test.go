@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"fedgpo/internal/exp"
 	"fedgpo/internal/runtime"
 )
 
@@ -21,11 +22,17 @@ func parse(t *testing.T, args ...string) *RuntimeFlags {
 }
 
 // The shared block must register every runtime flag once, with the
-// pool backend as the default.
+// pool backend and the adaptive inner budget as the defaults.
 func TestRegisterDefaultsAndParsing(t *testing.T) {
 	f := parse(t)
 	if f.Backend != BackendPool || f.Parallel != 0 || f.CacheDir != "" || f.CacheMaxBytes != 0 {
 		t.Errorf("unexpected defaults: %+v", f)
+	}
+	if f.InnerParallel != -1 {
+		t.Errorf("inner-parallel default = %d, want -1 (adaptive)", f.InnerParallel)
+	}
+	if f.ListScenarios {
+		t.Error("list-scenarios should default to false")
 	}
 	f = parse(t, "-parallel", "3", "-inner-parallel", "2", "-cachedir", "/tmp/x",
 		"-cache-max-bytes", "1024", "-backend", "procs", "-procs", "4", "-worker-bin", "/bin/w")
@@ -62,6 +69,46 @@ func TestRuntimeBuildsPoolAndPrunes(t *testing.T) {
 	}
 	if len(left) != 0 {
 		t.Errorf("cache dir holds %d entries after a 1-byte budget prune", len(left))
+	}
+}
+
+// -list-scenarios must print every preset with parseable resolved
+// spec JSON, and stay inert when not requested.
+func TestHandleListScenarios(t *testing.T) {
+	var quiet strings.Builder
+	if parse(t).HandleListScenarios(&quiet) {
+		t.Fatal("HandleListScenarios fired without the flag")
+	}
+	if quiet.Len() != 0 {
+		t.Errorf("inert call wrote %q", quiet.String())
+	}
+	var out strings.Builder
+	if !parse(t, "-list-scenarios").HandleListScenarios(&out) {
+		t.Fatal("HandleListScenarios did not fire with the flag")
+	}
+	s := out.String()
+	for _, p := range exp.Presets() {
+		if !strings.Contains(s, p.Name+" — ") {
+			t.Errorf("listing missing preset %q", p.Name)
+		}
+	}
+	// Every JSON block decodes back into a valid scenario spec
+	// (presets are separated by blank lines; the indented JSON holds
+	// none).
+	decoded := 0
+	for _, block := range strings.Split(s, "\n\n") {
+		i := strings.Index(block, "{")
+		if i < 0 {
+			continue
+		}
+		specs, err := exp.DecodeScenarios([]byte(block[i:]))
+		if err != nil {
+			t.Fatalf("listing JSON does not decode: %v", err)
+		}
+		decoded += len(specs)
+	}
+	if decoded != len(exp.Presets()) {
+		t.Errorf("listing decoded %d specs, want %d", decoded, len(exp.Presets()))
 	}
 }
 

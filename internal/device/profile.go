@@ -169,9 +169,18 @@ type Device struct {
 
 // FleetComposition is the number of devices of each category.
 // The paper composes 200 devices as 30 H, 70 M, 100 L by reference to
-// an in-the-field performance distribution.
+// an in-the-field performance distribution. The JSON form is the
+// device-class mix of a serialized scenario spec.
 type FleetComposition struct {
-	High, Mid, Low int
+	High int `json:"high,omitempty"`
+	Mid  int `json:"mid,omitempty"`
+	Low  int `json:"low,omitempty"`
+}
+
+// Key renders the composition canonically for cache keys, e.g.
+// "H30:M70:L100".
+func (f FleetComposition) Key() string {
+	return fmt.Sprintf("H%d:M%d:L%d", f.High, f.Mid, f.Low)
 }
 
 // PaperComposition returns the paper's 30/70/100 fleet mix.

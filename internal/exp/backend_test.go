@@ -1,12 +1,15 @@
 package exp
 
 import (
+	"encoding/json"
 	"os/exec"
 	"path/filepath"
 	"sync"
 	"testing"
 
+	"fedgpo/internal/fl"
 	"fedgpo/internal/runtime"
+	"fedgpo/internal/workload"
 )
 
 // buildWorker compiles the real fedgpo-worker binary for the
@@ -61,6 +64,72 @@ func renderMasked(tab Table) string {
 		}
 	}
 	return tab.String()
+}
+
+// The acceptance contract of the scenario-matrix generator: an
+// off-paper 2×2 matrix (partition alpha × network) runs to completion
+// on both backends with identical results, and a warm -cachedir rerun
+// performs zero simulations.
+func TestScenarioMatrixAcrossBackendsWarmCache(t *testing.T) {
+	worker := buildWorker(t)
+	specs, err := ScenarioMatrix(workload.CNNMNIST(),
+		"fleet=20;alpha=iid,0.5;net=stable,unstable;rounds=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("2x2 matrix produced %d specs", len(specs))
+	}
+	p := fl.Params{B: 8, E: 10, K: 20}
+	run := func(rt *Runtime) string {
+		res := SweepScenarios(Options{}.WithRuntime(rt), specs, p, 1)
+		for i := range res {
+			// Wall-clock, the documented fresh-vs-fresh exception (see
+			// comparableResult).
+			res[i].ControllerOverheadSec = 0
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	poolDir := t.TempDir()
+	rtPool, err := NewRuntime(0, poolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := run(rtPool)
+	if st := rtPool.Stats(); st.Runs != 4 {
+		t.Fatalf("pool matrix run simulated %d cells, want 4", st.Runs)
+	}
+
+	procsDir := t.TempDir()
+	procsCache, err := runtime.NewCache(procsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtProcs := NewRuntimeWithBackend(runtime.NewProcBackend(runtime.ProcConfig{
+		WorkerBin: worker, Procs: 2, CacheDir: procsDir,
+	}), procsCache)
+	if procs := run(rtProcs); procs != pool {
+		t.Errorf("procs matrix results differ from pool:\n--- pool ---\n%s\n--- procs ---\n%s", pool, procs)
+	}
+	if st := rtProcs.Stats(); st.Runs != 4 {
+		t.Errorf("fresh procs matrix run simulated %d cells, want 4", st.Runs)
+	}
+
+	rtWarm, err := NewRuntime(0, poolDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm := run(rtWarm); warm != pool {
+		t.Error("warm matrix rerun produced different results")
+	}
+	if st := rtWarm.Stats(); st.Runs != 0 || st.Hits != 4 {
+		t.Errorf("warm matrix rerun stats = %+v, want 0 runs / 4 hits", st)
+	}
 }
 
 // The acceptance contract of the pluggable-backend refactor, enforced

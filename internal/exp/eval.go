@@ -45,7 +45,7 @@ func FixedBestParams(w workload.Workload, o Options) fl.Params {
 
 // contenders builds the Fig. 9–11 comparison set for a scenario:
 // Fixed (Best), Adaptive (BO), Adaptive (GA), and FedGPO (warm).
-func contenders(w workload.Workload, s Scenario, o Options) []ContenderSpec {
+func contenders(w workload.Workload, s ScenarioSpec, o Options) []ContenderSpec {
 	best := FixedBestParams(w, o)
 	return []ContenderSpec{
 		staticContender(best, "Fixed (Best)"),
@@ -59,7 +59,7 @@ func contenders(w workload.Workload, s Scenario, o Options) []ContenderSpec {
 // experiment; its rows normalize to the group's first contender.
 type compareGroup struct {
 	label string
-	s     Scenario
+	s     ScenarioSpec
 	cs    []ContenderSpec
 }
 
@@ -128,7 +128,7 @@ func Fig10(o Options) Table {
 	}
 	rt := o.runtime()
 	var groups []compareGroup
-	for _, s := range []Scenario{
+	for _, s := range []ScenarioSpec{
 		o.apply(Ideal(w)),
 		o.apply(InterferenceOnly(w)),
 		o.apply(UnstableNetworkOnly(w)),
@@ -152,7 +152,7 @@ func Fig11(o Options) Table {
 	}
 	rt := o.runtime()
 	var groups []compareGroup
-	for _, s := range []Scenario{
+	for _, s := range []ScenarioSpec{
 		o.apply(Ideal(w)),
 		o.apply(NonIIDScenario(w)),
 	} {
@@ -176,7 +176,7 @@ func Fig12(o Options) Table {
 	}
 	rt := o.runtime()
 	var groups []compareGroup
-	for _, s := range []Scenario{
+	for _, s := range []ScenarioSpec{
 		o.apply(Ideal(w)),
 		o.apply(Realistic(w)),
 		o.apply(NonIIDScenario(w)),

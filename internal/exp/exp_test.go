@@ -11,7 +11,7 @@ import (
 
 func TestScenarioConfigsValidate(t *testing.T) {
 	w := workload.CNNMNIST()
-	for _, s := range []Scenario{
+	for _, s := range []ScenarioSpec{
 		Ideal(w), Realistic(w), InterferenceOnly(w),
 		UnstableNetworkOnly(w), NonIIDScenario(w), RealisticNonIID(w),
 	} {
@@ -49,16 +49,16 @@ func TestScenarioFlagsTakeEffect(t *testing.T) {
 
 func TestQuickOptionsShrinkFleet(t *testing.T) {
 	s := Quick().apply(Ideal(workload.CNNMNIST()))
-	if s.FleetSize != 100 {
-		t.Errorf("quick fleet = %d", s.FleetSize)
+	if s.Fleet.Size != 100 {
+		t.Errorf("quick fleet = %d", s.Fleet.Size)
 	}
 	cfg := s.Config(1)
 	if len(cfg.Fleet) != 100 {
 		t.Errorf("quick config fleet = %d", len(cfg.Fleet))
 	}
 	tiny := Tiny().apply(Ideal(workload.CNNMNIST()))
-	if tiny.FleetSize != 20 {
-		t.Errorf("tiny fleet = %d", tiny.FleetSize)
+	if tiny.Fleet.Size != 20 {
+		t.Errorf("tiny fleet = %d", tiny.Fleet.Size)
 	}
 }
 

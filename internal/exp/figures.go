@@ -22,12 +22,13 @@ type Options struct {
 	// Parallel is the runtime worker count (0 = GOMAXPROCS, 1 = serial).
 	Parallel int
 	// InnerParallel is the per-round participant fan-out budget shared
-	// across every concurrently running simulation (0 = serial rounds).
-	// It only shapes wall-clock: results are byte-identical for any
-	// value. It configures the transient runtime built for direct
-	// figure calls; a runtime bound via WithRuntime carries its own
-	// budget (set it with Runtime.SetInnerParallel) and this field is
-	// ignored.
+	// across every concurrently running simulation (0 = serial rounds,
+	// negative = derive the budget from each batch's shape; see
+	// Runtime.SetInnerParallel). It only shapes wall-clock: results are
+	// byte-identical for any value. It configures the transient runtime
+	// built for direct figure calls; a runtime bound via WithRuntime
+	// carries its own budget (set it with Runtime.SetInnerParallel) and
+	// this field is ignored.
 	InnerParallel int
 	// CacheDir, when set, persists the content-addressed run cache on
 	// disk so reruns only simulate cells whose configuration changed.
@@ -83,9 +84,9 @@ func (o Options) seeds() []int64 {
 	return o.Seeds
 }
 
-func (o Options) apply(s Scenario) Scenario {
+func (o Options) apply(s ScenarioSpec) ScenarioSpec {
 	if o.FleetSize > 0 {
-		s.FleetSize = o.FleetSize
+		s.Fleet.Size = o.FleetSize
 	}
 	if o.MaxRounds > 0 {
 		s.MaxRounds = o.MaxRounds
@@ -201,8 +202,13 @@ func Fig2(o Options) Table {
 // Fig3 reproduces paper Figure 3: per-round local training time of each
 // device category as a function of (a) B at E=10 and (b) E at B=8,
 // normalized to the H category at B=1 / E=10 respectively. This is a
-// pure device-model characterization (no simulation).
-func Fig3(Options) Table {
+// pure device-model characterization — it evaluates closed-form device
+// models, runs no simulation, and completes in microseconds at any
+// deployment scale — so the Options every registry constructor accepts
+// are deliberately ignored: fleet size, seeds and round budgets have
+// nothing to scale here, and a -tiny or -quick run pays the same
+// (negligible) price as a paper-scale one.
+func Fig3(_ Options) Table {
 	w := workload.CNNMNIST()
 	profiles := device.Profiles()
 	t := Table{
@@ -236,8 +242,10 @@ func Fig3(Options) Table {
 // Fig4 reproduces paper Figure 4: per-category round time (compute +
 // communication) in the absence of variance, under on-device
 // interference, and under an unstable network — normalized to H with no
-// variance.
-func Fig4(Options) Table {
+// variance. Like Fig3 it is a pure device/channel-model
+// characterization (no simulation), so Options are deliberately
+// ignored — there is no deployment to scale.
+func Fig4(_ Options) Table {
 	w := workload.CNNMNIST()
 	profiles := device.Profiles()
 	t := Table{
@@ -358,7 +366,7 @@ func Fig7(o Options) Table {
 	}
 	regimes := []struct {
 		name string
-		s    Scenario
+		s    ScenarioSpec
 	}{
 		{"IID", o.apply(Ideal(w))},
 		{"non-IID", o.apply(NonIIDScenario(w))},

@@ -15,7 +15,7 @@ import (
 // parameter choice from the same models the simulator executes:
 // compute under the observed interference plus the model round trip at
 // the observed bandwidth.
-func predictedTime(s Scenario, ch netsim.Channel, d device.Device, st fl.DeviceState, lp fl.LocalParams) float64 {
+func predictedTime(s ScenarioSpec, ch netsim.Channel, d device.Device, st fl.DeviceState, lp fl.LocalParams) float64 {
 	w := s.Workload
 	comp := device.ComputeSeconds(d.Profile, w.Shape, lp.B, lp.E, st.Samples, st.Interference)
 	comm := ch.CommRoundTrip(w.Shape.ModelBytes, st.Network).Seconds
@@ -36,7 +36,7 @@ type oracleExtra struct {
 // controller through the pretrained-controller cache, so the probe
 // shares its Q-table warm-up with the comparison figures touching the
 // same scenario.
-func oracleSpec(s Scenario, o Options, rounds int) JobSpec {
+func oracleSpec(s ScenarioSpec, o Options, rounds int) JobSpec {
 	return JobSpec{
 		Kind:        KindOracle,
 		Scenario:    s,
@@ -97,7 +97,7 @@ func executeOracle(r *Runtime, sp JobSpec) runtime.Result {
 // round where devices idle-wait half the critical path scores 50%. The
 // predicted times come from the same device/network models the
 // simulator executes, evaluated at the observed per-device state.
-func PredictionAccuracy(s Scenario, o Options, rounds int) float64 {
+func PredictionAccuracy(s ScenarioSpec, o Options, rounds int) float64 {
 	rt := o.runtime()
 	out := rt.runSpecs([]JobSpec{oracleSpec(s, o, rounds)})[0]
 	var ex oracleExtra
@@ -141,7 +141,7 @@ func Table5(o Options) Table {
 	}
 	rows := []struct {
 		label1, label2 string
-		s              Scenario
+		s              ScenarioSpec
 	}{
 		{"no", "no", o.apply(Ideal(w))},
 		{"yes (on-device interference)", "no", o.apply(InterferenceOnly(w))},

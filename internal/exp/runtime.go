@@ -27,6 +27,9 @@ type Runtime struct {
 	// inner is the shared per-round participant fan-out budget wired
 	// into every fl.Config this runtime builds (nil = serial rounds).
 	inner *fl.Pool
+	// innerAuto derives the inner budget from each batch's shape
+	// instead of a flat setting; see SetInnerParallel.
+	innerAuto bool
 	// onJob, when set, observes every job a batch submits (test hook
 	// for spec round-trip coverage).
 	onJob func(runtime.Job)
@@ -72,12 +75,25 @@ func NewRuntime(parallel int, cacheDir string) (*Runtime, error) {
 // gives run results and pretrained-controller snapshots one home, so
 // hit semantics match the pool backend's exactly.
 func NewRuntimeWithBackend(b runtime.Backend, cache *runtime.Cache) *Runtime {
-	return &Runtime{
+	r := &Runtime{
 		exec:      runtime.NewExecutorBackend(b, cache),
 		cache:     cache,
 		store:     runtime.NewStore(),
 		pretrains: make(map[string]*pretrainEntry),
 	}
+	// Under the adaptive split the inner budget is retuned per batch
+	// from the number of cells actually dispatched — cache hits don't
+	// occupy workers, so a warm batch with one invalidated cell gets
+	// the full fan-out, not a budget sized to the nominal batch. The
+	// hook runs on the batch's calling goroutine before any job body
+	// starts; batches run sequentially through a runtime, so swapping
+	// the shared pool here is safe.
+	r.exec.SetDispatch(func(misses int) {
+		if r.innerAuto {
+			r.inner = fl.NewPool(adaptiveInnerBudget(misses, r.exec.Workers()))
+		}
+	})
+	return r
 }
 
 // Stats returns the executor's lifetime cache-hit/run counters.
@@ -88,18 +104,45 @@ func (r *Runtime) Workers() int { return r.exec.Workers() }
 
 // SetInnerParallel sets the shared per-round participant fan-out
 // budget: up to n extra goroutines, lent across every simulation this
-// runtime executes concurrently (n <= 0 runs rounds serially). Results
-// are byte-identical for any value — the budget shapes wall-clock
-// only, so it deliberately does not participate in cache keys.
-func (r *Runtime) SetInnerParallel(n int) { r.inner = fl.NewPool(n) }
+// runtime executes concurrently (n == 0 runs rounds serially). A
+// negative n selects the adaptive split: each batch derives its inner
+// budget from its own shape (see adaptiveInnerBudget) — wide fan-out
+// when a few large cells would leave workers idle, none when the
+// batch already saturates the outer pool. Results are byte-identical
+// for any value — the budget shapes wall-clock only, so it
+// deliberately does not participate in cache keys.
+func (r *Runtime) SetInnerParallel(n int) {
+	r.innerAuto = n < 0
+	if r.innerAuto {
+		n = 0
+	}
+	r.inner = fl.NewPool(n)
+}
 
-// InnerParallel returns the configured inner worker budget.
+// InnerParallel returns the current inner worker budget (under the
+// adaptive split, the budget derived for the most recent batch).
 func (r *Runtime) InnerParallel() int { return r.inner.Extra() }
+
+// adaptiveInnerBudget derives the inner (per-round participant)
+// worker budget from a batch's shape: a batch with fewer cells than
+// outer workers leaves cores idle, so the spare workers are lent to
+// intra-round fan-out; a batch with at least as many cells as workers
+// keeps the tokens for the outer pool, retaining a single shared
+// helper so straggler cells at a batch's tail can still fan out.
+func adaptiveInnerBudget(cells, workers int) int {
+	if cells <= 0 || workers <= 1 {
+		return 0
+	}
+	if cells >= workers {
+		return 1
+	}
+	return workers - cells
+}
 
 // config materializes a scenario for a seed with the runtime's inner
 // worker budget attached. Every fl.Config this runtime runs — cells,
 // probes and pretraining warm-ups alike — is built here.
-func (r *Runtime) config(s Scenario, seed int64) fl.Config {
+func (r *Runtime) config(s ScenarioSpec, seed int64) fl.Config {
 	cfg := s.Config(seed)
 	cfg.Inner = r.inner
 	return cfg
@@ -124,7 +167,7 @@ func (r *Runtime) PretrainStats() (runs, distinct int) {
 // served through the content-addressed cache's JSON round-trip, so
 // every consumer sees identical bytes regardless of which cell warmed
 // the cache first.
-func (r *Runtime) pretrainedSnapshot(s Scenario, cfg core.Config, warmSeed int64, warmRounds int, key string) core.Snapshot {
+func (r *Runtime) pretrainedSnapshot(s ScenarioSpec, cfg core.Config, warmSeed int64, warmRounds int, key string) core.Snapshot {
 	r.pretrainMu.Lock()
 	e, ok := r.pretrains[key]
 	if !ok {
@@ -187,7 +230,7 @@ func (r *Runtime) Store() *runtime.Store { return r.store }
 // cell is one (scenario, contender) simulation cell; crossed with the
 // seed set it names the jobs of an experiment.
 type cell struct {
-	s Scenario
+	s ScenarioSpec
 	c ContenderSpec
 }
 
@@ -224,7 +267,7 @@ func (r *Runtime) runAll(jobs []runtime.Job) []runtime.Result {
 // simSpec names one plain simulation cell: figures, sweeps and the
 // grid search all describe their cells here so they share cache
 // identity.
-func simSpec(s Scenario, c ContenderSpec, seed int64) JobSpec {
+func simSpec(s ScenarioSpec, c ContenderSpec, seed int64) JobSpec {
 	return JobSpec{Kind: KindSim, Scenario: s, Contender: c, Seed: seed}
 }
 
@@ -257,7 +300,7 @@ func (r *Runtime) summaries(cells []cell, seeds []int64) []fl.Summary {
 // the per-run results in params order. The cells share their cache
 // identity with the figure constructors', so a sweep warms the report
 // cache and vice versa.
-func SweepStatic(o Options, s Scenario, params []fl.Params, seed int64) []fl.Result {
+func SweepStatic(o Options, s ScenarioSpec, params []fl.Params, seed int64) []fl.Result {
 	rt := o.runtime()
 	specs := make([]JobSpec, len(params))
 	for i, p := range params {
@@ -271,11 +314,32 @@ func SweepStatic(o Options, s Scenario, params []fl.Params, seed int64) []fl.Res
 	return out
 }
 
+// SweepScenarios runs one simulation per scenario spec at a single
+// static parameter setting, fanned out over the options' runtime, and
+// returns the per-run results in spec order — the executor behind
+// fedgpo-sweep's -matrix and -scenario-file modes. The cells share
+// their cache identity with every other constructor touching the same
+// deployments, so a matrix sweep warms the report cache and vice
+// versa.
+func SweepScenarios(o Options, specs []ScenarioSpec, p fl.Params, seed int64) []fl.Result {
+	rt := o.runtime()
+	jobSpecs := make([]JobSpec, len(specs))
+	for i, s := range specs {
+		jobSpecs[i] = simSpec(s, staticContender(p, ""), seed)
+	}
+	results := rt.runSpecs(jobSpecs)
+	out := make([]fl.Result, len(results))
+	for i, r := range results {
+		out[i] = r.Sim
+	}
+	return out
+}
+
 // gridSearchBest mirrors baseline.GridSearchBest through the runtime:
 // same candidate order, same per-candidate seed averaging, same
 // first-strictly-greater argmax — but with the grid's cells fanned out
 // over the execution backend and individually cached.
-func (r *Runtime) gridSearchBest(s Scenario, grid []fl.Params, seeds []int64) fl.Params {
+func (r *Runtime) gridSearchBest(s ScenarioSpec, grid []fl.Params, seeds []int64) fl.Params {
 	cells := make([]cell, len(grid))
 	for i, p := range grid {
 		cells[i] = cell{s, staticContender(p, "")}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"fedgpo/internal/device"
 	"fedgpo/internal/fl"
 	"fedgpo/internal/workload"
 )
@@ -225,7 +226,7 @@ func TestRuntimeStoreRecordsCells(t *testing.T) {
 func TestScenarioCacheKeyDistinguishesDeployments(t *testing.T) {
 	w := workload.CNNMNIST()
 	keys := map[string]string{}
-	for _, s := range []Scenario{
+	for _, s := range []ScenarioSpec{
 		Ideal(w), Realistic(w), InterferenceOnly(w),
 		UnstableNetworkOnly(w), NonIIDScenario(w), RealisticNonIID(w),
 		Tiny().apply(Ideal(w)),
@@ -240,9 +241,16 @@ func TestScenarioCacheKeyDistinguishesDeployments(t *testing.T) {
 	// explicit one name the same deployment.
 	a := Ideal(w)
 	b := Ideal(w)
-	b.FleetSize = paperFleet
+	b.Fleet = FleetSpec{Mix: device.PaperComposition(), Size: paperFleet}
 	b.MaxRounds = defaultMaxRounds
 	if a.cacheKey() != b.cacheKey() {
 		t.Error("explicit defaults should share the cache key with zero values")
+	}
+	// The display name never participates: renaming a scenario keeps
+	// its cache identity.
+	c := Ideal(w)
+	c.Name = "renamed"
+	if a.cacheKey() != c.cacheKey() {
+		t.Error("display name should not participate in the cache key")
 	}
 }

@@ -4,9 +4,20 @@
 // with the same rows/series the paper plots. The bench harness
 // (bench_test.go) and the CLI tools (cmd/fedgpo-sim, cmd/fedgpo-sweep,
 // cmd/fedgpo-report) are thin wrappers over this package.
+//
+// Scenarios are declarative data: a ScenarioSpec composes explicit
+// sub-specs for fleet composition, data partition, network model,
+// interference model and deadline policy, each with a JSON codec,
+// validation and a canonical-key contribution. The paper's presets
+// (Ideal, Realistic, ...) are thin constructors over the spec, and
+// arbitrary off-paper deployments are just different spec values —
+// see ScenarioMatrix and the fedgpo-sweep -matrix/-scenario-file
+// flags.
 package exp
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"fedgpo/internal/data"
@@ -17,28 +28,6 @@ import (
 	"fedgpo/internal/stats"
 	"fedgpo/internal/workload"
 )
-
-// Scenario is a deployment preset.
-type Scenario struct {
-	Name     string
-	Workload workload.Workload
-	// FleetSize scales the paper's 30/70/100 composition.
-	FleetSize int
-	// NonIID switches the partition from Ideal IID to Dirichlet(0.1).
-	NonIID bool
-	// Interference enables the co-running-application model.
-	Interference bool
-	// UnstableNet switches to the Gaussian-varying channel.
-	UnstableNet bool
-	// DeadlineSec, when positive, enables straggler drops at an
-	// absolute round deadline.
-	DeadlineSec float64
-	// MaxRounds bounds each run.
-	MaxRounds int
-	// PartitionSeed fixes the non-IID draw (the same data layout is
-	// shared by all controllers within an experiment).
-	PartitionSeed int64
-}
 
 // Paper environment constants.
 const (
@@ -51,143 +40,519 @@ const (
 	defaultMaxRounds = 400
 )
 
-// Ideal returns the no-variance, IID deployment for a workload.
-func Ideal(w workload.Workload) Scenario {
-	return Scenario{
-		Name:      "ideal",
-		Workload:  w,
-		FleetSize: paperFleet,
-		MaxRounds: defaultMaxRounds,
+// FleetSpec describes the device population as a device-class mix:
+// explicit per-category counts, optionally rescaled to a total size.
+// The zero value is the paper's 30/70/100 mix at 200 devices.
+type FleetSpec struct {
+	// Mix is the per-category device count before scaling; the zero
+	// value selects the paper's 30/70/100 composition.
+	Mix device.FleetComposition `json:"mix,omitempty"`
+	// Size, when positive, proportionally rescales Mix to this total
+	// (device.FleetComposition.Scale); zero keeps Mix's own total.
+	Size int `json:"size,omitempty"`
+}
+
+// Composition resolves the spec into the concrete per-category counts.
+func (f FleetSpec) Composition() device.FleetComposition {
+	mix := f.Mix
+	if mix == (device.FleetComposition{}) {
+		mix = device.PaperComposition()
+		if f.Size == 0 {
+			return mix.Scale(paperFleet)
+		}
+	}
+	if f.Size > 0 {
+		return mix.Scale(f.Size)
+	}
+	return mix
+}
+
+// Validate reports malformed fleet specs.
+func (f FleetSpec) Validate() error {
+	if f.Mix.High < 0 || f.Mix.Mid < 0 || f.Mix.Low < 0 {
+		return fmt.Errorf("exp: fleet mix counts must be non-negative, got %+v", f.Mix)
+	}
+	if f.Size < 0 {
+		return fmt.Errorf("exp: fleet size must be non-negative, got %d", f.Size)
+	}
+	if f.Composition().Total() <= 0 {
+		return fmt.Errorf("exp: fleet resolves to zero devices")
+	}
+	return nil
+}
+
+// key is the sub-spec's canonical cache-key contribution: the resolved
+// per-category counts, so equivalent specs (zero value vs explicit
+// paper mix) share cache entries.
+func (f FleetSpec) key() string { return f.Composition().Key() }
+
+// Partition kinds.
+const (
+	PartitionIID       = "iid"
+	PartitionDirichlet = "dirichlet"
+)
+
+// PartitionSpec describes the training-data distribution across the
+// fleet. The zero value is the paper's Ideal-IID partition.
+type PartitionSpec struct {
+	// Kind selects the distribution: "iid" (default) or "dirichlet".
+	Kind string `json:"kind,omitempty"`
+	// Alpha is the Dirichlet concentration (0 selects the paper's 0.1).
+	// It has no effect on IID partitions.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Seed fixes the Dirichlet draw (the same data layout is shared by
+	// all controllers within an experiment).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// alpha resolves the Dirichlet concentration default.
+func (p PartitionSpec) alpha() float64 {
+	if p.Alpha == 0 {
+		return data.PaperAlpha
+	}
+	return p.Alpha
+}
+
+// NonIID reports whether the partition is heterogeneous.
+func (p PartitionSpec) NonIID() bool { return p.Kind == PartitionDirichlet }
+
+// Materialize builds the partition for a fleet of n devices.
+func (p PartitionSpec) Materialize(n int, w workload.Workload) data.Partition {
+	if p.NonIID() {
+		return data.Dirichlet(n, w.NumClasses, w.SamplesPerDevice, p.alpha(),
+			stats.NewRNG(p.Seed))
+	}
+	return data.IID(n, w.NumClasses, w.SamplesPerDevice)
+}
+
+// Validate reports malformed partition specs.
+func (p PartitionSpec) Validate() error {
+	switch p.Kind {
+	case "", PartitionIID, PartitionDirichlet:
+	default:
+		return fmt.Errorf("exp: unknown partition kind %q (valid: %s, %s)",
+			p.Kind, PartitionIID, PartitionDirichlet)
+	}
+	if p.Alpha < 0 {
+		return fmt.Errorf("exp: Dirichlet alpha must be non-negative, got %g", p.Alpha)
+	}
+	return nil
+}
+
+// key is the sub-spec's canonical cache-key contribution. IID ignores
+// alpha and seed, so every IID spec shares one key.
+func (p PartitionSpec) key() string {
+	if !p.NonIID() {
+		return PartitionIID
+	}
+	return fmt.Sprintf("%s(alpha=%g,seed=%d)", PartitionDirichlet, p.alpha(), p.Seed)
+}
+
+// NetworkSpec describes the wireless channel: a named base model plus
+// optional Gaussian-parameter overrides. The zero value is the paper's
+// stable channel.
+type NetworkSpec struct {
+	// Kind selects the base channel: "stable" (default) or "unstable".
+	Kind string `json:"kind,omitempty"`
+	// MeanMbps/StdMbps/FloorMbps, when positive, override the base
+	// channel's Gaussian bandwidth parameters.
+	MeanMbps  float64 `json:"meanMbps,omitempty"`
+	StdMbps   float64 `json:"stdMbps,omitempty"`
+	FloorMbps float64 `json:"floorMbps,omitempty"`
+}
+
+// Channel resolves the spec into the concrete channel model.
+func (n NetworkSpec) Channel() netsim.Channel {
+	kind := n.Kind
+	if kind == "" {
+		kind = netsim.KindStable
+	}
+	ch, ok := netsim.ChannelByName(kind)
+	if !ok {
+		panic("exp: unknown network kind " + kind)
+	}
+	if n.MeanMbps > 0 {
+		ch.MeanMbps = n.MeanMbps
+	}
+	if n.StdMbps > 0 {
+		ch.StdMbps = n.StdMbps
+	}
+	if n.FloorMbps > 0 {
+		ch.FloorMbps = n.FloorMbps
+	}
+	return ch
+}
+
+// Validate reports malformed network specs.
+func (n NetworkSpec) Validate() error {
+	if n.Kind != "" {
+		if _, ok := netsim.ChannelByName(n.Kind); !ok {
+			return fmt.Errorf("exp: unknown network kind %q (valid: %s, %s)",
+				n.Kind, netsim.KindStable, netsim.KindUnstable)
+		}
+	}
+	if n.MeanMbps < 0 || n.StdMbps < 0 || n.FloorMbps < 0 {
+		return fmt.Errorf("exp: network overrides must be non-negative")
+	}
+	return nil
+}
+
+// key is the sub-spec's canonical cache-key contribution: the resolved
+// channel parameters, so a "stable" spec and an explicit spec with the
+// same numbers share cache entries.
+func (n NetworkSpec) key() string { return n.Channel().Key() }
+
+// IntfNone names the interference-free spec kind.
+const IntfNone = "none"
+
+// InterferenceSpec describes the co-running-application model: a named
+// co-runner profile plus the fraction of the fleet it is active on each
+// round. The zero value disables interference.
+type InterferenceSpec struct {
+	// Kind selects the co-runner: "none" (default), "web-browsing"
+	// (the paper's synthetic co-runner) or "heavy-game".
+	Kind string `json:"kind,omitempty"`
+	// ActiveFraction is the per-round fraction of devices running the
+	// co-runner (0 selects the paper's 0.5).
+	ActiveFraction float64 `json:"activeFraction,omitempty"`
+}
+
+// Model resolves the spec into the concrete interference model.
+func (i InterferenceSpec) Model() interfere.Model {
+	if i.Kind == "" || i.Kind == IntfNone {
+		return interfere.None()
+	}
+	prof, ok := interfere.ProfileByName(i.Kind)
+	if !ok {
+		panic("exp: unknown interference kind " + i.Kind)
+	}
+	frac := i.ActiveFraction
+	if frac == 0 {
+		frac = interfere.Paper().ActiveFraction
+	}
+	return interfere.Model{Profile: prof, ActiveFraction: frac}
+}
+
+// Validate reports malformed interference specs.
+func (i InterferenceSpec) Validate() error {
+	if i.Kind != "" && i.Kind != IntfNone {
+		if _, ok := interfere.ProfileByName(i.Kind); !ok {
+			return fmt.Errorf("exp: unknown interference kind %q (valid: %s, %s, %s)",
+				i.Kind, IntfNone, interfere.WebBrowsing().Name, interfere.HeavyGame().Name)
+		}
+	}
+	if i.ActiveFraction < 0 || i.ActiveFraction > 1 {
+		return fmt.Errorf("exp: interference active fraction must be in [0, 1], got %g",
+			i.ActiveFraction)
+	}
+	return nil
+}
+
+// key is the sub-spec's canonical cache-key contribution: the resolved
+// model parameters.
+func (i InterferenceSpec) key() string { return i.Model().Key() }
+
+// Deadline policy kinds.
+const (
+	DeadlineNone  = "none"
+	DeadlineFixed = "fixed"
+	DeadlineAuto  = "auto"
+)
+
+// Auto deadline policy defaults: the absolute straggler deadline is
+// margin × (clean slowest-category round time) + slack. The margin is
+// deliberately tight enough that a fixed configuration's interfered
+// low-end devices regularly miss it — the prior-work drop behaviour
+// whose accuracy cost the paper's Fig. 10 documents — while leaving
+// ample headroom for per-device adaptation.
+const (
+	autoDeadlineMargin   = 1.35
+	autoDeadlineSlackSec = 15.0
+)
+
+// DeadlineSpec describes the server's straggler-drop policy. The zero
+// value waits for every participant (no deadline).
+type DeadlineSpec struct {
+	// Kind selects the policy: "none" (default, wait for everyone),
+	// "fixed" (an absolute deadline of Seconds) or "auto" (derive the
+	// deadline from the workload's clean slowest-category round time).
+	Kind string `json:"kind,omitempty"`
+	// Seconds is the fixed policy's absolute deadline.
+	Seconds float64 `json:"seconds,omitempty"`
+	// Margin and SlackSec tune the auto policy (0 selects the paper
+	// margins, 1.35 and 15s).
+	Margin   float64 `json:"margin,omitempty"`
+	SlackSec float64 `json:"slackSec,omitempty"`
+}
+
+// SecondsFor resolves the policy into the absolute round deadline for
+// a workload (0 = no deadline).
+func (d DeadlineSpec) SecondsFor(w workload.Workload) float64 {
+	switch d.Kind {
+	case "", DeadlineNone:
+		return 0
+	case DeadlineFixed:
+		return d.Seconds
+	case DeadlineAuto:
+		margin, slack := d.Margin, d.SlackSec
+		if margin == 0 {
+			margin = autoDeadlineMargin
+		}
+		if slack == 0 {
+			slack = autoDeadlineSlackSec
+		}
+		return margin*cleanLowRoundSec(w) + slack
+	default:
+		panic("exp: unknown deadline kind " + d.Kind)
 	}
 }
 
-// Realistic returns the paper's default evaluation environment (§4.2):
-// the co-running application on a random device subset and the
-// Gaussian-varying Wi-Fi channel, with the prior-work straggler-drop
-// deadline active.
-func Realistic(w workload.Workload) Scenario {
-	s := Ideal(w)
-	s.Name = "realistic"
-	s.Interference = true
-	s.UnstableNet = true
-	s.DeadlineSec = deadlineFor(w)
-	return s
+// Validate reports malformed deadline specs.
+func (d DeadlineSpec) Validate() error {
+	switch d.Kind {
+	case "", DeadlineNone, DeadlineFixed, DeadlineAuto:
+	default:
+		return fmt.Errorf("exp: unknown deadline kind %q (valid: %s, %s, %s)",
+			d.Kind, DeadlineNone, DeadlineFixed, DeadlineAuto)
+	}
+	if d.Seconds < 0 || d.Margin < 0 || d.SlackSec < 0 {
+		return fmt.Errorf("exp: deadline parameters must be non-negative")
+	}
+	return nil
 }
 
-// InterferenceOnly isolates on-device interference (Fig. 10b).
-func InterferenceOnly(w workload.Workload) Scenario {
-	s := Ideal(w)
-	s.Name = "interference"
-	s.Interference = true
-	s.DeadlineSec = deadlineFor(w)
-	return s
-}
-
-// UnstableNetworkOnly isolates network variance (Fig. 10c).
-func UnstableNetworkOnly(w workload.Workload) Scenario {
-	s := Ideal(w)
-	s.Name = "unstable-network"
-	s.UnstableNet = true
-	s.DeadlineSec = deadlineFor(w)
-	return s
-}
-
-// NonIIDScenario returns the data-heterogeneity deployment (Fig. 11b).
-func NonIIDScenario(w workload.Workload) Scenario {
-	s := Ideal(w)
-	s.Name = "non-iid"
-	s.NonIID = true
-	s.PartitionSeed = 42
-	return s
-}
-
-// RealisticNonIID combines runtime variance and data heterogeneity
-// (Table 5's last row).
-func RealisticNonIID(w workload.Workload) Scenario {
-	s := Realistic(w)
-	s.Name = "realistic-non-iid"
-	s.NonIID = true
-	s.PartitionSeed = 42
-	return s
-}
-
-// deadlineFor sets the absolute straggler deadline relative to the
-// clean slowest-category round time for the workload's default
-// parameters. The margin is deliberately tight enough that a fixed
-// configuration's interfered low-end devices regularly miss it — the
-// prior-work drop behaviour whose accuracy cost the paper's Fig. 10
-// documents — while leaving ample headroom for per-device adaptation.
-func deadlineFor(w workload.Workload) float64 {
+// cleanLowRoundSec is the auto deadline policy's reference: the
+// low-end category's interference-free local training time at the
+// workload's provisioning parameters. Recurrent workloads are
+// provisioned for their longer local training (more iterations at
+// small batches, paper §2.1).
+func cleanLowRoundSec(w workload.Workload) float64 {
 	refE := 10
 	if w.RCLayers > 0 {
-		// Recurrent workloads are provisioned for their longer local
-		// training (more iterations at small batches, paper §2.1).
 		refE = 20
 	}
 	low := device.Profiles()[device.Low]
-	clean := device.ComputeSeconds(low, w.Shape, 8, refE, w.SamplesPerDevice, device.Interference{})
-	return 1.35*clean + 15
+	return device.ComputeSeconds(low, w.Shape, 8, refE, w.SamplesPerDevice, device.Interference{})
 }
 
-// rounds returns the effective round budget (Config's default
-// applied).
-func (s Scenario) rounds() int {
+// ScenarioSpec is the declarative, serializable description of one
+// deployment: the workload plus composable sub-specs for fleet
+// composition, data partition, network model, interference model and
+// deadline policy. A scenario is fully described by its spec — Name is
+// a display label and never participates in cache identity, so two
+// differently-named scenarios with the same resolved spec share cache
+// entries, and two same-named scenarios differing in any sub-spec
+// field never do.
+type ScenarioSpec struct {
+	// Name is the display label reports and sweep rows print.
+	Name string `json:"name,omitempty"`
+	// Workload is the NN training task.
+	Workload workload.Workload `json:"workload"`
+	// Fleet is the device-class mix.
+	Fleet FleetSpec `json:"fleet,omitempty"`
+	// Partition is the data distribution.
+	Partition PartitionSpec `json:"partition,omitempty"`
+	// Network is the wireless channel model.
+	Network NetworkSpec `json:"network,omitempty"`
+	// Interference is the co-running-application model.
+	Interference InterferenceSpec `json:"interference,omitempty"`
+	// Deadline is the straggler-drop policy.
+	Deadline DeadlineSpec `json:"deadline,omitempty"`
+	// MaxRounds bounds each run (0 = default 400).
+	MaxRounds int `json:"maxRounds,omitempty"`
+}
+
+// Validate reports malformed scenario specs, checking the workload and
+// every sub-spec so a bad wire spec fails at decode time rather than
+// mid-job.
+func (s ScenarioSpec) Validate() error {
+	if s.MaxRounds < 0 {
+		return fmt.Errorf("exp: MaxRounds must be non-negative, got %d", s.MaxRounds)
+	}
+	for _, err := range []error{
+		s.Workload.Validate(), s.Fleet.Validate(), s.Partition.Validate(),
+		s.Network.Validate(), s.Interference.Validate(), s.Deadline.Validate(),
+	} {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rounds returns the effective round budget (default applied).
+func (s ScenarioSpec) rounds() int {
 	if s.MaxRounds == 0 {
 		return defaultMaxRounds
 	}
 	return s.MaxRounds
 }
 
-// cacheKey canonically serializes every Scenario field that influences
-// a run's outcome; it names the scenario half of a runtime job key.
-// Defaults are resolved first so that equivalent scenarios (explicit
-// paper fleet vs zero-valued FleetSize) share cache entries.
-func (s Scenario) cacheKey() string {
-	fleet := s.FleetSize
-	if fleet == 0 {
-		fleet = paperFleet
-	}
-	return fmt.Sprintf("%s/%s/fleet=%d/rounds=%d/noniid=%t/pseed=%d/intf=%t/net=%t/deadline=%g/agg=%d",
-		s.Workload.Name, s.Name, fleet, s.rounds(), s.NonIID, s.PartitionSeed,
-		s.Interference, s.UnstableNet, s.DeadlineSec, aggregationOverheadSec)
+// cacheKey canonically serializes every spec field that influences a
+// run's outcome; it names the scenario half of a runtime job key. Each
+// sub-spec contributes its resolved parameters, so equivalent specs
+// (zero values vs explicit paper defaults) share cache entries, and
+// two specs differing in any sub-spec field never do. Name is display
+// only and deliberately absent.
+func (s ScenarioSpec) cacheKey() string {
+	return fmt.Sprintf("%s/fleet=%s/rounds=%d/part=%s/net=%s/intf=%s/deadline=%g/agg=%d",
+		s.Workload.Name, s.Fleet.key(), s.rounds(), s.Partition.key(),
+		s.Network.key(), s.Interference.key(),
+		s.Deadline.SecondsFor(s.Workload), aggregationOverheadSec)
 }
 
 // Config materializes the scenario for a run seed.
-func (s Scenario) Config(seed int64) fl.Config {
-	if s.FleetSize == 0 {
-		s.FleetSize = paperFleet
+func (s ScenarioSpec) Config(seed int64) fl.Config {
+	if err := s.Validate(); err != nil {
+		panic(err)
 	}
-	if s.MaxRounds == 0 {
-		s.MaxRounds = defaultMaxRounds
-	}
-	fleet := device.NewFleet(device.PaperComposition().Scale(s.FleetSize))
-	var part data.Partition
-	if s.NonIID {
-		part = data.Dirichlet(len(fleet), s.Workload.NumClasses,
-			s.Workload.SamplesPerDevice, data.PaperAlpha, stats.NewRNG(s.PartitionSeed))
-	} else {
-		part = data.IID(len(fleet), s.Workload.NumClasses, s.Workload.SamplesPerDevice)
-	}
-	ch := netsim.StableChannel()
-	if s.UnstableNet {
-		ch = netsim.UnstableChannel()
-	}
-	intf := interfere.None()
-	if s.Interference {
-		intf = interfere.Paper()
-	}
+	fleet := device.NewFleet(s.Fleet.Composition())
 	return fl.Config{
 		Workload:               s.Workload,
 		Fleet:                  fleet,
-		Partition:              part,
-		Channel:                ch,
-		Interference:           intf,
-		MaxRounds:              s.MaxRounds,
-		DeadlineSec:            s.DeadlineSec,
+		Partition:              s.Partition.Materialize(len(fleet), s.Workload),
+		Channel:                s.Network.Channel(),
+		Interference:           s.Interference.Model(),
+		MaxRounds:              s.rounds(),
+		DeadlineSec:            s.Deadline.SecondsFor(s.Workload),
 		AggregationOverheadSec: aggregationOverheadSec,
 		Seed:                   seed,
 		StopAtConvergence:      true,
 	}
+}
+
+// EncodeScenario serializes a scenario spec as indented JSON (the
+// -scenario-file format).
+func EncodeScenario(s ScenarioSpec) []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		panic("exp: unmarshalable scenario spec: " + err.Error())
+	}
+	return b
+}
+
+// DecodeScenarios parses and validates scenario specs from JSON: a
+// single spec object or an array of them (the -scenario-file format).
+func DecodeScenarios(b []byte) ([]ScenarioSpec, error) {
+	// Decode the form the input actually has, so a malformed object is
+	// reported with its own field error instead of the array
+	// type-mismatch error.
+	var many []ScenarioSpec
+	strict := func(v any) error {
+		// Scenario files are hand-authored: an unknown (misspelled)
+		// field must fail loudly, not silently resolve to a default
+		// and simulate a deployment the user never wrote.
+		dec := json.NewDecoder(bytes.NewReader(b))
+		dec.DisallowUnknownFields()
+		return dec.Decode(v)
+	}
+	if trimmed := bytes.TrimLeft(b, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
+		var one ScenarioSpec
+		if err := strict(&one); err != nil {
+			return nil, fmt.Errorf("exp: scenario spec decode: %w", err)
+		}
+		many = []ScenarioSpec{one}
+	} else if err := strict(&many); err != nil {
+		return nil, fmt.Errorf("exp: scenario spec decode: %w", err)
+	}
+	if len(many) == 0 {
+		return nil, fmt.Errorf("exp: scenario file holds no specs")
+	}
+	for i, s := range many {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("exp: scenario %d (%q): %w", i, s.Name, err)
+		}
+	}
+	return many, nil
+}
+
+// Ideal returns the no-variance, IID deployment for a workload.
+func Ideal(w workload.Workload) ScenarioSpec {
+	return ScenarioSpec{Name: "ideal", Workload: w}
+}
+
+// Realistic returns the paper's default evaluation environment (§4.2):
+// the co-running application on a random device subset and the
+// Gaussian-varying Wi-Fi channel, with the prior-work straggler-drop
+// deadline active.
+func Realistic(w workload.Workload) ScenarioSpec {
+	s := Ideal(w)
+	s.Name = "realistic"
+	s.Interference = InterferenceSpec{Kind: interfere.WebBrowsing().Name}
+	s.Network = NetworkSpec{Kind: netsim.KindUnstable}
+	s.Deadline = DeadlineSpec{Kind: DeadlineAuto}
+	return s
+}
+
+// InterferenceOnly isolates on-device interference (Fig. 10b).
+func InterferenceOnly(w workload.Workload) ScenarioSpec {
+	s := Ideal(w)
+	s.Name = "interference"
+	s.Interference = InterferenceSpec{Kind: interfere.WebBrowsing().Name}
+	s.Deadline = DeadlineSpec{Kind: DeadlineAuto}
+	return s
+}
+
+// UnstableNetworkOnly isolates network variance (Fig. 10c).
+func UnstableNetworkOnly(w workload.Workload) ScenarioSpec {
+	s := Ideal(w)
+	s.Name = "unstable-network"
+	s.Network = NetworkSpec{Kind: netsim.KindUnstable}
+	s.Deadline = DeadlineSpec{Kind: DeadlineAuto}
+	return s
+}
+
+// NonIIDScenario returns the data-heterogeneity deployment (Fig. 11b).
+func NonIIDScenario(w workload.Workload) ScenarioSpec {
+	s := Ideal(w)
+	s.Name = "non-iid"
+	s.Partition = PartitionSpec{Kind: PartitionDirichlet, Seed: nonIIDPartitionSeed}
+	return s
+}
+
+// RealisticNonIID combines runtime variance and data heterogeneity
+// (Table 5's last row).
+func RealisticNonIID(w workload.Workload) ScenarioSpec {
+	s := Realistic(w)
+	s.Name = "realistic-non-iid"
+	s.Partition = PartitionSpec{Kind: PartitionDirichlet, Seed: nonIIDPartitionSeed}
+	return s
+}
+
+// nonIIDPartitionSeed fixes the paper presets' Dirichlet draw.
+const nonIIDPartitionSeed = 42
+
+// Preset is one named scenario constructor, parameterized by workload.
+type Preset struct {
+	Name        string
+	Description string
+	Build       func(workload.Workload) ScenarioSpec
+}
+
+// Presets lists the paper's deployment presets by name — the scenarios
+// the -list-scenarios flag prints and the evaluation figures compose.
+func Presets() []Preset {
+	return []Preset{
+		{"ideal", "no variance, IID data (§4.2 baseline)", Ideal},
+		{"realistic", "co-running interference + unstable network + straggler deadline", Realistic},
+		{"interference", "on-device interference only (Fig. 10b)", InterferenceOnly},
+		{"unstable-network", "network variance only (Fig. 10c)", UnstableNetworkOnly},
+		{"non-iid", "Dirichlet(0.1) data heterogeneity (Fig. 11b)", NonIIDScenario},
+		{"realistic-non-iid", "runtime variance + data heterogeneity (Table 5)", RealisticNonIID},
+	}
+}
+
+// PresetByName returns the preset with the given name, or an error
+// listing valid names.
+func PresetByName(name string) (Preset, error) {
+	names := make([]string, 0)
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+		names = append(names, p.Name)
+	}
+	return Preset{}, fmt.Errorf("exp: unknown scenario preset %q (valid: %v)", name, names)
 }
 
 // Seeds returns the default evaluation seed set.

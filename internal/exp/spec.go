@@ -129,7 +129,7 @@ func (c ContenderSpec) validate() error {
 // or in a worker subprocess fed the spec's JSON encoding.
 type JobSpec struct {
 	Kind      string        `json:"kind"`
-	Scenario  Scenario      `json:"scenario"`
+	Scenario  ScenarioSpec  `json:"scenario"`
 	Contender ContenderSpec `json:"contender"`
 	Seed      int64         `json:"seed,omitempty"`
 	// ProbeRounds bounds the oracle probe's run length; it participates
@@ -175,12 +175,15 @@ func (sp JobSpec) Key() string {
 	}.Key()
 }
 
-// validate checks kind and contender well-formedness.
+// validate checks kind, scenario and contender well-formedness.
 func (sp JobSpec) validate() error {
 	switch sp.Kind {
 	case KindSim, KindQMem, KindOracle, KindSec54:
 	default:
 		return fmt.Errorf("exp: unknown job kind %q", sp.Kind)
+	}
+	if err := sp.Scenario.Validate(); err != nil {
+		return err
 	}
 	return sp.Contender.validate()
 }
@@ -259,7 +262,7 @@ func (r *Runtime) Execute(sp JobSpec) runtime.Result {
 // scenario, config and warm-up deployment — the warm-up runs once per
 // pretrain key per process, and once ever under a shared cache
 // directory.
-func (r *Runtime) controller(s Scenario, c ContenderSpec) fl.Controller {
+func (r *Runtime) controller(s ScenarioSpec, c ContenderSpec) fl.Controller {
 	if err := c.validate(); err != nil {
 		panic(err.Error())
 	}
@@ -288,7 +291,7 @@ func (r *Runtime) controller(s Scenario, c ContenderSpec) fl.Controller {
 // pretrainKey addresses a pretrained-controller snapshot in the
 // content-addressed cache: scenario, full controller config, and the
 // warm-up deployment (see the package doc's key scheme).
-func pretrainKey(s Scenario, cfg core.Config, warmSeed int64, warmRounds int) string {
+func pretrainKey(s ScenarioSpec, cfg core.Config, warmSeed int64, warmRounds int) string {
 	return runtime.KeyFor("pretrain", s.cacheKey(), "cfg="+canonJSON(cfg),
 		fmt.Sprintf("warmseed=%d", warmSeed), fmt.Sprintf("warmrounds=%d", warmRounds))
 }
@@ -306,7 +309,7 @@ func staticContender(p fl.Params, label string) ContenderSpec {
 // the Q-tables are trained on a warm-up run (distinct seed) and
 // frozen, matching the paper's §5.4 framing of the learning phase as
 // amortized server-side infrastructure.
-func fedgpoWarmContender(s Scenario) ContenderSpec {
+func fedgpoWarmContender(s ScenarioSpec) ContenderSpec {
 	return fedgpoVariantContender(s, "FedGPO", nil)
 }
 
@@ -315,7 +318,7 @@ func fedgpoWarmContender(s Scenario) ContenderSpec {
 // config plus the warm-up deployment, so any config deviation names a
 // distinct cell — and any process can rebuild the controller from the
 // spec alone.
-func fedgpoVariantContender(s Scenario, name string, mutate func(*core.Config)) ContenderSpec {
+func fedgpoVariantContender(s ScenarioSpec, name string, mutate func(*core.Config)) ContenderSpec {
 	cfg := core.DefaultConfig()
 	if mutate != nil {
 		mutate(&cfg)

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"encoding/json"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -99,6 +100,21 @@ func TestSpecRoundTripRegistry(t *testing.T) {
 			t.Errorf("decoded spec addresses %q, emitted as %q", got, key)
 			continue
 		}
+		// The scenario spec itself must survive its own JSON round-trip:
+		// re-encoding the decoded scenario and decoding it again must
+		// address the same deployment.
+		reb, err := json.Marshal(sp.Scenario)
+		if err != nil {
+			t.Fatalf("job %q: scenario re-encode: %v", key, err)
+		}
+		var s2 ScenarioSpec
+		if err := json.Unmarshal(reb, &s2); err != nil {
+			t.Fatalf("job %q: scenario re-decode: %v", key, err)
+		}
+		if s2.cacheKey() != sp.Scenario.cacheKey() {
+			t.Errorf("job %q: scenario spec does not round-trip: %q vs %q",
+				key, s2.cacheKey(), sp.Scenario.cacheKey())
+		}
 		want, ok := rtA.Store().Get(key)
 		if !ok {
 			t.Fatalf("job %q missing from the result store", key)
@@ -130,14 +146,30 @@ func TestDecodeJobSpecRejectsMalformed(t *testing.T) {
 	}
 }
 
-// Spec-derived keys must be byte-identical to the closure-era scheme,
-// so existing cache directories stay valid across the refactor.
-func TestSpecKeysMatchLegacyScheme(t *testing.T) {
+// Spec-derived keys must follow the v3 canonical layout: the scenario
+// half hashes the full resolved scenario spec (device-class mix,
+// partition, channel, co-runner, deadline), never the display name.
+// Pinning the exact bytes here keeps the layout stable — a change to
+// it must be deliberate and come with a keyVersion bump.
+func TestSpecKeysCanonicalScheme(t *testing.T) {
 	s := Ideal(workload.CNNMNIST())
+	wantScenario := "CNN-MNIST/fleet=H30:M70:L100/rounds=400/part=iid" +
+		"/net=gauss(mean=80,std=8,floor=1,tx=0.8,weak=1.9)/intf=none/deadline=0/agg=30"
+	if got := s.cacheKey(); got != wantScenario {
+		t.Errorf("scenario key:\n got %q\nwant %q", got, wantScenario)
+	}
 	static := simSpec(s, staticContender(fl.Params{B: 8, E: 10, K: 20}, "Fixed (Best)"), 2)
-	wantStatic := "v2|sim|" + s.cacheKey() + "|static/(8,10,20)/label=Fixed (Best)|seed=2"
+	wantStatic := "v3|sim|" + wantScenario + "|static/(8,10,20)/label=Fixed (Best)|seed=2"
 	if got := static.Key(); got != wantStatic {
 		t.Errorf("static key:\n got %q\nwant %q", got, wantStatic)
+	}
+	r := Realistic(workload.CNNMNIST())
+	wantRealistic := "CNN-MNIST/fleet=H30:M70:L100/rounds=400/part=iid" +
+		"/net=gauss(mean=38,std=25,floor=8,tx=0.8,weak=1.9)" +
+		"/intf=web-browsing(cpu=0.45±0.15,mem=0.3±0.1)@0.5" +
+		fmt.Sprintf("/deadline=%g/agg=30", r.Deadline.SecondsFor(r.Workload))
+	if got := r.cacheKey(); got != wantRealistic {
+		t.Errorf("realistic scenario key:\n got %q\nwant %q", got, wantRealistic)
 	}
 	warm := fedgpoWarmContender(s)
 	wantWarmPrefix := "fedgpo-warm/cfg={"
@@ -145,12 +177,12 @@ func TestSpecKeysMatchLegacyScheme(t *testing.T) {
 		t.Errorf("warm contender key lost its config serialization: %q", k)
 	}
 	oracle := oracleSpec(s, Tiny(), 20)
-	wantOracle := "v2|oracle|" + s.cacheKey() + "/proberounds=20|" + warm.key() + "/probe|seed=1"
+	wantOracle := "v3|oracle|" + s.cacheKey() + "/proberounds=20|" + warm.key() + "/probe|seed=1"
 	if got := oracle.Key(); got != wantOracle {
 		t.Errorf("oracle key:\n got %q\nwant %q", got, wantOracle)
 	}
 	cold := JobSpec{Kind: KindSec54, Scenario: s, Contender: fedgpoColdContender(), Seed: 1}
-	wantCold := "v2|sec54|" + s.cacheKey() + "/stopconv=false|" + fedgpoColdContender().key() + "|seed=1"
+	wantCold := "v3|sec54|" + s.cacheKey() + "/stopconv=false|" + fedgpoColdContender().key() + "|seed=1"
 	if got := cold.Key(); got != wantCold {
 		t.Errorf("sec54 key:\n got %q\nwant %q", got, wantCold)
 	}

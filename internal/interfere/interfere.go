@@ -9,6 +9,8 @@
 package interfere
 
 import (
+	"fmt"
+
 	"fedgpo/internal/device"
 	"fedgpo/internal/stats"
 )
@@ -42,6 +44,31 @@ func HeavyGame() Profile {
 		MeanCPU: 0.80, StdCPU: 0.10,
 		MeanMem: 0.55, StdMem: 0.10,
 	}
+}
+
+// ProfileByName returns the named co-runner profile ("web-browsing" or
+// "heavy-game"); ok is false for unknown names.
+func ProfileByName(name string) (Profile, bool) {
+	switch name {
+	case WebBrowsing().Name:
+		return WebBrowsing(), true
+	case HeavyGame().Name:
+		return HeavyGame(), true
+	default:
+		return Profile{}, false
+	}
+}
+
+// Key renders the model's outcome-relevant parameters canonically for
+// cache keys: the profile's footprint distribution and the activation
+// fraction.
+func (m Model) Key() string {
+	if !m.Active() {
+		return "none"
+	}
+	return fmt.Sprintf("%s(cpu=%g±%g,mem=%g±%g)@%g", m.Profile.Name,
+		m.Profile.MeanCPU, m.Profile.StdCPU, m.Profile.MeanMem, m.Profile.StdMem,
+		m.ActiveFraction)
 }
 
 // Model generates per-device, per-round interference. A fraction

@@ -11,6 +11,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 
 	"fedgpo/internal/stats"
@@ -85,6 +86,34 @@ func UnstableChannel() Channel {
 		BaseTxWatts:  0.8,
 		WeakTxFactor: 1.9,
 	}
+}
+
+// Channel preset names, the values a scenario spec's network kind can
+// take.
+const (
+	KindStable   = "stable"
+	KindUnstable = "unstable"
+)
+
+// ChannelByName returns the named channel preset ("stable" or
+// "unstable"); ok is false for unknown names.
+func ChannelByName(kind string) (Channel, bool) {
+	switch kind {
+	case KindStable:
+		return StableChannel(), true
+	case KindUnstable:
+		return UnstableChannel(), true
+	default:
+		return Channel{}, false
+	}
+}
+
+// Key renders the channel's outcome-relevant parameters canonically
+// for cache keys. Every field that shapes a draw or an energy term is
+// included, so channels that behave differently never share a key.
+func (ch Channel) Key() string {
+	return fmt.Sprintf("gauss(mean=%g,std=%g,floor=%g,tx=%g,weak=%g)",
+		ch.MeanMbps, ch.StdMbps, ch.FloorMbps, ch.BaseTxWatts, ch.WeakTxFactor)
 }
 
 // Condition is one device-round link state.

@@ -21,7 +21,7 @@
 //
 // Jobs are spec-addressed: alongside the key fields, Job.Payload
 // carries the serialized JobSpec (exp package) the cell was built
-// from — a self-contained JSON description (scenario config, declared
+// from — a self-contained JSON description (scenario spec, declared
 // contender, seed, probe knobs) from which any process derives both
 // the same canonical key and the same result. The key fields and the
 // payload are two projections of one spec: the executor addresses the
@@ -29,6 +29,42 @@
 // the process boundary, and the worker on the far side re-derives the
 // key from the decoded spec and refuses mismatches, so a foreign spec
 // can never poison a cache entry it does not name.
+//
+// # Scenario-spec schema
+//
+// Since v3 the scenario half of a key is itself data-driven: the
+// JobSpec's "scenario" block is an exp.ScenarioSpec composing five
+// sub-specs, each with its own JSON codec, validation and
+// canonical-key contribution:
+//
+//	{
+//	  "name":         "realistic",           // display only, never hashed
+//	  "workload":     { ... },               // full workload struct
+//	  "fleet":        {"mix": {"high":30,"mid":70,"low":100}, "size": 200},
+//	  "partition":    {"kind": "iid" | "dirichlet", "alpha": 0.1, "seed": 42},
+//	  "network":      {"kind": "stable" | "unstable",
+//	                   "meanMbps": 0, "stdMbps": 0, "floorMbps": 0},
+//	  "interference": {"kind": "none" | "web-browsing" | "heavy-game",
+//	                   "activeFraction": 0.5},
+//	  "deadline":     {"kind": "none" | "fixed" | "auto",
+//	                   "seconds": 0, "margin": 1.35, "slackSec": 15},
+//	  "maxRounds":    400
+//	}
+//
+// Zero values resolve to the paper defaults (30/70/100 mix at 200
+// devices, IID data, stable channel, no co-runner, no deadline, 400
+// rounds). The scenario key concatenates each sub-spec's resolved
+// parameters —
+//
+//	<workload>/fleet=H30:M70:L100/rounds=400/part=iid/
+//	net=gauss(mean=80,std=8,floor=1,tx=0.8,weak=1.9)/intf=none/deadline=0/agg=30
+//
+// — so two specs differing in any outcome-relevant field hash to
+// distinct cells even when they share a display name, while
+// resolved-default equivalences (zero value vs explicit paper
+// default) share one cell. The display name is deliberately absent: a
+// matrix-generated deployment that happens to equal a paper preset
+// reuses the preset's cached cells.
 //
 // # Execution model and backends
 //

@@ -39,6 +39,7 @@ type Executor struct {
 	cache      *Cache
 	progressMu sync.Mutex
 	onProgress func(Progress)
+	onDispatch func(misses int)
 
 	// statsMu guards stats as one unit so Stats returns a consistent
 	// snapshot — hits/runs/errors counted under a single lock, never
@@ -72,6 +73,14 @@ func (e *Executor) Backend() Backend { return e.backend }
 // SetProgress installs a callback fired once per completed job.
 // Callbacks are serialized; fn need not be safe for concurrent use.
 func (e *Executor) SetProgress(fn func(Progress)) { e.onProgress = fn }
+
+// SetDispatch installs a callback fired once per batch that reaches
+// the backend, after cache hits are served, with the number of jobs
+// actually dispatched. It runs on the batch's calling goroutine before
+// any job body starts, so callers may retune shared execution state
+// (e.g. an inner worker budget) from the real work size rather than
+// the nominal batch size.
+func (e *Executor) SetDispatch(fn func(misses int)) { e.onDispatch = fn }
 
 // Stats returns one consistent snapshot of the lifetime
 // hit/run/error counters.
@@ -145,6 +154,9 @@ func (e *Executor) RunAll(jobs []Job) []Result {
 	miss := make([]Job, len(missIdx))
 	for k, i := range missIdx {
 		miss[k] = jobs[i]
+	}
+	if e.onDispatch != nil {
+		e.onDispatch(len(miss))
 	}
 	out := e.backend.Run(miss, func(k int, r Result) {
 		e.count(r)

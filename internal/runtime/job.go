@@ -10,12 +10,19 @@ import (
 )
 
 // keyVersion prefixes every job key; bump it whenever the meaning of a
-// cached result changes so old cache directories invalidate wholesale.
+// cached result changes — or the canonical key layout does — so old
+// cache directories invalidate wholesale.
 // v2: warm FedGPO contenders are restored from pretrained-controller
 // snapshots instead of re-running the warm-up per cell, which changes
 // the exact cell results (the restored controller's RNG stream differs
 // from a freshly warmed one's).
-const keyVersion = "v2"
+// v3: scenario descriptors hash the full resolved scenario spec
+// (device-class mix, partition kind/alpha/seed, channel parameters,
+// co-runner profile/fraction, deadline policy) instead of the old
+// name + booleans layout, and the display name no longer participates
+// — results are unchanged, but the scenario half of every key is laid
+// out differently, so v2 entries must not be replayed against v3 keys.
+const keyVersion = "v3"
 
 // Job names one simulation cell and knows how to execute it.
 type Job struct {

@@ -27,7 +27,7 @@ func simJob(i int) Job {
 func TestJobKeyStableAndHashed(t *testing.T) {
 	j := simJob(3)
 	key := j.Key()
-	if key != "v2|sim|scenario-3|static/(8,10,20)|seed=3" {
+	if key != "v3|sim|scenario-3|static/(8,10,20)|seed=3" {
 		t.Errorf("unexpected canonical key %q", key)
 	}
 	if j.Key() != key {
