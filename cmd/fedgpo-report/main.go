@@ -8,7 +8,8 @@
 // Usage:
 //
 //	fedgpo-report [-quick] [-only fig9,fig12] [-parallel N] [-inner-parallel N]
-//	              [-backend pool|procs] [-procs N] [-cachedir PATH] [-cache-max-bytes N]
+//	              [-backend pool|procs] [-procs N] [-workers host:port,...]
+//	              [-cachedir PATH] [-cache-max-bytes N]
 //	              [-results PATH] > EXPERIMENTS.md
 package main
 
@@ -82,6 +83,12 @@ func main() {
 	pretrainRuns, pretrainKeys := rt.PretrainStats()
 	fmt.Fprintf(os.Stderr, "runtime: %s backend, %d workers (+%d inner), %d cells simulated, %d served from cache, %d/%d pretrain warm-ups executed\n",
 		rtFlags.Backend, rt.Workers(), rt.InnerParallel(), st.Runs, st.Hits, pretrainRuns, pretrainKeys)
+	if *verbose {
+		for _, ep := range st.Endpoints {
+			fmt.Fprintf(os.Stderr, "  endpoint %s: %d dispatched, %d retried, %d failed\n",
+				ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed)
+		}
+	}
 	if *results != "" {
 		if err := rt.Store().WriteFile(*results); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	fedgpo-sim -exp fig9 [-quick | -tiny] [-list] [-parallel N] [-inner-parallel N]
-//	           [-backend pool|procs] [-procs N] [-cachedir PATH] [-cache-max-bytes N]
+//	           [-backend pool|procs] [-procs N] [-workers host:port,...]
+//	           [-cachedir PATH] [-cache-max-bytes N]
 //
 // The -quick flag shrinks the deployment (100 devices, 1 seed) for a
 // fast smoke run; -tiny shrinks it further (20 devices) for CI smoke

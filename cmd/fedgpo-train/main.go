@@ -3,15 +3,26 @@
 // image-classification task (a stand-in for MNIST) with plain
 // centralized minibatch SGD and prints the loss/accuracy trajectory.
 //
+// It registers the same shared runtime flag block as the other fedgpo
+// CLIs (-list-scenarios, -cachedir, -backend, -workers, ...), so the
+// flag surface is uniform across the toolchain. The training loop
+// itself is a single in-process run — it emits no simulation cells, so
+// beyond -list-scenarios the runtime flags are validated (a bad
+// -backend or missing worker binary fails at startup, exactly like the
+// other CLIs) but leave the trainer's behavior unchanged.
+//
 // Usage:
 //
 //	fedgpo-train [-epochs 10] [-batch 16] [-samples 600]
+//	fedgpo-train -list-scenarios
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"fedgpo/internal/cli"
 	"fedgpo/internal/data"
 	"fedgpo/internal/nn"
 	"fedgpo/internal/stats"
@@ -21,7 +32,19 @@ func main() {
 	epochs := flag.Int("epochs", 10, "training epochs")
 	batch := flag.Int("batch", 16, "minibatch size")
 	perClass := flag.Int("samples", 60, "samples per class (10 classes)")
+	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
+
+	if rtFlags.HandleListScenarios(os.Stdout) {
+		return
+	}
+	// The trainer runs no simulation cells, but a misconfigured runtime
+	// block should fail here like everywhere else, not be silently
+	// accepted.
+	if _, err := rtFlags.Runtime(); err != nil {
+		fmt.Fprintln(os.Stderr, "fedgpo-train:", err)
+		os.Exit(1)
+	}
 
 	const classes, side = 10, 8
 	rng := stats.NewRNG(1)

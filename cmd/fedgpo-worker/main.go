@@ -1,25 +1,58 @@
-// Command fedgpo-worker is the execution half of the multi-process
-// shard coordinator (-backend=procs on the fedgpo CLIs): it reads
-// serialized job specs from stdin — one JSON WireRequest per line —
-// reconstructs each job, executes it, and writes one JSON WireResponse
-// per request to stdout, in request order.
+// Command fedgpo-worker is the execution half of the distributed shard
+// coordinator (-backend=procs / -workers on the fedgpo CLIs). It
+// speaks the runtime package's wire protocol — a hello frame
+// advertising protocol version, cache-key scheme, capacity and cache
+// directory, then one JSON WireResponse per WireRequest, in request
+// order — over one of two transports:
+//
+//   - stdio (default): one session on stdin/stdout, normally spawned
+//     by a coordinator, one subprocess per local session;
+//   - TCP (-listen host:port): a long-lived worker pool serving up to
+//     -capacity concurrent sessions, one per accepted connection, for
+//     coordinators started with -workers host:port.
 //
 // With -cachedir pointing at the coordinator's cache directory, the
 // worker shares the coordinator's content-addressed run cache and
 // pretrained-controller snapshots, so hit semantics match the
-// in-process pool backend exactly. The worker never prunes the cache;
-// eviction is the coordinator's startup job.
+// in-process pool backend exactly; the hello advertises the directory,
+// and the coordinator skips re-writing entries such a worker already
+// published. A remote pool caching elsewhere (or not at all) is also
+// fine — the coordinator persists those results itself. The worker
+// never prunes the cache; eviction is the coordinator's startup job.
 //
-// Usage (normally spawned by a coordinator, not by hand):
+// With the default -inner-parallel=-1 the worker follows the
+// coordinator's wire-forwarded per-job inner budget (small batches on
+// big machines fan their per-round participant modeling out inside the
+// worker); an explicit value pins the budget instead. Results are
+// byte-identical for any budget.
+//
+// Usage:
 //
 //	fedgpo-worker [-cachedir PATH] [-inner-parallel N]
+//
+// runs one stdio session (coordinator-spawned). A deployment serving
+// remote coordinators instead runs one pool per machine:
+//
+//	fedgpo-worker -listen 10.0.0.5:9331 -capacity 16 -cachedir /var/cache/fedgpo &
+//	fedgpo-sim -exp fig5 -workers 10.0.0.5:9331,10.0.0.6:9331 -cachedir ./cache
+//
+// The pool logs accepted sessions on stderr and drains gracefully on
+// SIGTERM/SIGINT: the listener closes immediately, sessions finish the
+// job they are executing and deliver its response, then the process
+// exits — so rolling a worker machine never fails a batch (the
+// coordinator resends anything unanswered to the remaining pools).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
+	stdruntime "runtime"
+	"syscall"
 
 	"fedgpo/internal/exp"
 	"fedgpo/internal/runtime"
@@ -27,8 +60,12 @@ import (
 
 func main() {
 	cachedir := flag.String("cachedir", "", "share the coordinator's run cache under this directory")
-	innerParallel := flag.Int("inner-parallel", 0,
-		"per-round participant fan-out budget (0 = serial rounds; results are identical for any value)")
+	innerParallel := flag.Int("inner-parallel", -1,
+		"per-round participant fan-out budget (-1 = follow the coordinator's wire-forwarded budget, 0 = serial rounds; results are identical for any value)")
+	listen := flag.String("listen", "",
+		"serve a TCP worker pool on this host:port instead of one stdio session (for coordinators started with -workers)")
+	capacity := flag.Int("capacity", 0,
+		"concurrent session capacity advertised and enforced by -listen (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	rt, err := exp.NewRuntime(1, *cachedir)
@@ -36,9 +73,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fedgpo-worker:", err)
 		os.Exit(1)
 	}
-	rt.SetInnerParallel(*innerParallel)
+	// An explicit budget is pinned; the default follows whatever budget
+	// the coordinator forwards per request (serial until told
+	// otherwise). SetInnerParallel is safe for the concurrent sessions
+	// of a TCP pool, and the budget shapes wall-clock only — results
+	// are byte-identical for any value.
+	var setInner func(int)
+	if *innerParallel < 0 {
+		rt.SetInnerParallel(0)
+		setInner = func(n int) {
+			if n >= 0 {
+				rt.SetInnerParallel(n)
+			}
+		}
+	} else {
+		rt.SetInnerParallel(*innerParallel)
+	}
 
-	err = runtime.ServeWorker(os.Stdin, os.Stdout, func(key string, spec json.RawMessage) runtime.Result {
+	run := func(key string, spec json.RawMessage) runtime.Result {
 		sp, err := exp.DecodeJobSpec(spec)
 		if err != nil {
 			return runtime.Result{Key: key, Err: "fedgpo-worker: " + err.Error()}
@@ -51,6 +103,41 @@ func main() {
 			return runtime.Result{Key: key, Err: fmt.Sprintf("fedgpo-worker: spec addresses %q, dispatched as %q", got, key)}
 		}
 		return rt.RunJob(job)
+	}
+
+	if *listen != "" {
+		if *capacity <= 0 {
+			*capacity = stdruntime.GOMAXPROCS(0)
+		}
+		lis, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedgpo-worker:", err)
+			os.Exit(1)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		fmt.Fprintf(os.Stderr, "fedgpo-worker: listening on %s (capacity %d)\n", lis.Addr(), *capacity)
+		err = runtime.Serve(ctx, lis, runtime.ServeConfig{
+			Capacity: *capacity,
+			CacheDir: *cachedir,
+			Run:      run,
+			SetInner: setInner,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "fedgpo-worker: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fedgpo-worker:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "fedgpo-worker: drained")
+		return
+	}
+
+	err = runtime.ServeSession(os.Stdin, os.Stdout, run, runtime.WorkerOptions{
+		Capacity: 1,
+		CacheDir: *cachedir,
+		SetInner: setInner,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedgpo-worker:", err)

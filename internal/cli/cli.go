@@ -1,8 +1,9 @@
 // Package cli centralizes the experiment-runtime flag surface shared
-// by the fedgpo CLIs (report, sweep, sim): worker counts, run-cache
-// location and byte budget, and execution-backend selection. Each CLI
-// registers the block once and builds its exp.Runtime from the parsed
-// values, so a new runtime knob lands in every tool by construction.
+// by the fedgpo CLIs (report, sweep, sim, train): worker counts,
+// run-cache location and byte budget, execution-backend selection and
+// remote worker-pool endpoints. Each CLI registers the block once and
+// builds its exp.Runtime from the parsed values, so a new runtime knob
+// lands in every tool by construction.
 package cli
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 
 	"fedgpo/internal/exp"
 	"fedgpo/internal/runtime"
@@ -43,6 +45,10 @@ type RuntimeFlags struct {
 	Backend string
 	// Procs is the worker subprocess count for -backend=procs.
 	Procs int
+	// Workers lists remote TCP worker pools (comma-separated
+	// host:port) for the shard coordinator; non-empty selects the
+	// procs backend even when -backend is left at its default.
+	Workers string
 	// WorkerBin overrides the fedgpo-worker binary location.
 	WorkerBin string
 	// ListScenarios requests the scenario-preset listing and exit.
@@ -61,7 +67,9 @@ func Register(fs *flag.FlagSet) *RuntimeFlags {
 		"evict least-recently-used cache entries at startup until the cache dir fits this byte budget (0 = keep everything)")
 	fs.StringVar(&f.Backend, "backend", BackendPool,
 		"execution backend: pool (in-process workers) or procs (worker subprocesses sharing -cachedir)")
-	fs.IntVar(&f.Procs, "procs", 0, "worker subprocess count for -backend=procs (0 = -parallel if set, else all cores)")
+	fs.IntVar(&f.Procs, "procs", 0, "worker subprocess count for -backend=procs (0 = -parallel if set, else all cores; with -workers, 0 = no local subprocesses)")
+	fs.StringVar(&f.Workers, "workers", "",
+		"comma-separated host:port TCP worker pools (fedgpo-worker -listen) to dispatch cells to; implies -backend=procs, mixable with local -procs")
 	fs.StringVar(&f.WorkerBin, "worker-bin", "",
 		"fedgpo-worker binary for -backend=procs (default: next to this binary, then $PATH)")
 	fs.BoolVar(&f.ListScenarios, "list-scenarios", false,
@@ -98,25 +106,41 @@ func (f *RuntimeFlags) Runtime() (*exp.Runtime, error) {
 	if _, err := cache.Prune(f.CacheMaxBytes); err != nil {
 		return nil, err
 	}
+	remotes := f.remotes()
 	var backend runtime.Backend
-	switch f.Backend {
-	case "", BackendPool:
+	switch {
+	case (f.Backend == "" || f.Backend == BackendPool) && len(remotes) == 0:
 		backend = runtime.NewPoolBackend(f.Parallel)
-	case BackendProcs:
-		bin, err := f.workerBin()
-		if err != nil {
-			return nil, err
-		}
+	case f.Backend == "" || f.Backend == BackendPool || f.Backend == BackendProcs:
+		// -workers selects the shard coordinator even under the default
+		// -backend: dispatching to remote pools is meaningless on the
+		// in-process backend, and silently ignoring the flag would be
+		// worse than upgrading it.
 		procs := f.Procs
 		if procs <= 0 {
 			// A requested parallelism cap applies to whichever backend
 			// runs the batch: without an explicit -procs, -parallel
 			// bounds the subprocess count too (never silently ignored).
+			// With remote pools configured, no cap means no local
+			// subprocesses — the remotes carry the batch.
 			procs = f.Parallel
+			if procs <= 0 && len(remotes) > 0 {
+				procs = 0
+			}
+		}
+		var bin string
+		if len(remotes) == 0 || procs > 0 {
+			// Local sessions spawn subprocesses; remote-only fleets
+			// need no worker binary on this machine.
+			var err error
+			if bin, err = f.workerBin(); err != nil {
+				return nil, err
+			}
 		}
 		backend = runtime.NewProcBackend(runtime.ProcConfig{
 			WorkerBin:     bin,
 			Procs:         procs,
+			Workers:       remotes,
 			CacheDir:      f.CacheDir,
 			InnerParallel: f.InnerParallel,
 		})
@@ -126,6 +150,18 @@ func (f *RuntimeFlags) Runtime() (*exp.Runtime, error) {
 	rt := exp.NewRuntimeWithBackend(backend, cache)
 	rt.SetInnerParallel(f.InnerParallel)
 	return rt, nil
+}
+
+// remotes parses -workers into its host:port list (empty entries from
+// stray commas are dropped).
+func (f *RuntimeFlags) remotes() []string {
+	var out []string
+	for _, a := range strings.Split(f.Workers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // workerBin resolves the fedgpo-worker binary: the explicit flag, a

@@ -35,10 +35,50 @@ func TestRegisterDefaultsAndParsing(t *testing.T) {
 		t.Error("list-scenarios should default to false")
 	}
 	f = parse(t, "-parallel", "3", "-inner-parallel", "2", "-cachedir", "/tmp/x",
-		"-cache-max-bytes", "1024", "-backend", "procs", "-procs", "4", "-worker-bin", "/bin/w")
+		"-cache-max-bytes", "1024", "-backend", "procs", "-procs", "4", "-worker-bin", "/bin/w",
+		"-workers", "10.0.0.5:9331, 10.0.0.6:9331")
 	if f.Parallel != 3 || f.InnerParallel != 2 || f.CacheDir != "/tmp/x" ||
 		f.CacheMaxBytes != 1024 || f.Backend != "procs" || f.Procs != 4 || f.WorkerBin != "/bin/w" {
 		t.Errorf("flags not parsed: %+v", f)
+	}
+	if got := f.remotes(); len(got) != 2 || got[0] != "10.0.0.5:9331" || got[1] != "10.0.0.6:9331" {
+		t.Errorf("remotes = %v", got)
+	}
+}
+
+// -workers must select the shard coordinator even under the default
+// backend, need no local worker binary when it carries the whole
+// fleet, and mix with local -procs when one is requested.
+func TestRuntimeBuildsTCPWorkers(t *testing.T) {
+	rt, err := parse(t, "-workers", "127.0.0.1:9331,127.0.0.1:9332").Runtime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No dial happens at construction; the endpoints are visible in the
+	// stats snapshot and each remote counts as one worker until its
+	// hello advertises a capacity.
+	eps := rt.Stats().Endpoints
+	if len(eps) != 2 || eps[0].Endpoint != "tcp:127.0.0.1:9331" || eps[1].Endpoint != "tcp:127.0.0.1:9332" {
+		t.Fatalf("remote-only endpoints = %+v", eps)
+	}
+	if rt.Workers() != 2 {
+		t.Errorf("remote-only workers = %d, want 2", rt.Workers())
+	}
+
+	bin := filepath.Join(t.TempDir(), "fedgpo-worker")
+	if err := os.WriteFile(bin, []byte("#!/bin/sh\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	rt, err = parse(t, "-workers", "127.0.0.1:9331", "-procs", "2", "-worker-bin", bin).Runtime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps = rt.Stats().Endpoints
+	if len(eps) != 2 || !strings.HasPrefix(eps[0].Endpoint, "stdio:") || eps[1].Endpoint != "tcp:127.0.0.1:9331" {
+		t.Fatalf("mixed endpoints = %+v", eps)
+	}
+	if rt.Workers() != 3 {
+		t.Errorf("mixed fleet workers = %d, want 2 local + 1 remote", rt.Workers())
 	}
 }
 

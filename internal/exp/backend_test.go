@@ -1,11 +1,15 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
+	"fmt"
+	"net"
 	"os/exec"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"fedgpo/internal/fl"
 	"fedgpo/internal/runtime"
@@ -129,6 +133,121 @@ func TestScenarioMatrixAcrossBackendsWarmCache(t *testing.T) {
 	}
 	if st := rtWarm.Stats(); st.Runs != 0 || st.Hits != 4 {
 		t.Errorf("warm matrix rerun stats = %+v, want 0 runs / 4 hits", st)
+	}
+}
+
+// startWorkerPool serves a TCP worker pool in-process, executing jobs
+// through its own exp.Runtime exactly like `fedgpo-worker -listen`
+// does, and returns its address plus a shutdown func (graceful drain).
+func startWorkerPool(t *testing.T, capacity int, cacheDir string) (string, func()) {
+	t.Helper()
+	wrt, err := NewRuntime(1, cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- runtime.Serve(ctx, lis, runtime.ServeConfig{
+			Capacity: capacity,
+			CacheDir: cacheDir,
+			Run: func(key string, spec json.RawMessage) runtime.Result {
+				sp, err := DecodeJobSpec(spec)
+				if err != nil {
+					return runtime.Result{Key: key, Err: err.Error()}
+				}
+				job := wrt.Job(sp)
+				if got := job.Key(); got != key {
+					return runtime.Result{Key: key, Err: fmt.Sprintf("spec addresses %q, dispatched as %q", got, key)}
+				}
+				return wrt.RunJob(job)
+			},
+			SetInner: wrt.SetInnerParallel,
+		})
+	}()
+	return lis.Addr().String(), func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("worker pool drain: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("worker pool did not drain")
+		}
+	}
+}
+
+// The TCP transport's acceptance contract, at the table level: the
+// same 2×2 matrix run against a localhost worker pool produces
+// byte-identical results to the pool backend, a fresh run simulates
+// every cell, and a warm -cachedir rerun simulates zero cells without
+// any live worker pool at all — even though the worker pool cached
+// under its own (different) directory, because the coordinator
+// persists results from workers that do not share its cache.
+func TestScenarioMatrixTCPBackendWarmCache(t *testing.T) {
+	specs, err := ScenarioMatrix(workload.CNNMNIST(),
+		"fleet=20;alpha=iid,0.5;net=stable,unstable;rounds=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := fl.Params{B: 8, E: 10, K: 20}
+	run := func(rt *Runtime) string {
+		res := SweepScenarios(Options{}.WithRuntime(rt), specs, p, 1)
+		for i := range res {
+			res[i].ControllerOverheadSec = 0
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	rtPool, err := NewRuntime(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := run(rtPool)
+
+	addr, shutdown := startWorkerPool(t, 2, t.TempDir())
+	coordDir := t.TempDir()
+	coordCache, err := runtime.NewCache(coordDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtTCP := NewRuntimeWithBackend(runtime.NewProcBackend(runtime.ProcConfig{
+		Workers: []string{addr}, CacheDir: coordDir,
+	}), coordCache)
+	if tcp := run(rtTCP); tcp != pool {
+		t.Errorf("TCP matrix results differ from pool:\n--- pool ---\n%s\n--- tcp ---\n%s", pool, tcp)
+	}
+	if st := rtTCP.Stats(); st.Runs != 4 || st.Hits != 0 {
+		t.Errorf("fresh TCP matrix run stats = %+v, want 4 runs / 0 hits", st)
+	}
+	if st := rtTCP.Stats(); len(st.Endpoints) != 1 || st.Endpoints[0].Dispatched != 4 {
+		t.Errorf("endpoint stats = %+v, want 4 dispatched on the one TCP endpoint", st.Endpoints)
+	}
+	shutdown()
+
+	// Warm rerun against the coordinator's cache with the worker pool
+	// gone: hit-only, byte-identical.
+	warmCache, err := runtime.NewCache(coordDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtWarm := NewRuntimeWithBackend(runtime.NewProcBackend(runtime.ProcConfig{
+		Workers: []string{addr}, CacheDir: coordDir,
+	}), warmCache)
+	if warm := run(rtWarm); warm != pool {
+		t.Error("warm TCP rerun produced different results")
+	}
+	if st := rtWarm.Stats(); st.Runs != 0 || st.Hits != 4 {
+		t.Errorf("warm TCP rerun stats = %+v, want 0 runs / 4 hits", st)
 	}
 }
 

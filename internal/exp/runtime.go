@@ -24,6 +24,10 @@ type Runtime struct {
 	// every cell are kept in memory only when a consumer asked for them
 	// (see EnableStore).
 	record bool
+	// innerMu guards inner and innerAuto: a listening worker applies
+	// coordinator-forwarded budgets from concurrent wire sessions while
+	// jobs read the pool, so the pair is swapped and read under a lock.
+	innerMu sync.Mutex
 	// inner is the shared per-round participant fan-out budget wired
 	// into every fl.Config this runtime builds (nil = serial rounds).
 	inner *fl.Pool
@@ -86,9 +90,10 @@ func NewRuntimeWithBackend(b runtime.Backend, cache *runtime.Cache) *Runtime {
 	// occupy workers, so a warm batch with one invalidated cell gets
 	// the full fan-out, not a budget sized to the nominal batch. The
 	// hook runs on the batch's calling goroutine before any job body
-	// starts; batches run sequentially through a runtime, so swapping
-	// the shared pool here is safe.
+	// starts.
 	r.exec.SetDispatch(func(misses int) {
+		r.innerMu.Lock()
+		defer r.innerMu.Unlock()
 		if r.innerAuto {
 			r.inner = fl.NewPool(adaptiveInnerBudget(misses, r.exec.Workers()))
 		}
@@ -110,8 +115,13 @@ func (r *Runtime) Workers() int { return r.exec.Workers() }
 // when a few large cells would leave workers idle, none when the
 // batch already saturates the outer pool. Results are byte-identical
 // for any value — the budget shapes wall-clock only, so it
-// deliberately does not participate in cache keys.
+// deliberately does not participate in cache keys. It is safe to call
+// concurrently with running jobs (a listening worker applies
+// coordinator-forwarded wire budgets between jobs); cells already
+// running keep the pool they started with.
 func (r *Runtime) SetInnerParallel(n int) {
+	r.innerMu.Lock()
+	defer r.innerMu.Unlock()
 	r.innerAuto = n < 0
 	if r.innerAuto {
 		n = 0
@@ -121,7 +131,11 @@ func (r *Runtime) SetInnerParallel(n int) {
 
 // InnerParallel returns the current inner worker budget (under the
 // adaptive split, the budget derived for the most recent batch).
-func (r *Runtime) InnerParallel() int { return r.inner.Extra() }
+func (r *Runtime) InnerParallel() int {
+	r.innerMu.Lock()
+	defer r.innerMu.Unlock()
+	return r.inner.Extra()
+}
 
 // adaptiveInnerBudget derives the inner (per-round participant)
 // worker budget from a batch's shape: a batch with fewer cells than
@@ -144,7 +158,9 @@ func adaptiveInnerBudget(cells, workers int) int {
 // probes and pretraining warm-ups alike — is built here.
 func (r *Runtime) config(s ScenarioSpec, seed int64) fl.Config {
 	cfg := s.Config(seed)
+	r.innerMu.Lock()
 	cfg.Inner = r.inner
+	r.innerMu.Unlock()
 	return cfg
 }
 

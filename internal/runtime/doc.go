@@ -85,26 +85,56 @@
 //     (default GOMAXPROCS) pull job indices from a shared channel and
 //     run the job bodies with per-job panic isolation.
 //
-//   - ProcBackend: the multi-process shard coordinator behind the
-//     CLIs' -backend=procs flag. Each batch is partitioned by
-//     canonical key (ShardOf: SHA-256 of the key modulo the proc
-//     count, so a cell lands on the same shard in every process); one
-//     worker subprocess is spawned per non-empty shard and fed the
-//     shard's specs. A shard whose worker fails — crash, truncated or
-//     out-of-order output — is retried once on a fresh subprocess,
-//     resending only the unanswered jobs; anything still unanswered
-//     after the retry surfaces as error results.
+//   - Coordinator (ProcBackend): the distributed shard coordinator
+//     behind the CLIs' -backend=procs and -workers flags. It executes
+//     batches across worker endpoints reached through Transports —
+//     local subprocess pools, remote TCP worker pools, or both in one
+//     fleet — and is itself transport-agnostic: work distribution,
+//     in-flight tracking, retry and budget forwarding live above the
+//     Transport seam.
 //
-// # Worker wire protocol
+// # Transports
 //
-// The coordinator and its workers (cmd/fedgpo-worker) speak
-// newline-delimited JSON over stdio. Each request on the worker's
-// stdin is a WireRequest:
+// A Transport dials wire sessions (Conn: Send/Recv/Close) to one
+// worker endpoint:
 //
-//	{"key": "<canonical job key>", "spec": <serialized JobSpec>}
+//   - StdioTransport spawns one fedgpo-worker subprocess per session
+//     and speaks the protocol over its stdin/stdout; the coordinator
+//     runs cfg.Procs concurrent sessions against it. This is the PR 3
+//     procs backend, behavior-preserved: one process per session, a
+//     crashed worker fails only its own session, a retry lands on a
+//     fresh process.
 //
-// and each reply on its stdout is a WireResponse, strictly one per
-// request in request order:
+//   - TCPTransport connects to a long-lived remote pool started with
+//     `fedgpo-worker -listen host:port` (one wire session per TCP
+//     connection). The coordinator learns how many sessions to open
+//     from the capacity the pool's hello advertises, and the pool
+//     drains gracefully on SIGTERM: in-flight jobs finish and deliver
+//     their responses before the process exits.
+//
+// Every session opens with a handshake: the worker speaks first,
+// sending a hello frame
+//
+//	{"hello": true, "proto": 2, "keyVersion": "v3", "capacity": N,
+//	 "cacheDir": "<worker's -cachedir>"}
+//
+// which the coordinator validates before dispatching anything. A
+// protocol-version or cache-key-scheme mismatch rejects the endpoint
+// outright — a worker computing cells under a different key layout
+// would otherwise publish wrong results into the shared cache. The
+// advertised cacheDir decides write-back ownership: results from a
+// worker sharing the coordinator's cache directory arrive marked
+// Persisted (the worker already published them), while results from
+// workers caching elsewhere — typical for remote pools — are written
+// by the coordinator's executor, so warm -cachedir reruns are
+// hit-only no matter where the cells originally ran.
+//
+// After the hello, each request frame is a WireRequest:
+//
+//	{"key": "<canonical job key>", "spec": <serialized JobSpec>, "inner": N}
+//
+// and each reply a WireResponse, strictly one per request in request
+// order:
 //
 //	{"key": "<canonical job key>", "result": <result JSON>, "cached": bool}
 //
@@ -113,17 +143,54 @@
 // same panic isolation, same cache write-back as the pool path. The
 // "cached" field travels beside the result because Result.Cached is
 // deliberately excluded from result JSON; the coordinator folds it
-// into its own hit/run statistics. Worker stderr passes through to
-// the coordinator's stderr. ServeWorker implements the worker side,
-// so any binary can join the protocol.
+// into its own hit/run statistics. Whitespace between frames (blank
+// lines from wrapper scripts) is tolerated, and a malformed frame
+// fails the session naming the offending frame index. Worker stderr
+// passes through to the coordinator's stderr. ServeWorker/ServeSession
+// implement the worker side and Serve the TCP accept loop, so any
+// binary can join the protocol.
 //
-// Workers share the coordinator's -cachedir: run results and
-// pretrained-controller snapshots written by one process are read by
-// all, which is what keeps warm-rerun and pretrain-once semantics
-// identical across backends (with a memory-only cache each worker
-// process warms its own pretrains instead; results are byte-identical
-// either way, because snapshots are deterministic and always served
-// through a lossless JSON round-trip).
+// The "inner" field is the wire-level worker budget (ROADMAP item e):
+// the per-round participant fan-out the worker should lend its cells.
+// With an explicit -inner-parallel it is forwarded verbatim; under the
+// adaptive default the coordinator derives it per batch and per
+// endpoint in the spirit of the pool backend's adaptive budget — an
+// endpoint whose sessions outnumber its share of a small batch lends
+// the idle sessions to intra-worker fan-out, and a saturated fleet
+// keeps workers serial. The forwarded number matches the worker's
+// process shape, read off the hello's capacity: a one-session process
+// (stdio subprocess) gets its own per-cell share, while a -listen pool
+// — whose concurrent cells share a single fl.Pool — gets the
+// endpoint's whole spare as that shared budget. Budgets shape
+// wall-clock only; results
+// are byte-identical for any value, so the budget never enters cache
+// keys and workers with an explicit -inner-parallel flag ignore it.
+//
+// # Dispatch, retry and failover
+//
+// The coordinator feeds endpoints work-queue style: every session
+// pulls the next unstarted job as it finishes the last, so a slow or
+// remote endpoint never straggles the batch the way PR 3's static
+// key-partitioned shards could (ShardOf remains available for stable
+// partitioning needs). Sessions dial lazily — no subprocess or
+// connection exists until a session actually holds a job. Each
+// session has a retry budget of one: on failure (crash, disconnect,
+// reply timeout, truncated or out-of-order output) it re-dials and
+// resends only the unanswered in-flight job — answered jobs are never
+// resent, which matters because results were already streamed to the
+// executor. A session whose budget runs out hands its job back to the
+// queue for surviving endpoints to absorb; only when the whole fleet
+// is gone do remaining jobs surface as error results. Per-endpoint
+// dispatch/retry/give-up counters are snapshotted into
+// Executor.Stats().Endpoints under a single lock.
+//
+// Workers share the coordinator's -cachedir when colocated: run
+// results and pretrained-controller snapshots written by one process
+// are read by all, which is what keeps warm-rerun and pretrain-once
+// semantics identical across backends (with a memory-only or private
+// worker cache each worker warms its own pretrains instead; results
+// are byte-identical either way, because snapshots are deterministic
+// and always served through a lossless JSON round-trip).
 //
 // Below the job level sits a second, inner tier of parallelism: each
 // simulation may fan its per-round participant modeling across an

@@ -29,6 +29,12 @@ type Stats struct {
 	// Errors counts jobs whose body panicked or whose worker shard
 	// failed.
 	Errors int64
+	// Endpoints holds the per-endpoint dispatch counters when the
+	// backend is a shard coordinator (nil for in-process backends).
+	// Each endpoint's counters are snapshotted under the coordinator's
+	// single lock, so dispatched/retried/failed are mutually consistent
+	// per endpoint even mid-batch.
+	Endpoints []EndpointStats
 }
 
 // Executor runs job batches: it serves cache hits, hands the misses to
@@ -83,11 +89,16 @@ func (e *Executor) SetProgress(fn func(Progress)) { e.onProgress = fn }
 func (e *Executor) SetDispatch(fn func(misses int)) { e.onDispatch = fn }
 
 // Stats returns one consistent snapshot of the lifetime
-// hit/run/error counters.
+// hit/run/error counters, with the backend's per-endpoint dispatch
+// counters attached when it tracks them.
 func (e *Executor) Stats() Stats {
 	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
-	return e.stats
+	s := e.stats
+	e.statsMu.Unlock()
+	if es, ok := e.backend.(EndpointStatser); ok {
+		s.Endpoints = es.EndpointStats()
+	}
+	return s
 }
 
 // count applies one completed result to the stats snapshot.

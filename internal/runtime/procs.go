@@ -4,18 +4,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"os/exec"
 	stdruntime "runtime"
 	"sync"
+	"time"
 )
 
-// WireRequest is one job dispatched to a worker subprocess: the
-// canonical key it is addressed by plus the serialized spec the worker
-// reconstructs it from (Job.Payload).
+// WireRequest is one job dispatched to a worker: the canonical key it
+// is addressed by plus the serialized spec the worker reconstructs it
+// from (Job.Payload).
 type WireRequest struct {
 	Key  string          `json:"key"`
 	Spec json.RawMessage `json:"spec"`
+	// Inner is the coordinator-forwarded inner worker budget for this
+	// job: how many extra per-round helper goroutines the worker should
+	// lend the cell (0 = serial rounds). Under the adaptive split the
+	// coordinator derives it per batch and per endpoint — small batches
+	// on big workers fan out inside the worker — and results are
+	// byte-identical for any value, so it never enters cache keys.
+	Inner int `json:"inner,omitempty"`
 }
 
 // WireResponse is a worker's reply to one WireRequest, in request
@@ -27,79 +33,320 @@ type WireResponse struct {
 	Cached bool   `json:"cached,omitempty"`
 }
 
-// ServeWorker runs the worker half of the wire protocol: it decodes
-// WireRequests from r until EOF, executes each via run, and encodes
-// one WireResponse per request to w, in request order. run must not
-// panic — job-level failures belong in Result.Err (the worker binary
-// routes execution through an Executor, which isolates them).
+// WorkerOptions parameterizes the worker half of a wire session.
+type WorkerOptions struct {
+	// Capacity is the concurrency advertised in the hello frame (<= 1
+	// advertises 1 — a stdio subprocess serves one job at a time).
+	Capacity int
+	// CacheDir is the worker's run-cache directory, advertised in the
+	// hello so a coordinator sharing it can skip redundant cache writes.
+	CacheDir string
+	// SetInner, when non-nil, applies coordinator-forwarded inner
+	// budgets (WireRequest.Inner) before each job runs.
+	SetInner func(n int)
+}
+
+// ServeWorker runs the worker half of the wire protocol on a byte
+// stream with default options: hello first, then one WireResponse per
+// WireRequest, in request order, until EOF. run must not panic —
+// job-level failures belong in Result.Err (the worker binary routes
+// execution through an Executor, which isolates them).
 func ServeWorker(r io.Reader, w io.Writer, run func(key string, spec json.RawMessage) Result) error {
-	dec := json.NewDecoder(r)
+	return ServeSession(r, w, run, WorkerOptions{})
+}
+
+// ServeSession runs one worker wire session: it sends the hello frame,
+// then decodes WireRequests from r until EOF, executes each via run,
+// and encodes one WireResponse per request to w, in request order.
+// Whitespace between frames — blank lines, trailing newlines from
+// wrapper scripts — is tolerated; a malformed frame fails the session
+// with the offending frame's index in the error.
+func ServeSession(r io.Reader, w io.Writer, run func(key string, spec json.RawMessage) Result, opt WorkerOptions) error {
+	if opt.Capacity < 1 {
+		opt.Capacity = 1
+	}
 	enc := json.NewEncoder(w)
-	for {
+	if err := enc.Encode(WireHello{
+		Hello: true, Proto: ProtoVersion, KeyVersion: keyVersion,
+		Capacity: opt.Capacity, CacheDir: opt.CacheDir,
+	}); err != nil {
+		return fmt.Errorf("runtime: worker hello: %w", err)
+	}
+	dec := json.NewDecoder(r)
+	lastInner := 0
+	for frame := 1; ; frame++ {
 		var req WireRequest
 		if err := dec.Decode(&req); err == io.EOF {
+			// json.Decoder skips whitespace before a value, so a clean
+			// EOF here also covers streams ending in blank lines or
+			// stray newlines.
 			return nil
 		} else if err != nil {
-			return fmt.Errorf("runtime: worker decode: %w", err)
+			return fmt.Errorf("runtime: worker decode (frame %d): %w", frame, err)
+		}
+		if opt.SetInner != nil && req.Inner != lastInner {
+			opt.SetInner(req.Inner)
+			lastInner = req.Inner
 		}
 		res := run(req.Key, req.Spec)
 		if err := enc.Encode(WireResponse{Key: req.Key, Result: res, Cached: res.Cached}); err != nil {
-			return fmt.Errorf("runtime: worker encode: %w", err)
+			return fmt.Errorf("runtime: worker encode (frame %d): %w", frame, err)
 		}
 	}
 }
 
-// ProcConfig parameterizes the multi-process shard coordinator.
+// ProcConfig parameterizes the shard coordinator.
 type ProcConfig struct {
-	// WorkerBin is the worker binary to spawn (cmd/fedgpo-worker, or
-	// any binary speaking the wire protocol).
+	// WorkerBin is the worker binary local sessions spawn
+	// (cmd/fedgpo-worker, or any binary speaking the wire protocol).
+	// Unused when Procs resolves to 0.
 	WorkerBin string
-	// Procs is the worker subprocess count (<= 0 selects GOMAXPROCS).
+	// Procs is the local worker subprocess count. <= 0 selects
+	// GOMAXPROCS when no Workers are configured, and 0 local
+	// subprocesses when remote workers carry the batch.
 	Procs int
-	// CacheDir, when set, is forwarded to every worker as -cachedir so
-	// coordinator and workers share one content-addressed disk cache
-	// (run results and pretrained-controller snapshots alike). It must
-	// be the same directory the coordinator's own Cache reads: results
-	// coming back over the wire are marked Persisted on that
-	// assumption, so the executor skips re-writing entries the worker
-	// already published.
+	// Workers lists remote TCP worker pools (fedgpo-worker -listen
+	// host:port) to dispatch jobs to, alongside any local subprocesses.
+	Workers []string
+	// CacheDir, when set, is forwarded to every local worker as
+	// -cachedir so coordinator and workers share one content-addressed
+	// disk cache (run results and pretrained-controller snapshots
+	// alike). Results from any worker whose hello advertises this same
+	// directory are marked Persisted, so the executor skips re-writing
+	// entries the worker already published; results from workers with a
+	// different (or no) cache directory are written by the coordinator
+	// as usual, which is what keeps warm reruns hit-only even when the
+	// remote pools cache elsewhere.
 	CacheDir string
-	// InnerParallel is forwarded to every worker as -inner-parallel.
+	// InnerParallel is the explicit inner worker budget forwarded to
+	// every worker (0 = serial rounds). Negative selects the adaptive
+	// split: each batch derives a per-endpoint budget from the batch
+	// shape and the fleet's capacity, forwarded per request on the wire.
 	InnerParallel int
-	// Env, when non-nil, replaces the workers' environment (nil
+	// ReplyTimeout, when positive, bounds how long the coordinator
+	// waits for each response frame from a remote worker before
+	// failing the session (local subprocess sessions detect failure via
+	// pipe EOF instead and ignore it).
+	ReplyTimeout time.Duration
+	// Env, when non-nil, replaces the local workers' environment (nil
 	// inherits the coordinator's).
 	Env []string
 }
 
-// ProcBackend executes batches across worker subprocesses: it
-// partitions each batch into shards by canonical key (ShardOf), spawns
-// one worker per non-empty shard, streams the jobs' serialized specs
-// over stdin and reads results back from stdout. A shard whose worker
-// fails — crash, truncated output, out-of-order reply — is retried
-// once on a fresh subprocess, resending only the unanswered jobs;
-// jobs still unanswered after the retry yield error results.
-type ProcBackend struct {
-	cfg ProcConfig
+// EndpointStats is one endpoint's dispatch counters within a
+// coordinator, snapshotted under a single lock.
+type EndpointStats struct {
+	// Endpoint is the transport's name ("stdio:fedgpo-worker",
+	// "tcp:host:port").
+	Endpoint string `json:"endpoint"`
+	// Dispatched counts requests sent to the endpoint, resends
+	// included.
+	Dispatched int64 `json:"dispatched"`
+	// Retried counts session failures that were retried on a fresh
+	// session (the failing session's unanswered job is resent; answered
+	// jobs never are).
+	Retried int64 `json:"retried"`
+	// Failed counts jobs this endpoint gave up on after its retry
+	// budget ran out — handed back to the fleet, and surfaced as error
+	// results only when no endpoint could take them.
+	Failed int64 `json:"failed"`
 }
 
-// NewProcBackend returns a multi-process coordinator for cfg.
-func NewProcBackend(cfg ProcConfig) *ProcBackend {
+// EndpointStatser is implemented by backends that track per-endpoint
+// dispatch counters; Executor.Stats folds them into its snapshot.
+type EndpointStatser interface {
+	EndpointStats() []EndpointStats
+}
+
+// endpoint is one worker endpoint under the coordinator: a transport
+// plus its learned capacity and dispatch counters.
+type endpoint struct {
+	transport Transport
+	// capacity is the endpoint's session count: configured for stdio,
+	// learned from the hello for TCP (1 until first probed). Guarded by
+	// the coordinator's mutex.
+	capacity int
+	stats    EndpointStats
+}
+
+// Coordinator executes batches across worker endpoints behind
+// Transports: local subprocess pools (StdioTransport), remote TCP
+// worker pools (TCPTransport), or both at once. Jobs are fed to
+// endpoint sessions work-queue style — each session pulls the next
+// unstarted job as it finishes the last — so a slow or remote endpoint
+// never straggles the whole batch the way a static per-worker shard
+// would. Each session has a retry budget of one: a session failure
+// (crashed worker, dropped connection, truncated or out-of-order
+// output) re-dials and resends only the unanswered in-flight job; a
+// session whose budget runs out hands its job back to the fleet, so a
+// dead endpoint degrades capacity, not correctness. Jobs still
+// unanswered when every session has exhausted its budget yield error
+// results.
+type Coordinator struct {
+	cfg       ProcConfig
+	endpoints []*endpoint
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// ProcBackend is the coordinator's historical name, kept so PR 3 era
+// call sites and docs stay valid.
+type ProcBackend = Coordinator
+
+// NewProcBackend returns a shard coordinator for cfg: one stdio
+// endpoint running cfg.Procs subprocess sessions (when the resolved
+// count is positive) plus one TCP endpoint per cfg.Workers address.
+// Construction performs no I/O; endpoints are dialed per batch.
+func NewProcBackend(cfg ProcConfig) *Coordinator {
 	if cfg.Procs <= 0 {
-		cfg.Procs = stdruntime.GOMAXPROCS(0)
+		if len(cfg.Workers) > 0 {
+			cfg.Procs = 0
+		} else {
+			cfg.Procs = stdruntime.GOMAXPROCS(0)
+		}
 	}
-	return &ProcBackend{cfg: cfg}
+	c := &Coordinator{cfg: cfg}
+	if cfg.Procs > 0 {
+		c.endpoints = append(c.endpoints, &endpoint{
+			transport: &StdioTransport{
+				WorkerBin:     cfg.WorkerBin,
+				Procs:         cfg.Procs,
+				CacheDir:      cfg.CacheDir,
+				InnerParallel: cfg.InnerParallel,
+				Env:           cfg.Env,
+			},
+			capacity: cfg.Procs,
+		})
+	}
+	for _, addr := range cfg.Workers {
+		c.endpoints = append(c.endpoints, &endpoint{
+			transport: &TCPTransport{Addr: addr, ReplyTimeout: cfg.ReplyTimeout},
+			capacity:  1, // refined by the first hello
+		})
+	}
+	for _, ep := range c.endpoints {
+		ep.stats.Endpoint = ep.transport.Name()
+	}
+	return c
 }
 
-// Workers returns the worker subprocess count.
-func (b *ProcBackend) Workers() int { return b.cfg.Procs }
+// NewCoordinator returns a coordinator over explicit transports —
+// the constructor behind NewProcBackend, exposed for custom endpoint
+// fleets and transport-level tests.
+func NewCoordinator(cfg ProcConfig, transports ...Transport) *Coordinator {
+	c := &Coordinator{cfg: cfg}
+	for _, t := range transports {
+		cap := t.Sessions()
+		if cap < 1 {
+			cap = 1 // refined by the first hello
+		}
+		c.endpoints = append(c.endpoints, &endpoint{transport: t, capacity: cap,
+			stats: EndpointStats{Endpoint: t.Name()}})
+	}
+	return c
+}
 
-// Run executes the batch across worker subprocesses; see Backend.Run.
-func (b *ProcBackend) Run(jobs []Job, done func(int, Result)) []Result {
+// Workers returns the fleet's total session capacity: configured for
+// stdio endpoints, hello-advertised for TCP endpoints (counted as 1
+// each until their first batch).
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, ep := range c.endpoints {
+		total += ep.capacity
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}
+
+// EndpointStats snapshots the per-endpoint dispatch counters under one
+// lock, in endpoint order.
+func (c *Coordinator) EndpointStats() []EndpointStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]EndpointStats, len(c.endpoints))
+	for i, ep := range c.endpoints {
+		out[i] = ep.stats
+	}
+	return out
+}
+
+// workQueue is the coordinator's shared batch queue: sessions pop the
+// next unstarted job, and a session whose retry budget runs out gives
+// its in-flight job back (requeue) so a surviving endpoint can absorb
+// it. pop blocks while the queue is empty but unfinalized jobs are
+// still in flight elsewhere — one of them may yet be given back — and
+// returns done once every job is finalized.
+type workQueue struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	items     []int
+	remaining int // jobs not yet answered or abandoned
+}
+
+func newWorkQueue(items []int) *workQueue {
+	q := &workQueue{items: items, remaining: len(items)}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// pop returns the next job index, blocking while one may still be
+// given back by a failing session; ok is false once the batch is over.
+func (q *workQueue) pop() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && q.remaining > 0 {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return -1, false
+	}
+	i := q.items[0]
+	q.items = q.items[1:]
+	return i, true
+}
+
+// requeue gives an unanswered job back to the fleet.
+func (q *workQueue) requeue(i int) {
+	q.mu.Lock()
+	q.items = append(q.items, i)
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// finalize marks one job answered; at zero, blocked pops return done.
+func (q *workQueue) finalize() {
+	q.mu.Lock()
+	q.remaining--
+	rem := q.remaining
+	q.mu.Unlock()
+	if rem <= 0 {
+		q.cond.Broadcast()
+	}
+}
+
+// abandoned empties the queue after every session has exited,
+// returning the jobs nobody could run.
+func (q *workQueue) abandoned() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := q.items
+	q.items = nil
+	q.remaining = 0
+	return items
+}
+
+// Run executes the batch across the endpoint fleet; see Backend.Run.
+func (c *Coordinator) Run(jobs []Job, done func(int, Result)) []Result {
 	results := make([]Result, len(jobs))
 	if len(jobs) == 0 {
 		return results
 	}
-	shards := make([][]int, b.cfg.Procs)
+	idxs := make([]int, 0, len(jobs))
 	for i, j := range jobs {
 		// A job with no serialized spec cannot cross the process
 		// boundary; that is a programming error on the batch builder,
@@ -111,120 +358,243 @@ func (b *ProcBackend) Run(jobs []Job, done func(int, Result)) []Result {
 			}
 			continue
 		}
-		s := ShardOf(j.Key(), b.cfg.Procs)
-		shards[s] = append(shards[s], i)
+		idxs = append(idxs, i)
 	}
+	if len(idxs) == 0 {
+		return results
+	}
+	queue := newWorkQueue(idxs)
+
+	totalCap := c.Workers()
 	var wg sync.WaitGroup
-	for _, idxs := range shards {
-		if len(idxs) == 0 {
-			continue
-		}
+	for _, ep := range c.endpoints {
 		wg.Add(1)
-		go func(idxs []int) {
+		go func(ep *endpoint) {
 			defer wg.Done()
-			b.runShard(jobs, idxs, results, done)
-		}(idxs)
+			c.runEndpoint(ep, len(idxs), totalCap, jobs, queue, results, done)
+		}(ep)
 	}
 	wg.Wait()
-	return results
-}
 
-// runShard drives one shard to completion: one worker subprocess,
-// plus one retry on a fresh subprocess covering whatever the first
-// left unanswered.
-func (b *ProcBackend) runShard(jobs []Job, idxs []int, results []Result, done func(int, Result)) {
-	pending := idxs
-	var lastErr error
-	for attempt := 0; attempt < 2 && len(pending) > 0; attempt++ {
-		pending, lastErr = b.runShardProcess(jobs, pending, results, done)
-		if lastErr == nil {
-			return
-		}
+	// Jobs still queued here were abandoned by every session — the
+	// whole fleet exhausted its retry budget first.
+	c.mu.Lock()
+	lastErr := c.lastErr
+	c.mu.Unlock()
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no worker endpoints available")
 	}
-	for _, i := range pending {
+	for _, i := range queue.abandoned() {
 		results[i] = Result{Key: jobs[i].Key(), Err: fmt.Sprintf("runtime: worker shard failed after retry: %v", lastErr)}
 		if done != nil {
 			done(i, results[i])
 		}
 	}
+	return results
 }
 
-// runShardProcess spawns one worker, streams the shard's specs to it,
-// and reads responses back in request order. It returns the indices
-// still unanswered when the worker stopped, with the error that
-// stopped it (nil when every job was answered).
-func (b *ProcBackend) runShardProcess(jobs []Job, idxs []int, results []Result, done func(int, Result)) ([]int, error) {
-	args := []string{}
-	if b.cfg.CacheDir != "" {
-		args = append(args, "-cachedir", b.cfg.CacheDir)
-	}
-	if b.cfg.InnerParallel > 0 {
-		args = append(args, "-inner-parallel", fmt.Sprint(b.cfg.InnerParallel))
-	}
-	cmd := exec.Command(b.cfg.WorkerBin, args...)
-	cmd.Env = b.cfg.Env
-	cmd.Stderr = os.Stderr
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return idxs, err
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return idxs, err
-	}
-	if err := cmd.Start(); err != nil {
-		return idxs, fmt.Errorf("spawn %s: %w", b.cfg.WorkerBin, err)
-	}
-	// Feed requests from a separate goroutine so a slow worker never
-	// deadlocks against a full stdin pipe; an encode error (worker died
-	// mid-stream) just stops the feed — the read side detects and
-	// reports the failure.
-	go func() {
-		enc := json.NewEncoder(stdin)
-		for _, i := range idxs {
-			if enc.Encode(WireRequest{Key: jobs[i].Key(), Spec: jobs[i].Payload}) != nil {
-				break
+// runEndpoint drives one endpoint through a batch: it resolves the
+// session count (dialing a probe session for capacity-advertising
+// transports), derives the endpoint's forwarded inner budget from the
+// batch shape, and runs the sessions until the queue drains or every
+// session's retry budget is spent.
+func (c *Coordinator) runEndpoint(ep *endpoint, batch, totalCap int, jobs []Job, queue *workQueue, results []Result, done func(int, Result)) {
+	sessions := ep.transport.Sessions()
+	var probe Conn
+	if sessions <= 0 {
+		// Capacity comes from the hello: dial one probe session (with
+		// the same retry budget a session gets) and read it.
+		var err error
+		for attempt := 0; attempt < 2 && probe == nil; attempt++ {
+			if probe, err = ep.transport.Dial(); err != nil {
+				c.noteSessionFailure(ep, attempt > 0, err)
 			}
 		}
-		stdin.Close()
-	}()
-
-	dec := json.NewDecoder(stdout)
-	answered := 0
-	var protoErr error
-	for answered < len(idxs) {
-		var resp WireResponse
-		if err := dec.Decode(&resp); err != nil {
-			protoErr = fmt.Errorf("worker reply %d/%d: %w", answered+1, len(idxs), err)
-			break
+		if probe == nil {
+			return
 		}
-		i := idxs[answered]
-		if want := jobs[i].Key(); resp.Key != want {
-			protoErr = fmt.Errorf("worker replied out of order: got %q, want %q", resp.Key, want)
-			break
+		sessions = probe.Hello().Capacity
+		c.mu.Lock()
+		grew := sessions - ep.capacity
+		ep.capacity = sessions
+		c.mu.Unlock()
+		// Keep the budget derivation honest on the first batch: the
+		// fleet estimate assumed capacity 1 for this endpoint.
+		totalCap += grew
+	}
+	inner := c.innerBudget(batch, sessions, totalCap)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		conn := probe
+		probe = nil
+		wg.Add(1)
+		go func(conn Conn) {
+			defer wg.Done()
+			c.runSession(ep, conn, inner, jobs, queue, results, done)
+		}(conn)
+	}
+	wg.Wait()
+}
+
+// wireBudget is an endpoint's derived inner worker budget for one
+// batch, in both of the shapes a worker process can need. The budget
+// lands in a worker-side fl.Pool, which is shared per process — so a
+// process running one cell at a time (a stdio subprocess) should get
+// its own per-cell share, while a process serving many sessions at
+// once (a -listen pool) should get the endpoint's whole spare as one
+// shared pool for its concurrent cells. The hello's capacity tells the
+// coordinator which kind the far side is (see pump).
+type wireBudget struct {
+	// perProcess is the budget for a process serving one session.
+	perProcess int
+	// shared is the budget for a process serving the endpoint's whole
+	// session fleet.
+	shared int
+}
+
+// forConn picks the budget shape matching the worker behind a session:
+// a hello capacity above 1 means the sessions share one process (and
+// one fl.Pool).
+func (b wireBudget) forConn(conn Conn) int {
+	if conn.Hello().Capacity > 1 {
+		return b.shared
+	}
+	return b.perProcess
+}
+
+// innerBudget derives the inner worker budget forwarded to one
+// endpoint for a batch of n jobs. An explicit configured budget is
+// forwarded as-is; under the adaptive split (negative configuration)
+// the derivation follows the same idea as the pool backend's
+// adaptiveInnerBudget: when the batch cannot fill the fleet, an
+// endpoint's idle sessions are lent to the cells it does run — small
+// shards on big machines fan out inside the worker. Unlike the pool
+// backend it keeps no straggler helper when the fleet is saturated:
+// oversubscribing every worker process by one thread costs more than a
+// shared straggler token does in-process. Results are byte-identical
+// for any budget.
+func (c *Coordinator) innerBudget(n, endpointCap, totalCap int) wireBudget {
+	if c.cfg.InnerParallel >= 0 {
+		return wireBudget{perProcess: c.cfg.InnerParallel, shared: c.cfg.InnerParallel}
+	}
+	if n <= 0 || n >= totalCap || endpointCap <= 1 {
+		return wireBudget{}
+	}
+	// The endpoint's fair share of the batch, by capacity.
+	active := (n*endpointCap + totalCap - 1) / totalCap
+	if active > endpointCap {
+		active = endpointCap
+	}
+	if active < 1 {
+		active = 1
+	}
+	spare := endpointCap - active
+	return wireBudget{perProcess: spare / active, shared: spare}
+}
+
+// runSession drives one endpoint session: pull a job from the queue,
+// send it, read its response, repeat. Dialing is lazy — no worker is
+// spawned or connected until the session actually holds a job. A
+// session failure re-dials once and resends only the unanswered
+// in-flight job (answered jobs are never resent); when the retry
+// budget is spent the session gives its in-flight job back to the
+// fleet — a surviving endpoint absorbs it, and only a fleet with no
+// session left turns it into an error result (the batch drain).
+func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, jobs []Job, queue *workQueue, results []Result, done func(int, Result)) {
+	pending := -1 // in-flight job index carried across a retry
+	failures := 0
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for {
+		if pending < 0 {
+			var ok bool
+			if pending, ok = queue.pop(); !ok {
+				return // batch finished
+			}
+		}
+		if failures >= 2 {
+			// Retry budget spent: hand the unanswered job back.
+			queue.requeue(pending)
+			c.mu.Lock()
+			ep.stats.Failed++
+			c.mu.Unlock()
+			return
+		}
+		if conn == nil {
+			var err error
+			if conn, err = ep.transport.Dial(); err != nil {
+				failures++
+				c.noteSessionFailure(ep, failures > 1, err)
+				continue
+			}
+		}
+		var err error
+		if pending, err = c.pump(ep, conn, inner, pending, jobs, queue, results, done); err == nil {
+			return // queue drained through this session
+		} else {
+			failures++
+			c.noteSessionFailure(ep, failures > 1, err)
+			_ = conn.Close()
+			conn = nil
+		}
+	}
+}
+
+// pump streams jobs through one established session until the batch
+// finishes or the session fails. It returns the index of the job left
+// unanswered by a failure (-1 and a nil error once the batch is done).
+func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, carried int, jobs []Job, queue *workQueue, results []Result, done func(int, Result)) (int, error) {
+	sharesCache := c.cfg.CacheDir != "" && conn.Hello().CacheDir == c.cfg.CacheDir
+	inner := budget.forConn(conn)
+	for {
+		i := carried
+		carried = -1
+		if i < 0 {
+			var ok bool
+			if i, ok = queue.pop(); !ok {
+				return -1, nil
+			}
+		}
+		key := jobs[i].Key()
+		if err := conn.Send(WireRequest{Key: key, Spec: jobs[i].Payload, Inner: inner}); err != nil {
+			return i, fmt.Errorf("sending %q: %w", key, err)
+		}
+		c.mu.Lock()
+		ep.stats.Dispatched++
+		c.mu.Unlock()
+		resp, err := conn.Recv()
+		if err != nil {
+			return i, fmt.Errorf("worker reply for %q: %w", key, err)
+		}
+		if resp.Key != key {
+			return i, fmt.Errorf("worker replied out of order: got %q, want %q", resp.Key, key)
 		}
 		r := resp.Result
 		r.Cached = resp.Cached
-		// With a shared cache directory the worker's executor already
+		// A worker sharing the coordinator's cache directory already
 		// published the entry (best effort — a failed worker write costs
-		// a future re-run, exactly like a failed coordinator write).
-		r.Persisted = b.cfg.CacheDir != "" && r.Err == ""
+		// a future re-run, exactly like a failed coordinator write);
+		// results from other workers are persisted by the executor.
+		r.Persisted = sharesCache && r.Err == ""
 		results[i] = r
 		if done != nil {
 			done(i, r)
 		}
-		answered++
+		queue.finalize()
 	}
-	if protoErr != nil {
-		// Stop a worker that is still alive but talking garbage, so
-		// Wait cannot block on its remaining output.
-		_ = cmd.Process.Kill()
+}
+
+// noteSessionFailure records a failed session attempt: the fleet-wide
+// last error (used to annotate jobs no endpoint could take) and, for
+// retry attempts, the endpoint's retry counter.
+func (c *Coordinator) noteSessionFailure(ep *endpoint, wasRetry bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastErr = err
+	if !wasRetry {
+		ep.stats.Retried++
 	}
-	waitErr := cmd.Wait()
-	if protoErr != nil {
-		return idxs[answered:], protoErr
-	}
-	// Every job was answered; a nonzero exit after that costs nothing.
-	_ = waitErr
-	return nil, nil
 }

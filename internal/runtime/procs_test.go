@@ -230,9 +230,10 @@ func TestExecutorOnProcBackendCacheSemantics(t *testing.T) {
 	}
 }
 
-// ServeWorker must answer every request in order and propagate the
-// Cached flag across the wire (Result.Cached is excluded from the
-// result's own JSON form).
+// ServeWorker must open the session with a valid hello frame, then
+// answer every request in order and propagate the Cached flag across
+// the wire (Result.Cached is excluded from the result's own JSON
+// form).
 func TestServeWorkerOrderAndCachedFlag(t *testing.T) {
 	var in, out bytes.Buffer
 	enc := json.NewEncoder(&in)
@@ -246,6 +247,13 @@ func TestServeWorkerOrderAndCachedFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 	dec := json.NewDecoder(&out)
+	var hello WireHello
+	if err := dec.Decode(&hello); err != nil {
+		t.Fatalf("hello frame: %v", err)
+	}
+	if !hello.Hello || hello.Proto != ProtoVersion || hello.KeyVersion != keyVersion || hello.Capacity != 1 {
+		t.Errorf("hello frame = %+v", hello)
+	}
 	for i := 0; i < 5; i++ {
 		var resp WireResponse
 		if err := dec.Decode(&resp); err != nil {

@@ -1,0 +1,179 @@
+package runtime
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProtoVersion is the wire-protocol generation spoken on every
+// transport session. Version 2 added the hello handshake, the
+// per-request inner-budget field and the TCP transport; a coordinator
+// refuses to feed jobs to a worker speaking any other version (see
+// WireHello), so a version skew surfaces as a handshake error instead
+// of a poisoned cache or a protocol deadlock.
+const ProtoVersion = 2
+
+// WireHello is the first frame of every wire session, sent by the
+// worker the moment the session opens — before any request arrives.
+// The coordinator validates it during Dial: a protocol or key-version
+// mismatch rejects the endpoint outright, because a worker computing
+// results under a different cache-key scheme would publish them into
+// the shared cache under keys this coordinator trusts.
+type WireHello struct {
+	// Hello marks the frame; it is always true (a frame without it is
+	// not a handshake — most likely an older worker or a non-worker
+	// process on the far side).
+	Hello bool `json:"hello"`
+	// Proto is the worker's wire-protocol version (ProtoVersion).
+	Proto int `json:"proto"`
+	// KeyVersion is the worker's cache-key scheme version (keyVersion in
+	// job.go). Coordinator and worker must agree or cached results
+	// written by one are semantically wrong for the other.
+	KeyVersion string `json:"keyVersion"`
+	// Capacity is how many wire sessions the worker can usefully serve
+	// concurrently: 1 for a stdio subprocess, the serve pool's size for
+	// a listening worker. The coordinator opens that many sessions.
+	Capacity int `json:"capacity"`
+	// CacheDir is the worker's run-cache directory ("" when the worker
+	// caches in memory only). When it names the same directory as the
+	// coordinator's, results arriving over this session are already
+	// persisted and the coordinator skips re-writing them.
+	CacheDir string `json:"cacheDir,omitempty"`
+}
+
+// Conn is one established wire session to a worker: hello already
+// exchanged and validated, requests and responses flowing as JSON
+// frames. A Conn is used by one coordinator session loop at a time and
+// need not be safe for concurrent use. Close releases the session's
+// resources (for a subprocess, reaping it; for a socket, closing it).
+type Conn interface {
+	// Hello returns the worker's validated handshake frame.
+	Hello() WireHello
+	// Send writes one request frame.
+	Send(WireRequest) error
+	// Recv reads the next response frame.
+	Recv() (WireResponse, error)
+	// Close ends the session.
+	Close() error
+}
+
+// Transport dials wire sessions to one worker endpoint. The
+// coordinator is transport-agnostic: everything above Dial — work
+// distribution, in-flight tracking, retry, budget forwarding — is the
+// same whether the far side is a subprocess pipe or a TCP socket.
+type Transport interface {
+	// Name identifies the endpoint in errors and per-endpoint stats
+	// (e.g. "stdio:fedgpo-worker", "tcp:host:port").
+	Name() string
+	// Dial opens one wire session, performing and validating the hello
+	// handshake before returning.
+	Dial() (Conn, error)
+	// Sessions is the number of concurrent sessions the coordinator
+	// should run against this endpoint, or 0 to learn it from the
+	// hello's advertised capacity (one probe session is dialed first).
+	Sessions() int
+}
+
+// deadlineReader is implemented by connections that support read
+// deadlines (net.Conn); wireConn uses it to bound Recv when the
+// transport carries a reply timeout. Pipe-backed sessions don't
+// implement it and Recv blocks until the pipe closes — for a local
+// subprocess, crash detection via pipe EOF makes that safe.
+type deadlineReader interface {
+	SetReadDeadline(t time.Time) error
+}
+
+// wireConn frames WireRequest/WireResponse JSON over any reader/writer
+// pair and owns the handshake, shared by the stdio and TCP transports.
+type wireConn struct {
+	dec     *json.Decoder
+	enc     *json.Encoder
+	hello   WireHello
+	raw     io.Writer // the write side, kept for deadline checks
+	rawRead any       // the read side, checked for deadlineReader
+	timeout time.Duration
+	closer  func() error
+}
+
+// newWireConn wraps an open byte stream into a wire session: it reads
+// and validates the worker's hello frame and returns the ready Conn.
+// closer runs exactly once, on Close.
+func newWireConn(r io.Reader, w io.Writer, timeout time.Duration, closer func() error) (*wireConn, error) {
+	c := &wireConn{
+		dec:     json.NewDecoder(r),
+		enc:     json.NewEncoder(w),
+		raw:     w,
+		rawRead: r,
+		timeout: timeout,
+		closer:  closer,
+	}
+	if err := c.handshake(); err != nil {
+		if closer != nil {
+			_ = closer()
+		}
+		return nil, err
+	}
+	return c, nil
+}
+
+// handshake reads and validates the worker's hello frame.
+func (c *wireConn) handshake() error {
+	if err := c.setRecvDeadline(); err != nil {
+		return err
+	}
+	var h WireHello
+	if err := c.dec.Decode(&h); err != nil {
+		return fmt.Errorf("runtime: transport handshake: reading hello: %w", err)
+	}
+	if !h.Hello {
+		return fmt.Errorf("runtime: transport handshake: first frame is not a hello (worker predates protocol %d?)", ProtoVersion)
+	}
+	if h.Proto != ProtoVersion {
+		return fmt.Errorf("runtime: transport handshake: worker speaks wire protocol %d, coordinator %d", h.Proto, ProtoVersion)
+	}
+	if h.KeyVersion != keyVersion {
+		return fmt.Errorf("runtime: transport handshake: worker cache-key scheme %q, coordinator %q — results would poison the shared cache", h.KeyVersion, keyVersion)
+	}
+	if h.Capacity < 1 {
+		h.Capacity = 1
+	}
+	c.hello = h
+	return nil
+}
+
+// setRecvDeadline arms the read deadline for the next frame when the
+// connection supports one and a timeout is configured.
+func (c *wireConn) setRecvDeadline() error {
+	dr, ok := c.rawRead.(deadlineReader)
+	if !ok || c.timeout <= 0 {
+		return nil
+	}
+	return dr.SetReadDeadline(time.Now().Add(c.timeout))
+}
+
+// Hello returns the validated handshake frame.
+func (c *wireConn) Hello() WireHello { return c.hello }
+
+// Send writes one request frame.
+func (c *wireConn) Send(req WireRequest) error { return c.enc.Encode(req) }
+
+// Recv reads the next response frame, bounded by the transport's reply
+// timeout when the connection supports deadlines.
+func (c *wireConn) Recv() (WireResponse, error) {
+	var resp WireResponse
+	if err := c.setRecvDeadline(); err != nil {
+		return resp, err
+	}
+	err := c.dec.Decode(&resp)
+	return resp, err
+}
+
+// Close ends the session.
+func (c *wireConn) Close() error {
+	if c.closer == nil {
+		return nil
+	}
+	return c.closer()
+}

@@ -1,0 +1,610 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fedgpo/internal/fl"
+)
+
+// fakeTransport is an in-process Transport whose sessions are scripted
+// per dial: respond decides, given the dial ordinal and the request,
+// whether to answer or to break the session. It records every send so
+// tests can assert exactly which jobs were resent after a failure.
+type fakeTransport struct {
+	name     string
+	sessions int
+	hello    WireHello
+	// respond serves one request; returning an error breaks the
+	// session (the coordinator sees it from Recv).
+	respond func(dial int, req WireRequest) (WireResponse, error)
+	// dialErr, when non-nil, can fail a dial outright.
+	dialErr func(dial int) error
+
+	mu    sync.Mutex
+	dials int
+	sends map[string]int
+	inner map[string]int
+}
+
+func newFakeTransport(name string, sessions int, respond func(dial int, req WireRequest) (WireResponse, error)) *fakeTransport {
+	return &fakeTransport{
+		name:     name,
+		sessions: sessions,
+		hello:    WireHello{Hello: true, Proto: ProtoVersion, KeyVersion: keyVersion, Capacity: sessions},
+		respond:  respond,
+		sends:    make(map[string]int),
+		inner:    make(map[string]int),
+	}
+}
+
+func (t *fakeTransport) Name() string  { return t.name }
+func (t *fakeTransport) Sessions() int { return t.sessions }
+
+func (t *fakeTransport) Dial() (Conn, error) {
+	t.mu.Lock()
+	t.dials++
+	dial := t.dials
+	t.mu.Unlock()
+	if t.dialErr != nil {
+		if err := t.dialErr(dial); err != nil {
+			return nil, err
+		}
+	}
+	return &fakeConn{t: t, dial: dial}, nil
+}
+
+func (t *fakeTransport) sendCount(key string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sends[key]
+}
+
+type fakeConn struct {
+	t    *fakeTransport
+	dial int
+	req  *WireRequest
+}
+
+func (c *fakeConn) Hello() WireHello { return c.t.hello }
+
+func (c *fakeConn) Send(req WireRequest) error {
+	c.t.mu.Lock()
+	c.t.sends[req.Key]++
+	c.t.inner[req.Key] = req.Inner
+	c.t.mu.Unlock()
+	c.req = &req
+	return nil
+}
+
+func (c *fakeConn) Recv() (WireResponse, error) {
+	if c.req == nil {
+		return WireResponse{}, fmt.Errorf("recv without a pending request")
+	}
+	req := *c.req
+	c.req = nil
+	return c.t.respond(c.dial, req)
+}
+
+func (c *fakeConn) Close() error { return nil }
+
+// okResponse answers a request with a deterministic payload derived
+// from its key.
+func okResponse(req WireRequest) (WireResponse, error) {
+	return WireResponse{Key: req.Key, Result: Result{Key: req.Key, Sim: fl.Result{PPW: float64(len(req.Key))}}}, nil
+}
+
+// specJobs builds n spec-carrying jobs (the payload content is
+// irrelevant to the coordinator).
+func specJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = stubJob(i, stubSpec{PPW: float64(i)})
+	}
+	return jobs
+}
+
+// A session that drops mid-batch must be retried on a fresh session,
+// resending only the unanswered in-flight job — never jobs that were
+// already answered.
+func TestCoordinatorRetryResendsOnlyUnanswered(t *testing.T) {
+	jobs := specJobs(6)
+	answeredOnFirst := 3
+	ft := newFakeTransport("fake:a", 1, nil)
+	served := 0
+	ft.respond = func(dial int, req WireRequest) (WireResponse, error) {
+		if dial == 1 {
+			if served == answeredOnFirst {
+				return WireResponse{}, fmt.Errorf("connection reset mid-shard")
+			}
+			served++
+		}
+		return okResponse(req)
+	}
+	c := NewCoordinator(ProcConfig{}, ft)
+	results := c.Run(jobs, nil)
+	resent := 0
+	for i, r := range results {
+		if r.Err != "" {
+			t.Errorf("job %d failed: %s", i, r.Err)
+		}
+		switch n := ft.sendCount(jobs[i].Key()); n {
+		case 1:
+		case 2:
+			resent++
+		default:
+			t.Errorf("job %d sent %d times", i, n)
+		}
+	}
+	if resent != 1 {
+		t.Errorf("%d jobs were resent, want exactly the 1 unanswered in-flight job", resent)
+	}
+	if ft.dials != 2 {
+		t.Errorf("transport dialed %d times, want 2 (session + one retry)", ft.dials)
+	}
+	st := c.EndpointStats()
+	if len(st) != 1 || st[0].Retried != 1 || st[0].Failed != 0 || st[0].Dispatched != int64(len(jobs))+1 {
+		t.Errorf("endpoint stats = %+v", st)
+	}
+}
+
+// A worker that answers with the wrong key (out of order) must fail
+// the session; the retry re-runs the affected job and the batch
+// completes.
+func TestCoordinatorOutOfOrderReplyFailsSession(t *testing.T) {
+	jobs := specJobs(4)
+	ft := newFakeTransport("fake:ooo", 1, nil)
+	ft.respond = func(dial int, req WireRequest) (WireResponse, error) {
+		if dial == 1 && req.Key == jobs[2].Key() {
+			resp, _ := okResponse(req)
+			resp.Key = "v3|sim|someone-else|c|seed=9"
+			return resp, nil
+		}
+		return okResponse(req)
+	}
+	c := NewCoordinator(ProcConfig{}, ft)
+	results := c.Run(jobs, nil)
+	for i, r := range results {
+		if r.Err != "" {
+			t.Errorf("job %d failed: %s", i, r.Err)
+		}
+	}
+	if got := ft.sendCount(jobs[2].Key()); got != 2 {
+		t.Errorf("misanswered job sent %d times, want 2", got)
+	}
+	if ft.dials != 2 {
+		t.Errorf("transport dialed %d times, want 2", ft.dials)
+	}
+}
+
+// When every session attempt fails, the in-flight job and everything
+// still queued must surface error results — never missing slots.
+func TestCoordinatorExhaustedRetriesSurfaceErrors(t *testing.T) {
+	jobs := specJobs(3)
+	ft := newFakeTransport("fake:dead", 1, func(int, WireRequest) (WireResponse, error) {
+		return WireResponse{}, fmt.Errorf("endpoint is gone")
+	})
+	c := NewCoordinator(ProcConfig{}, ft)
+	done := 0
+	results := c.Run(jobs, func(int, Result) { done++ })
+	for i, r := range results {
+		if !strings.Contains(r.Err, "worker shard failed after retry") {
+			t.Errorf("job %d error = %q", i, r.Err)
+		}
+	}
+	if done != len(jobs) {
+		t.Errorf("done fired %d times, want %d", done, len(jobs))
+	}
+	st := c.EndpointStats()
+	if len(st) != 1 || st[0].Failed != 1 {
+		t.Errorf("endpoint stats = %+v (want exactly the in-flight job counted failed)", st)
+	}
+}
+
+// A healthy endpoint must absorb the whole batch when its sibling
+// cannot even establish a session — a dead remote pool degrades
+// capacity, not correctness.
+func TestCoordinatorHealthySiblingAbsorbsBatch(t *testing.T) {
+	jobs := specJobs(8)
+	healthy := newFakeTransport("fake:ok", 2, func(_ int, req WireRequest) (WireResponse, error) {
+		return okResponse(req)
+	})
+	dead := newFakeTransport("fake:down", 2, nil)
+	dead.dialErr = func(int) error { return fmt.Errorf("connection refused") }
+	c := NewCoordinator(ProcConfig{}, healthy, dead)
+	results := c.Run(jobs, nil)
+	for i, r := range results {
+		if r.Err != "" {
+			t.Errorf("job %d failed: %s", i, r.Err)
+		}
+	}
+	if st := c.EndpointStats(); st[0].Dispatched != int64(len(jobs)) || st[1].Dispatched != 0 {
+		t.Errorf("endpoint stats = %+v", st)
+	}
+}
+
+// Under the adaptive split the coordinator derives a per-endpoint
+// inner budget from the batch shape and forwards it on every request,
+// shaped to the worker's process model (hello capacity): a shared-
+// process pool receives the endpoint's whole spare for its one shared
+// fl.Pool, a one-session-per-process worker its per-cell share.
+// Explicit budgets are forwarded verbatim and saturated batches stay
+// serial.
+func TestCoordinatorForwardsWireBudgets(t *testing.T) {
+	run := func(inner int, njobs, sessions, helloCap int) map[string]int {
+		ft := newFakeTransport("fake:budget", sessions, func(_ int, req WireRequest) (WireResponse, error) {
+			return okResponse(req)
+		})
+		ft.hello.Capacity = helloCap
+		c := NewCoordinator(ProcConfig{InnerParallel: inner}, ft)
+		c.Run(specJobs(njobs), nil)
+		ft.mu.Lock()
+		defer ft.mu.Unlock()
+		out := make(map[string]int, len(ft.inner))
+		for k, v := range ft.inner {
+			out[k] = v
+		}
+		return out
+	}
+	for key, got := range run(-1, 2, 4, 4) {
+		// 2 cells across a 4-session shared-process pool: both idle
+		// sessions lent as one shared budget.
+		if got != 2 {
+			t.Errorf("shared-process adaptive budget for %q = %d, want 2", key, got)
+		}
+	}
+	for key, got := range run(-1, 2, 4, 1) {
+		// Same shape, but each session is its own process (stdio): each
+		// active cell gets its own share of the 2 spare sessions.
+		if got != 1 {
+			t.Errorf("per-process adaptive budget for %q = %d, want 1", key, got)
+		}
+	}
+	for key, got := range run(-1, 8, 4, 4) {
+		if got != 0 {
+			t.Errorf("saturated adaptive budget for %q = %d, want 0", key, got)
+		}
+	}
+	for key, got := range run(3, 8, 2, 2) {
+		if got != 3 {
+			t.Errorf("explicit budget for %q = %d, want 3", key, got)
+		}
+	}
+}
+
+// The handshake must reject a worker speaking the wrong protocol
+// version, the wrong cache-key scheme, or no hello at all.
+func TestHandshakeRejectsMismatches(t *testing.T) {
+	dial := func(firstFrame string) error {
+		_, err := newWireConn(strings.NewReader(firstFrame), &strings.Builder{}, 0, nil)
+		return err
+	}
+	cases := []struct{ frame, want string }{
+		{`{"hello":true,"proto":1,"keyVersion":"` + keyVersion + `","capacity":1}`, "wire protocol"},
+		{`{"hello":true,"proto":2,"keyVersion":"v1","capacity":1}`, "cache-key scheme"},
+		{`{"key":"k0","result":{}}`, "not a hello"},
+		{`worker: cannot open cache`, "reading hello"},
+	}
+	for _, c := range cases {
+		err := dial(c.frame)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("handshake on %q: error = %v, want mention of %q", c.frame, err, c.want)
+		}
+	}
+	good := `{"hello":true,"proto":2,"keyVersion":"` + keyVersion + `","capacity":3,"cacheDir":"/tmp/c"}`
+	conn, err := newWireConn(strings.NewReader(good), &strings.Builder{}, 0, nil)
+	if err != nil {
+		t.Fatalf("valid hello rejected: %v", err)
+	}
+	if h := conn.Hello(); h.Capacity != 3 || h.CacheDir != "/tmp/c" {
+		t.Errorf("hello = %+v", h)
+	}
+}
+
+// The worker session loop must tolerate blank lines and stray
+// whitespace between frames (wrapper scripts emit them), and a
+// genuinely malformed frame must name its index.
+func TestServeSessionWhitespaceAndFrameErrors(t *testing.T) {
+	req := func(key string) string {
+		b, _ := json.Marshal(WireRequest{Key: key, Spec: json.RawMessage(`{}`)})
+		return string(b)
+	}
+	in := strings.NewReader("\n\n" + req("k0") + "\n \n\t\n" + req("k1") + "\r\n   \n")
+	var out strings.Builder
+	err := ServeWorker(in, &out, func(key string, _ json.RawMessage) Result {
+		return Result{Key: key}
+	})
+	if err != nil {
+		t.Fatalf("whitespace between frames killed the session: %v", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	var hello WireHello
+	if err := dec.Decode(&hello); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"k0", "k1"} {
+		var resp WireResponse
+		if err := dec.Decode(&resp); err != nil || resp.Key != want {
+			t.Fatalf("response = %+v, %v (want key %s)", resp, err, want)
+		}
+	}
+
+	bad := strings.NewReader(req("k0") + "\nnot a frame\n")
+	err = ServeWorker(bad, &strings.Builder{}, func(key string, _ json.RawMessage) Result {
+		return Result{Key: key}
+	})
+	if err == nil || !strings.Contains(err.Error(), "frame 2") {
+		t.Errorf("malformed frame error = %v, want the offending frame index (frame 2)", err)
+	}
+}
+
+// tcpServe starts a Serve worker pool on localhost whose run executes
+// stubSpec payloads, returning its address and a shutdown func that
+// triggers the graceful drain and waits for Serve to return.
+func tcpServe(t *testing.T, capacity int, cacheDir string) (addr string, shutdown func() error) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Serve(ctx, lis, ServeConfig{
+			Capacity: capacity,
+			CacheDir: cacheDir,
+			Run: func(key string, spec json.RawMessage) Result {
+				var s stubSpec
+				if err := json.Unmarshal(spec, &s); err != nil {
+					return Result{Key: key, Err: err.Error()}
+				}
+				if s.Fail {
+					return Result{Key: key, Err: "stub failure"}
+				}
+				return Result{Key: key, Sim: fl.Result{PPW: s.PPW}}
+			},
+		})
+	}()
+	return lis.Addr().String(), func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("Serve did not drain within 5s")
+		}
+	}
+}
+
+// End-to-end on localhost TCP: the coordinator learns the pool's
+// capacity from the hello, streams the batch over real sockets, and
+// produces results identical to the in-process pool backend; the pool
+// then drains cleanly.
+func TestTCPTransportEndToEnd(t *testing.T) {
+	addr, shutdown := tcpServe(t, 3, "")
+	jobs := specJobs(17)
+	jobs = append(jobs, stubJob(17, stubSpec{Fail: true}))
+	want := NewPoolBackend(4).Run(jobs, nil)
+	// A failing job body is an error result on both paths, but the pool
+	// wraps the panic differently from the stub's explicit Err; align
+	// the expectation with the wire path's literal Err.
+	want[17] = Result{Key: jobs[17].Key(), Err: "stub failure"}
+
+	c := NewProcBackend(ProcConfig{Workers: []string{addr}})
+	var done atomic.Int64
+	results := c.Run(jobs, func(int, Result) { done.Add(1) })
+	for i := range want {
+		if results[i].Err != want[i].Err || results[i].Sim.PPW != want[i].Sim.PPW {
+			t.Errorf("job %d over TCP = %+v, want %+v", i, results[i], want[i])
+		}
+	}
+	if done.Load() != int64(len(jobs)) {
+		t.Errorf("done fired %d times, want %d", done.Load(), len(jobs))
+	}
+	if got := c.Workers(); got != 3 {
+		t.Errorf("coordinator learned capacity %d from the hello, want 3", got)
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("graceful drain: %v", err)
+	}
+}
+
+// A TCP pool dying mid-batch (listener and all sessions torn down)
+// must not lose the batch when a healthy endpoint remains.
+func TestTCPDisconnectMidBatchFailsOver(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns sync.Map
+	answered := make(chan struct{}, 64)
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			conns.Store(nc, struct{}{})
+			go func(nc net.Conn) {
+				_ = ServeSession(nc, nc, func(key string, spec json.RawMessage) Result {
+					answered <- struct{}{}
+					// Give the coordinator time to queue more work on this
+					// endpoint before it dies.
+					time.Sleep(10 * time.Millisecond)
+					var s stubSpec
+					_ = json.Unmarshal(spec, &s)
+					return Result{Key: key, Sim: fl.Result{PPW: s.PPW}}
+				}, WorkerOptions{Capacity: 1})
+			}(nc)
+		}
+	}()
+
+	healthyAddr, shutdown := tcpServe(t, 1, "")
+	jobs := specJobs(12)
+	c := NewProcBackend(ProcConfig{Workers: []string{lis.Addr().String(), healthyAddr}})
+	go func() {
+		// Kill the flaky pool after it has started answering.
+		<-answered
+		_ = lis.Close()
+		conns.Range(func(k, _ any) bool {
+			_ = k.(net.Conn).Close()
+			return true
+		})
+	}()
+	results := c.Run(jobs, nil)
+	for i, r := range results {
+		if r.Err != "" || r.Sim.PPW != float64(i) {
+			t.Errorf("job %d = %+v after mid-batch disconnect", i, r)
+		}
+	}
+	if err := shutdown(); err != nil {
+		t.Errorf("graceful drain: %v", err)
+	}
+}
+
+// A listener that is not a fedgpo worker (wrong protocol on the port)
+// must be rejected by the handshake, and with no other endpoint the
+// batch surfaces handshake errors rather than hanging or poisoning
+// the cache.
+func TestTCPHandshakeMismatchRejectsEndpoint(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			enc := json.NewEncoder(nc)
+			_ = enc.Encode(WireHello{Hello: true, Proto: ProtoVersion + 1, KeyVersion: keyVersion, Capacity: 1})
+			_ = nc.Close()
+		}
+	}()
+	c := NewProcBackend(ProcConfig{Workers: []string{lis.Addr().String()}})
+	results := c.Run(specJobs(2), nil)
+	for i, r := range results {
+		if !strings.Contains(r.Err, "handshake") {
+			t.Errorf("job %d error = %q, want a handshake rejection", i, r.Err)
+		}
+	}
+}
+
+// A graceful drain must let an in-flight job finish and deliver its
+// response before Serve returns.
+func TestTCPDrainDeliversInFlightResponse(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Serve(ctx, lis, ServeConfig{
+			Capacity: 1,
+			Run: func(key string, _ json.RawMessage) Result {
+				close(started)
+				time.Sleep(100 * time.Millisecond)
+				return Result{Key: key, Sim: fl.Result{PPW: 42}}
+			},
+		})
+	}()
+	tr := &TCPTransport{Addr: lis.Addr().String()}
+	conn, err := tr.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(WireRequest{Key: "k0", Spec: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cancel() // SIGTERM equivalent: drain begins while the job runs
+	resp, err := conn.Recv()
+	if err != nil || resp.Key != "k0" || resp.Result.Sim.PPW != 42 {
+		t.Errorf("in-flight response lost during drain: %+v, %v", resp, err)
+	}
+	_ = conn.Close()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("Serve returned %v after drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("Serve did not return after drain")
+	}
+}
+
+// With a reply timeout configured, a worker that accepts a job and
+// never answers must fail the session instead of hanging the batch.
+func TestTCPReplyTimeout(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			// Hello, then silence: accept requests, answer nothing.
+			_ = json.NewEncoder(nc).Encode(WireHello{Hello: true, Proto: ProtoVersion, KeyVersion: keyVersion, Capacity: 1})
+		}
+	}()
+	c := NewCoordinator(ProcConfig{},
+		&TCPTransport{Addr: lis.Addr().String(), ReplyTimeout: 100 * time.Millisecond})
+	start := time.Now()
+	results := c.Run(specJobs(1), nil)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hung worker stalled the batch for %v", elapsed)
+	}
+	if !strings.Contains(results[0].Err, "worker shard failed after retry") {
+		t.Errorf("result = %+v, want a shard failure after the reply timeout", results[0])
+	}
+}
+
+// Results from a worker that does not share the coordinator's cache
+// directory must be persisted by the coordinator's executor, so a warm
+// rerun is hit-only even when the remote pools cache elsewhere.
+func TestExecutorPersistsResultsFromForeignCacheWorkers(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pool advertises no cache directory while the coordinator has
+	// one — the pre-transport coordinator would have assumed sharing
+	// and skipped its own writes.
+	addr, shutdown := tcpServe(t, 2, "")
+	jobs := specJobs(5)
+	cold := NewExecutorBackend(NewProcBackend(ProcConfig{Workers: []string{addr}, CacheDir: dir}), cache)
+	first := cold.RunAll(jobs)
+	if st := cold.Stats(); st.Runs != int64(len(jobs)) || st.Hits != 0 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm rerun with every endpoint gone: hits must carry the batch.
+	warm := NewExecutorBackend(NewProcBackend(ProcConfig{Workers: []string{addr}, CacheDir: dir}), cache)
+	second := warm.RunAll(jobs)
+	if st := warm.Stats(); st.Runs != 0 || st.Hits != int64(len(jobs)) {
+		t.Errorf("warm stats = %+v, want all hits with the worker pool gone", st)
+	}
+	for i := range jobs {
+		if !second[i].Cached || second[i].Sim.PPW != first[i].Sim.PPW {
+			t.Errorf("warm result %d not served from cache: %+v", i, second[i])
+		}
+	}
+}
