@@ -12,7 +12,9 @@
 package fedgpo
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	stdruntime "runtime"
 	"strconv"
 	"strings"
@@ -192,6 +194,12 @@ func BenchmarkAblation_ColdStart(b *testing.B) {
 //     actually ran — the pretrained-controller cache shares one
 //     warm-up per scenario across every cell, seed and probe, which
 //     is the dominant fixed cost of the comparison figures.
+//   - warm_speedup_x: the same sweep against a cold on-disk run cache
+//     versus a rerun over the populated cache (every cell replayed).
+//
+// With BENCH_JSON=<path> in the environment the reported metrics are
+// additionally written as a JSON artifact so CI can gate on the bench
+// trajectory (see .github/workflows/ci.yml).
 func BenchmarkRuntimeSpeedup(b *testing.B) {
 	s := exp.Ideal(workload.CNNMNIST())
 	s.Fleet.Size = 20
@@ -222,8 +230,15 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		warmups, _ := rt.PretrainStats()
 		return time.Since(start), warmups
 	}
+	cached := func(dir string) time.Duration {
+		o := exp.Tiny()
+		o.CacheDir = dir
+		start := time.Now()
+		exp.SweepStatic(o, s, params, 1)
+		return time.Since(start)
+	}
 	cores := stdruntime.GOMAXPROCS(0)
-	var serial, parallel, innerOn, figTime time.Duration
+	var serial, parallel, innerOn, figTime, cold, warm time.Duration
 	warmups := 0
 	for i := 0; i < b.N; i++ {
 		// sweep(1, 0) doubles as both the outer-parallelism baseline and
@@ -234,10 +249,41 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		ft, w := fig11()
 		figTime += ft
 		warmups = w
+		// Cold fills a fresh on-disk cache; the warm rerun of the same
+		// sweep replays every cell from it.
+		dir := b.TempDir()
+		cold += cached(dir)
+		warm += cached(dir)
 	}
-	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup_x")
-	b.ReportMetric(serial.Seconds()/innerOn.Seconds(), "inner_speedup_x")
-	b.ReportMetric(figTime.Seconds()/float64(b.N), "fig11_seconds")
-	b.ReportMetric(float64(warmups), "pretrain_warmups")
-	b.ReportMetric(float64(cores), "workers")
+	metrics := map[string]float64{
+		"speedup_x":        serial.Seconds() / parallel.Seconds(),
+		"inner_speedup_x":  serial.Seconds() / innerOn.Seconds(),
+		"fig11_seconds":    figTime.Seconds() / float64(b.N),
+		"pretrain_warmups": float64(warmups),
+		"workers":          float64(cores),
+		"warm_speedup_x":   cold.Seconds() / warm.Seconds(),
+	}
+	for name, v := range metrics {
+		b.ReportMetric(v, name)
+	}
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		writeBenchJSON(b, path, "BenchmarkRuntimeSpeedup", metrics)
+	}
+}
+
+// writeBenchJSON emits a benchmark's reported metrics as a JSON
+// artifact (no timestamps — the CI run carries provenance) so the
+// perf trajectory can be archived and regression-gated.
+func writeBenchJSON(b *testing.B, path, bench string, metrics map[string]float64) {
+	b.Helper()
+	out, err := json.MarshalIndent(struct {
+		Bench   string             `json:"bench"`
+		Metrics map[string]float64 `json:"metrics"`
+	}{bench, metrics}, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
 }

@@ -51,6 +51,16 @@ func main() {
 			if p.Cached {
 				tag = " (cached)"
 			}
+			// The sec54 probe's overhead rows are wall-clock: surface
+			// whether this run measured them or replayed values recorded
+			// when the cell first ran.
+			if strings.Contains(p.Key, "|sec54|") {
+				if p.Cached {
+					tag = " (overhead replayed-from-cache)"
+				} else {
+					tag = " (overhead measured)"
+				}
+			}
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s%s\n", p.Done, p.Total, p.Key, tag)
 		})
 	}
@@ -88,6 +98,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  endpoint %s: %d dispatched, %d retried, %d failed\n",
 				ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed)
 		}
+		fmt.Fprint(os.Stderr, rt.Metrics().Summary())
+	}
+	if err := rtFlags.WriteMetrics(rt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if *results != "" {
 		if err := rt.Store().WriteFile(*results); err != nil {

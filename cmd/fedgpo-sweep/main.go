@@ -45,6 +45,7 @@ func main() {
 	scenarioFile := flag.String("scenario-file", "", "run ScenarioSpec JSON (one object or an array) from this file")
 	paramsFlag := flag.String("params", "8,10,20", "the (B,E,K) setting matrix/scenario-file cells run at")
 	seed := flag.Int64("seed", 1, "run seed")
+	verbose := flag.Bool("v", false, "per-endpoint dispatch stats on stderr")
 	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -79,6 +80,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fedgpo-sweep: note: -quick does not rescale -matrix/-scenario-file deployments; the specs say exactly what runs")
 		}
 		runScenarios(opts, rt, w, *matrix, *scenarioFile, *paramsFlag, *seed)
+		finish(rt, rtFlags, *verbose)
 		return
 	}
 
@@ -120,7 +122,7 @@ func main() {
 		fmt.Printf("%-12s %10v %12s %14.0f %10.3g\n",
 			p.String(), res.Converged, conv, res.EnergyToConvergenceJ/1000, res.PPW)
 	}
-	printStats(rt)
+	finish(rt, rtFlags, *verbose)
 }
 
 // runScenarios executes the scenario-matrix / scenario-file mode: one
@@ -176,7 +178,6 @@ func runScenarios(opts exp.Options, rt *exp.Runtime,
 		fmt.Printf("%-56s %10v %12s %14.0f %10.3g\n",
 			name, res.Converged, conv, res.EnergyToConvergenceJ/1000, res.PPW)
 	}
-	printStats(rt)
 }
 
 // parseParams parses a -params value: exactly three positive
@@ -199,9 +200,22 @@ func parseParams(s string) (fl.Params, error) {
 	return p, nil
 }
 
-func printStats(rt *exp.Runtime) {
+// finish prints the runtime summary (the exact "runtime: ..." line CI
+// greps), the per-endpoint dispatch stats under -v, and writes the
+// -metrics-out artifact.
+func finish(rt *exp.Runtime, rtFlags *cli.RuntimeFlags, verbose bool) {
 	st := rt.Stats()
 	fmt.Fprintf(os.Stderr, "runtime: %d cells simulated, %d served from cache\n", st.Runs, st.Hits)
+	if verbose {
+		for _, ep := range st.Endpoints {
+			fmt.Fprintf(os.Stderr, "  endpoint %s: %d dispatched, %d retried, %d failed\n",
+				ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed)
+		}
+	}
+	if err := rtFlags.WriteMetrics(rt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // onAxis keeps the sweep to the three axes through (8, 10, 20) plus the

@@ -7,6 +7,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 
 	"fedgpo/internal/exp"
 	"fedgpo/internal/runtime"
+	"fedgpo/internal/telemetry"
 	"fedgpo/internal/workload"
 )
 
@@ -53,6 +55,11 @@ type RuntimeFlags struct {
 	WorkerBin string
 	// ListScenarios requests the scenario-preset listing and exit.
 	ListScenarios bool
+	// MetricsOut, when set, writes the runtime's telemetry snapshot
+	// (phase timings, counters, per-endpoint latency) as JSON on exit.
+	MetricsOut string
+	// TraceLevel selects RL decision tracing ("none" or "decisions").
+	TraceLevel string
 }
 
 // Register installs the shared runtime flags on fs and returns the
@@ -74,6 +81,10 @@ func Register(fs *flag.FlagSet) *RuntimeFlags {
 		"fedgpo-worker binary for -backend=procs (default: next to this binary, then $PATH)")
 	fs.BoolVar(&f.ListScenarios, "list-scenarios", false,
 		"print the scenario presets and their resolved spec JSON, then exit")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "",
+		"write the run's telemetry snapshot (phase timings, cache/sim counters, per-endpoint dispatch latency) as JSON to this file")
+	fs.StringVar(&f.TraceLevel, "trace-level", "",
+		"RL decision tracing: 'decisions' records each FedGPO cell's per-round state, masked action set, chosen action, reward and Q-delta as spec-addressed cache artifacts (tracing a cached cell costs one re-run; re-tracing costs zero); results stay byte-identical")
 	return f
 }
 
@@ -149,7 +160,32 @@ func (f *RuntimeFlags) Runtime() (*exp.Runtime, error) {
 	}
 	rt := exp.NewRuntimeWithBackend(backend, cache)
 	rt.SetInnerParallel(f.InnerParallel)
+	switch f.TraceLevel {
+	case "", "none":
+		// tracing off
+	case telemetry.TraceDecisions:
+		rt.SetTraceLevel(telemetry.TraceDecisions)
+	default:
+		return nil, fmt.Errorf("cli: unknown -trace-level %q (valid: none, %s)", f.TraceLevel, telemetry.TraceDecisions)
+	}
 	return rt, nil
+}
+
+// WriteMetrics writes the runtime's telemetry snapshot to the
+// -metrics-out file (no-op when the flag is unset). Call it after the
+// run's work completes so the snapshot covers everything.
+func (f *RuntimeFlags) WriteMetrics(rt *exp.Runtime) error {
+	if f.MetricsOut == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(rt.Metrics(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("cli: encoding metrics: %w", err)
+	}
+	if err := os.WriteFile(f.MetricsOut, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cli: writing -metrics-out: %w", err)
+	}
+	return nil
 }
 
 // remotes parses -workers into its host:port list (empty entries from

@@ -114,6 +114,11 @@ type Controller struct {
 	frozen        bool
 	frozenRound   int
 	overhead      OverheadBreakdown
+
+	// tracing/trace hold the opt-in per-round decision record (see
+	// trace.go). Recording never perturbs decisions or randomness.
+	tracing bool
+	trace   []RoundTrace
 }
 
 var _ fl.Controller = (*Controller)(nil)
@@ -334,6 +339,18 @@ func (c *Controller) Plan(obs fl.Observation) fl.Plan {
 	c.roundChoices = make(map[int]choice, len(obs.Fleet))
 	c.overhead.ChooseParams += time.Since(t0)
 	c.overhead.Rounds++
+	if c.tracing {
+		c.trace = append(c.trace, RoundTrace{
+			Round:       obs.Round,
+			GlobalState: globalState,
+			K: KDecision{
+				State:   globalState,
+				Action:  kAction,
+				K:       c.kActions[kAction],
+				Allowed: c.kTable.AllowedActions(),
+			},
+		})
+	}
 
 	// Within a round, all devices that share a Q-table and a state take
 	// the same action: the shared table makes one (possibly exploring)
@@ -354,8 +371,16 @@ func (c *Controller) Plan(obs fl.Observation) fl.Plan {
 		action, ok := roundAction[memoKey]
 		if !ok {
 			tab := c.tableFor(d, obs.Workload)
-			action = tab.SelectOf(stateKey, c.dynFeasible(d, obs.Workload, st))
+			dyn := c.dynFeasible(d, obs.Workload, st)
+			action = tab.SelectOf(stateKey, dyn)
 			roundAction[memoKey] = action
+			if cur := c.traceCurrent(); cur != nil {
+				lp := c.localActions[action]
+				cur.Local = append(cur.Local, LocalDecision{
+					Table: key, State: stateKey, Action: action,
+					B: lp.B, E: lp.E, Allowed: tab.CandidatesOf(dyn),
+				})
+			}
 		}
 		c.roundChoices[d.ID] = choice{tableKey: key, state: stateKey, action: action}
 		c.overhead.ChooseParams += time.Since(ts)
@@ -418,6 +443,12 @@ func (c *Controller) Observe(res fl.RoundResult) {
 	} else {
 		c.rewardHistory = append(c.rewardHistory, accPct-100)
 	}
+	if cur := c.traceCurrent(); cur != nil {
+		cur.Reward = c.rewardHistory[len(c.rewardHistory)-1]
+		if c.pendingK != nil {
+			cur.K.Reward = c.pendingK.reward
+		}
+	}
 	c.overhead.CalcReward += time.Since(t0)
 
 	c.maybeFreeze(res.Round)
@@ -442,14 +473,30 @@ func (c *Controller) flushPending(obs fl.Observation) {
 				next = p.state
 			}
 			if t := c.table(p.tableKey); t != nil {
-				t.Update(p.state, p.action, p.reward, next)
+				delta := t.Update(p.state, p.action, p.reward, next)
+				// Updates grade the previous round's decisions: trace
+				// them on the entry that recorded those decisions (the
+				// current last entry — this round's is appended later in
+				// Plan).
+				if cur := c.traceCurrent(); cur != nil {
+					cur.Updates = append(cur.Updates, QUpdate{
+						Table: p.tableKey, State: p.state, Action: p.action,
+						Reward: p.reward, Next: next, Delta: delta,
+					})
+				}
 			}
 		}
 		c.pendingLocal = c.pendingLocal[:0]
 	}
 	if c.pendingK != nil && c.kTable != nil {
 		next := GlobalStateKey(obs.Workload, obs.States)
-		c.kTable.Update(c.pendingK.state, c.pendingK.action, c.pendingK.reward, next)
+		delta := c.kTable.Update(c.pendingK.state, c.pendingK.action, c.pendingK.reward, next)
+		if cur := c.traceCurrent(); cur != nil {
+			cur.Updates = append(cur.Updates, QUpdate{
+				Table: "K", State: c.pendingK.state, Action: c.pendingK.action,
+				Reward: c.pendingK.reward, Next: next, Delta: delta,
+			})
+		}
 		c.pendingK = nil
 	}
 }

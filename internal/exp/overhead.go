@@ -2,11 +2,13 @@ package exp
 
 import (
 	"fmt"
+	"time"
 
 	"fedgpo/internal/core"
 	"fedgpo/internal/fl"
 	"fedgpo/internal/runtime"
 	"fedgpo/internal/stats"
+	"fedgpo/internal/telemetry"
 	"fedgpo/internal/workload"
 )
 
@@ -80,10 +82,18 @@ type sec54Extra struct {
 // the one place a spec's execution is not bit-reproducible (see the
 // type comment above).
 func executeSec54(r *Runtime, sp JobSpec) runtime.Result {
+	col := telemetry.NewCollector()
 	cfg := r.config(sp.Scenario, sp.Seed)
 	cfg.StopAtConvergence = false
+	cfg.Telemetry = col
+	t0 := time.Now()
 	ctrl := r.controller(sp.Scenario, sp.Contender).(*core.Controller)
+	col.RecordPhase(telemetry.PhasePretrain, time.Since(t0))
+	traced := r.traceTarget(sp, ctrl)
 	res := runtime.Result{Sim: fl.Run(cfg, ctrl)}
+	r.publishTrace(sp, traced)
+	m := col.Snapshot()
+	res.Telemetry = &m
 	ov := ctrl.Overhead()
 	res.SetExtra(sec54Extra{
 		RewardHistory:    ctrl.RewardHistory(),

@@ -9,6 +9,7 @@ import (
 	"fedgpo/internal/core"
 	"fedgpo/internal/fl"
 	"fedgpo/internal/runtime"
+	"fedgpo/internal/telemetry"
 )
 
 // Runtime bundles the experiment runtime shared by every figure
@@ -37,6 +38,15 @@ type Runtime struct {
 	// onJob, when set, observes every job a batch submits (test hook
 	// for spec round-trip coverage).
 	onJob func(runtime.Job)
+	// col accumulates the runtime's telemetry: job-level hit/run
+	// counters from the executor, cache-level I/O from the cache,
+	// dispatch latency and retry/failover counters from the
+	// coordinator, and per-job phase timings folded in per result.
+	col *telemetry.Collector
+	// traceLevel, when non-empty, is stamped onto every JobSpec this
+	// runtime compiles (telemetry.TraceDecisions records RL decision
+	// traces as spec-addressed cache artifacts).
+	traceLevel string
 
 	// The pretrained-controller singleflight: one warm-up per distinct
 	// (scenario, controller config, warm-up seed/rounds) key per
@@ -84,6 +94,18 @@ func NewRuntimeWithBackend(b runtime.Backend, cache *runtime.Cache) *Runtime {
 		cache:     cache,
 		store:     runtime.NewStore(),
 		pretrains: make(map[string]*pretrainEntry),
+		col:       telemetry.NewCollector(),
+	}
+	// Telemetry is wired by construction: executor (job-level counters,
+	// per-job phase fold-in), cache (I/O timings, mem/disk hit split)
+	// and, when the backend is a coordinator, per-endpoint dispatch
+	// latency plus retry/failover counters.
+	r.exec.SetCollector(r.col)
+	cache.SetCollector(r.col)
+	if bc, ok := b.(interface {
+		SetCollector(*telemetry.Collector)
+	}); ok {
+		bc.SetCollector(r.col)
 	}
 	// Under the adaptive split the inner budget is retuned per batch
 	// from the number of cells actually dispatched — cache hits don't
@@ -103,6 +125,29 @@ func NewRuntimeWithBackend(b runtime.Backend, cache *runtime.Cache) *Runtime {
 
 // Stats returns the executor's lifetime cache-hit/run counters.
 func (r *Runtime) Stats() runtime.Stats { return r.exec.Stats() }
+
+// SetTraceLevel sets the RL decision-trace level stamped onto every
+// job this runtime compiles: telemetry.TraceDecisions enables
+// per-round decision recording for traceable cells, "" (the default)
+// disables it. Tracing never changes canonical keys or result bytes;
+// it only adds spec-addressed trace artifacts to the cache.
+func (r *Runtime) SetTraceLevel(level string) { r.traceLevel = level }
+
+// TraceLevel returns the configured decision-trace level.
+func (r *Runtime) TraceLevel() string { return r.traceLevel }
+
+// Metrics snapshots the runtime's accumulated telemetry, with the
+// coordinator's authoritative per-endpoint dispatch counters folded
+// onto the endpoints' latency histograms. The snapshot's job-level
+// counters reconcile with Stats by construction: SimsExecuted ==
+// Stats().Runs and CacheHits == Stats().Hits.
+func (r *Runtime) Metrics() telemetry.Metrics {
+	m := r.col.Snapshot()
+	for _, ep := range r.exec.Stats().Endpoints {
+		m.SetEndpointCounts(ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed)
+	}
+	return m
+}
 
 // Workers returns the execution backend's parallelism.
 func (r *Runtime) Workers() int { return r.exec.Workers() }
@@ -269,6 +314,17 @@ func (r *Runtime) runAll(jobs []runtime.Job) []runtime.Result {
 		}
 	}
 	results := r.exec.RunAll(jobs)
+	// Tag each result's wall-clock provenance. This happens after the
+	// executor's cache write-backs, so cache entries never carry the
+	// tag and stay byte-identical across cold and warm runs; only the
+	// in-memory results (and the -results store JSON) see it.
+	for i := range results {
+		if results[i].Cached {
+			results[i].Provenance = runtime.ProvenanceReplayed
+		} else {
+			results[i].Provenance = runtime.ProvenanceMeasured
+		}
+	}
 	if r.record {
 		r.store.Add(results...)
 	}

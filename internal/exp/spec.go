@@ -3,12 +3,14 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"fedgpo/internal/abs"
 	"fedgpo/internal/baseline"
 	"fedgpo/internal/core"
 	"fedgpo/internal/fl"
 	"fedgpo/internal/runtime"
+	"fedgpo/internal/telemetry"
 )
 
 // Job kinds: the families of work a JobSpec can describe. Each kind
@@ -135,6 +137,14 @@ type JobSpec struct {
 	// ProbeRounds bounds the oracle probe's run length; it participates
 	// in the oracle job's scenario key.
 	ProbeRounds int `json:"probeRounds,omitempty"`
+	// Trace is the RL decision-trace level (telemetry.TraceDecisions,
+	// or "" for none). It deliberately does NOT participate in the
+	// job's canonical key — a traced run computes byte-identical
+	// results, so traced and untraced runs share one cache cell; the
+	// trace itself is published under a separate spec-addressed key
+	// (see traceKey). It rides the spec across the wire so worker
+	// processes trace exactly the cells the coordinator asked to.
+	Trace string `json:"trace,omitempty"`
 }
 
 // scenarioKey returns the scenario half of the job's canonical key,
@@ -182,10 +192,45 @@ func (sp JobSpec) validate() error {
 	default:
 		return fmt.Errorf("exp: unknown job kind %q", sp.Kind)
 	}
+	switch sp.Trace {
+	case telemetry.TraceNone, telemetry.TraceDecisions:
+	default:
+		return fmt.Errorf("exp: unknown trace level %q", sp.Trace)
+	}
 	if err := sp.Scenario.Validate(); err != nil {
 		return err
 	}
 	return sp.Contender.validate()
+}
+
+// traceable reports whether this spec's execution can produce an RL
+// decision trace: a FedGPO contender (the only controller with
+// Q-table decisions to record) on a kind that runs a full simulation.
+func (sp JobSpec) traceable() bool {
+	switch sp.Contender.Type {
+	case ContFedGPOWarm, ContFedGPOCold:
+	default:
+		return false
+	}
+	return sp.Kind == KindSim || sp.Kind == KindSec54
+}
+
+// traceKey addresses a spec's decision-trace artifact in the
+// content-addressed cache. It reuses the job's canonical key parts
+// under a distinct "trace" kind, so the artifact is spec-addressed
+// exactly like the result it annotates while never colliding with it:
+//
+//	<keyVersion>|trace|<level>|<kind>|<scenario key>|<controller key>|seed=<N>
+func traceKey(sp JobSpec) string {
+	return runtime.KeyFor("trace", sp.Trace, sp.Kind,
+		sp.scenarioKey(), sp.controllerKey(), fmt.Sprintf("seed=%d", sp.Seed))
+}
+
+// hasTrace reports whether the spec's trace artifact is already in the
+// run cache.
+func (r *Runtime) hasTrace(sp JobSpec) bool {
+	var raw json.RawMessage
+	return r.cache.Get(traceKey(sp), &raw)
 }
 
 // EncodeJobSpec serializes a spec for the wire.
@@ -214,7 +259,19 @@ func DecodeJobSpec(b []byte) (JobSpec, error) {
 // in-process execution closure for the pool backend. Both execution
 // paths run through Execute, so a cell computes the same result no
 // matter which side of a process boundary it lands on.
+//
+// When the runtime has a trace level configured it is stamped onto
+// the spec here — but only when the spec carries none, so a worker
+// compiling a wire-decoded spec preserves the coordinator's request
+// rather than its own (always-empty) setting. A traced cell whose
+// trace artifact is not yet cached is marked ForceRun: the cell
+// re-executes once to capture the trace (publishing byte-identical
+// results), and once the artifact exists re-tracing is a pure cache
+// hit costing zero simulations.
 func (r *Runtime) Job(sp JobSpec) runtime.Job {
+	if r.traceLevel != "" && sp.Trace == "" {
+		sp.Trace = r.traceLevel
+	}
 	return runtime.Job{
 		Kind:       sp.Kind,
 		Scenario:   sp.scenarioKey(),
@@ -222,6 +279,7 @@ func (r *Runtime) Job(sp JobSpec) runtime.Job {
 		Seed:       sp.Seed,
 		Payload:    EncodeJobSpec(sp),
 		Run:        func() runtime.Result { return r.Execute(sp) },
+		ForceRun:   sp.Trace != "" && sp.traceable() && !r.hasTrace(sp),
 	}
 }
 
@@ -244,7 +302,7 @@ func (r *Runtime) Execute(sp JobSpec) runtime.Result {
 	}
 	switch sp.Kind {
 	case KindSim:
-		return runtime.Result{Sim: fl.Run(r.config(sp.Scenario, sp.Seed), r.controller(sp.Scenario, sp.Contender))}
+		return executeSim(r, sp)
 	case KindQMem:
 		return executeQMem(r, sp)
 	case KindOracle:
@@ -253,6 +311,56 @@ func (r *Runtime) Execute(sp JobSpec) runtime.Result {
 		return executeSec54(r, sp)
 	default:
 		panic("exp: unknown job kind " + sp.Kind)
+	}
+}
+
+// executeSim runs a plain simulation cell with per-job telemetry:
+// controller construction (pretrained-snapshot restore or warm-up
+// included) timed as the pretrain phase, round and merge phases
+// recorded by the simulator, and the snapshot attached to the result
+// for the executor — or, across a process boundary, the wire — to
+// fold into the run-level collector. Telemetry and tracing are
+// observational only; the Sim outcome is byte-identical to an
+// uninstrumented run.
+func executeSim(r *Runtime, sp JobSpec) runtime.Result {
+	col := telemetry.NewCollector()
+	t0 := time.Now()
+	ctrl := r.controller(sp.Scenario, sp.Contender)
+	col.RecordPhase(telemetry.PhasePretrain, time.Since(t0))
+	traced := r.traceTarget(sp, ctrl)
+	cfg := r.config(sp.Scenario, sp.Seed)
+	cfg.Telemetry = col
+	res := runtime.Result{Sim: fl.Run(cfg, ctrl)}
+	r.publishTrace(sp, traced)
+	m := col.Snapshot()
+	res.Telemetry = &m
+	return res
+}
+
+// traceTarget enables decision tracing on the controller when the spec
+// asks for it and the contender supports it, returning the controller
+// to harvest the trace from (nil otherwise).
+func (r *Runtime) traceTarget(sp JobSpec, ctrl fl.Controller) *core.Controller {
+	if sp.Trace == "" || !sp.traceable() {
+		return nil
+	}
+	c, ok := ctrl.(*core.Controller)
+	if !ok {
+		return nil
+	}
+	c.EnableTrace()
+	return c
+}
+
+// publishTrace stores a traced controller's decision record as the
+// spec's trace artifact. Best effort, like every cache write: a failed
+// publish costs one future re-trace.
+func (r *Runtime) publishTrace(sp JobSpec, c *core.Controller) {
+	if c == nil {
+		return
+	}
+	if tr := c.DecisionTrace(); len(tr) > 0 {
+		_ = r.cache.Put(traceKey(sp), tr)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"fedgpo/internal/interfere"
 	"fedgpo/internal/netsim"
 	"fedgpo/internal/stats"
+	"fedgpo/internal/telemetry"
 	"fedgpo/internal/workload"
 )
 
@@ -56,6 +57,11 @@ type Config struct {
 	// results are merged in fixed device order, so the run's outcome is
 	// byte-identical for any pool size (nil runs rounds serially).
 	Inner *Pool
+	// Telemetry, when non-nil, receives wall-clock phase timings (round
+	// bodies, serial merges). It is observational only: Config is never
+	// hashed into cache keys and the collector cannot influence the
+	// run's outcome, which stays byte-identical with or without it.
+	Telemetry *telemetry.Collector
 }
 
 // Validate reports configuration inconsistencies.
@@ -163,6 +169,7 @@ func Run(cfg Config, ctrl Controller) Result {
 	chronicDrop := stats.NewEMA(0.05)
 
 	for round := 1; round <= cfg.MaxRounds; round++ {
+		roundStart := time.Now()
 		// 1. Observe the environment.
 		states := observeStates(cfg, samples, envRNG)
 		obs := Observation{
@@ -237,6 +244,7 @@ func Run(cfg Config, ctrl Controller) Result {
 		converged := tracker.Observe(acc)
 		res.RoundsExecuted = round
 		res.FinalAccuracy = acc
+		cfg.Telemetry.RecordPhase(telemetry.PhaseRounds, time.Since(roundStart))
 		if converged && cfg.StopAtConvergence {
 			break
 		}
@@ -335,6 +343,7 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 	})
 
 	// Phase 3: serial merge in fixed device order.
+	mergeStart := time.Now()
 	times := make([]float64, len(parts))
 	for i := range parts {
 		times[i] = parts[i].TotalSec
@@ -416,6 +425,7 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 		meanB = wB / wSamples
 		meanE = wE / wSamples
 	}
+	cfg.Telemetry.RecordPhase(telemetry.PhaseMerge, time.Since(mergeStart))
 	return RoundResult{
 		Participants:     parts,
 		AggregatedK:      aggK,

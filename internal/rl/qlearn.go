@@ -195,12 +195,7 @@ func (t *QTable) BestOf(state string, allowed []bool) int {
 // observed* interference would straggle the round are excluded from
 // both exploitation and exploration.
 func (t *QTable) SelectOf(state string, allowed []bool) int {
-	candidates := make([]int, 0, t.actions)
-	for a := 0; a < t.actions; a++ {
-		if t.allowed(a) && a < len(allowed) && allowed[a] {
-			candidates = append(candidates, a)
-		}
-	}
+	candidates := t.CandidatesOf(allowed)
 	if len(candidates) == 0 {
 		return t.Select(state)
 	}
@@ -217,9 +212,37 @@ func (t *QTable) SelectOf(state string, allowed []bool) int {
 	return best
 }
 
+// CandidatesOf returns the action set SelectOf draws from: the
+// intersection of the table mask and the supplied per-call allowed
+// set, in action order. It consumes no randomness and mutates nothing,
+// so callers (e.g. decision tracing) can inspect the masked action set
+// without perturbing the selection stream.
+func (t *QTable) CandidatesOf(allowed []bool) []int {
+	candidates := make([]int, 0, t.actions)
+	for a := 0; a < t.actions; a++ {
+		if t.allowed(a) && a < len(allowed) && allowed[a] {
+			candidates = append(candidates, a)
+		}
+	}
+	return candidates
+}
+
+// AllowedActions returns the actions the table mask admits, in action
+// order (every action for an unmasked table).
+func (t *QTable) AllowedActions() []int {
+	actions := make([]int, 0, t.actions)
+	for a := 0; a < t.actions; a++ {
+		if t.allowed(a) {
+			actions = append(actions, a)
+		}
+	}
+	return actions
+}
+
 // Update applies the Algorithm 2 rule for a transition
-// (state, action, reward, nextState).
-func (t *QTable) Update(state string, action int, reward float64, nextState string) {
+// (state, action, reward, nextState) and returns the applied Q-delta
+// (learning-rate-scaled TD error).
+func (t *QTable) Update(state string, action int, reward float64, nextState string) float64 {
 	if action < 0 || action >= t.actions {
 		panic("rl: action out of range")
 	}
@@ -229,6 +252,7 @@ func (t *QTable) Update(state string, action int, reward float64, nextState stri
 	row[action] += delta
 	t.deltaEMA.Add(abs(delta))
 	t.updates++
+	return delta
 }
 
 // Updates returns the number of Update calls so far.

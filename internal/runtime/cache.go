@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"fedgpo/internal/telemetry"
 )
 
 // envelope is the on-disk cache entry: the canonical key travels with
@@ -27,7 +29,13 @@ type Cache struct {
 	mu  sync.RWMutex
 	mem map[string][]byte // hash -> payload JSON (memory-only mode)
 	dir string
+	col *telemetry.Collector
 }
+
+// SetCollector attaches a telemetry collector recording cache-level
+// events: per-read mem/disk hit and miss counters, read/write phase
+// time, and Prune evictions. A nil collector disables recording.
+func (c *Cache) SetCollector(col *telemetry.Collector) { c.col = col }
 
 // NewCache returns a cache. dir == "" keeps entries in memory only;
 // otherwise entries persist under dir (created if missing).
@@ -45,35 +53,54 @@ func (c *Cache) Dir() string { return c.dir }
 
 // Get looks the key up and unmarshals the payload into v on a hit.
 func (c *Cache) Get(key string, v any) bool {
+	start := time.Now()
+	hit, disk := c.get(key, v)
+	c.col.RecordPhase(telemetry.PhaseCacheRead, time.Since(start))
+	c.col.Count(func(cc *telemetry.Counters) {
+		switch {
+		case hit && disk:
+			cc.CacheDiskHits++
+		case hit:
+			cc.CacheMemHits++
+		default:
+			cc.CacheMisses++
+		}
+	})
+	return hit
+}
+
+// get is Get's lookup body; disk reports which storage mode served a
+// hit.
+func (c *Cache) get(key string, v any) (hit, disk bool) {
 	hash := HashKey(key)
 	if c.dir == "" {
 		c.mu.RLock()
 		payload, ok := c.mem[hash]
 		c.mu.RUnlock()
 		if !ok {
-			return false
+			return false, false
 		}
-		return json.Unmarshal(payload, v) == nil
+		return json.Unmarshal(payload, v) == nil, false
 	}
 	b, err := os.ReadFile(c.path(hash))
 	if err != nil {
-		return false
+		return false, true
 	}
 	var env envelope
 	// A corrupted or foreign file — including an envelope whose key
 	// does not match (hash collision) — is a miss, not an error.
 	if json.Unmarshal(b, &env) != nil || env.Key != key {
-		return false
+		return false, true
 	}
 	if json.Unmarshal(env.Payload, v) != nil {
-		return false
+		return false, true
 	}
 	// Touch the entry so mtime tracks last use, making Prune's
 	// oldest-mtime-first order an LRU eviction. Best effort: a failed
 	// touch only skews future eviction order.
 	now := time.Now()
 	_ = os.Chtimes(c.path(hash), now, now)
-	return true
+	return true, true
 }
 
 // Prune enforces a byte budget on the on-disk cache: entries are
@@ -133,11 +160,14 @@ func (c *Cache) Prune(maxBytes int64) (int, error) {
 			removed++
 		}
 	}
+	c.col.Count(func(cc *telemetry.Counters) { cc.Evictions += int64(removed) })
 	return removed, nil
 }
 
 // Put stores v under the key, in memory or (when configured) on disk.
 func (c *Cache) Put(key string, v any) error {
+	start := time.Now()
+	defer func() { c.col.RecordPhase(telemetry.PhaseCacheWrite, time.Since(start)) }()
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("runtime: cache payload: %w", err)

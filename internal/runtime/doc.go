@@ -115,7 +115,7 @@
 // Every session opens with a handshake: the worker speaks first,
 // sending a hello frame
 //
-//	{"hello": true, "proto": 2, "keyVersion": "v3", "capacity": N,
+//	{"hello": true, "proto": 3, "keyVersion": "v3", "capacity": N,
 //	 "cacheDir": "<worker's -cachedir>"}
 //
 // which the coordinator validates before dispatching anything. A
@@ -136,14 +136,18 @@
 // and each reply a WireResponse, strictly one per request in request
 // order:
 //
-//	{"key": "<canonical job key>", "result": <result JSON>, "cached": bool}
+//	{"key": "<canonical job key>", "result": <result JSON>, "cached": bool,
+//	 "metrics": <telemetry.Metrics JSON, omitted when absent>}
 //
 // The worker decodes the spec, verifies it addresses the dispatched
 // key, and executes it through its own Executor — same cache check,
 // same panic isolation, same cache write-back as the pool path. The
 // "cached" field travels beside the result because Result.Cached is
 // deliberately excluded from result JSON; the coordinator folds it
-// into its own hit/run statistics. Whitespace between frames (blank
+// into its own hit/run statistics. The "metrics" field (protocol
+// version 3) carries the worker's per-job telemetry snapshot the same
+// way — Result.Telemetry is likewise excluded from result JSON, so
+// neither field can ever reach a cache entry. Whitespace between frames (blank
 // lines from wrapper scripts) is tolerated, and a malformed frame
 // fails the session naming the offending frame index. Worker stderr
 // passes through to the coordinator's stderr. ServeWorker/ServeSession
@@ -260,4 +264,46 @@
 // a batch produced, in insertion order, and can round-trip them to a
 // single JSON file so table/figure constructors — or external tooling
 // — can consume completed runs without re-simulating.
+//
+// # Telemetry
+//
+// The runtime is instrumented against a telemetry.Collector (wired by
+// the exp.Runtime constructor, nil-safe everywhere so uninstrumented
+// embedders pay nothing):
+//
+//   - The executor mirrors its job-level accounting into the
+//     collector as each result lands — SimsExecuted for a computed
+//     cell, CacheHits for a replay — so the metrics counters reconcile
+//     with Executor.Stats by construction. Per-job phase timings
+//     attached to a Result (Result.Telemetry) are folded in at the
+//     same point, whether the cell ran in-process or arrived over the
+//     wire's "metrics" field.
+//   - The cache times every Get/Put as cacheRead/cacheWrite phases,
+//     splits hits into CacheMemHits and CacheDiskHits, counts
+//     CacheMisses, and reports Prune removals as Evictions. Cache-level
+//     counters can exceed job-level ones: pretrain snapshots and trace
+//     artifacts are cache traffic but not jobs.
+//   - The coordinator times each dispatch Send→Recv into a
+//     per-endpoint latency histogram (exponential 1ms-base buckets)
+//     and counts Retries and Failovers as sessions fail.
+//
+// Provenance: because wall-clock measurements (the sec54 probe's
+// overhead timers, ControllerOverheadSec) are replayed verbatim on a
+// cache hit, every result is tagged after execution with
+// ProvenanceMeasured or ProvenanceReplayed. The tag is assigned after
+// cache write-back and excluded from wire result JSON, so cache
+// entries stay byte-identical across cold and warm runs.
+//
+// Decision traces: with tracing enabled (the CLIs' -trace-level flag)
+// each traceable cell's per-round RL decision record is published as a
+// spec-addressed cache artifact under
+//
+//	<keyVersion>|trace|<level>|<kind>|<scenario key>|<controller key>|seed=<N>
+//
+// — addressed exactly like the result it annotates, never colliding
+// with it, and never entering the result's canonical key (traced and
+// untraced runs share one cache cell). A traced cell whose artifact is
+// missing is compiled with Job.ForceRun, re-executing once to capture
+// the trace while republishing byte-identical results; once the
+// artifact exists, re-tracing is a pure cache hit.
 package runtime

@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"sync"
+
+	"fedgpo/internal/telemetry"
 )
 
 // Progress describes one completed job within a batch.
@@ -43,6 +45,7 @@ type Stats struct {
 type Executor struct {
 	backend    Backend
 	cache      *Cache
+	col        *telemetry.Collector
 	progressMu sync.Mutex
 	onProgress func(Progress)
 	onDispatch func(misses int)
@@ -80,6 +83,13 @@ func (e *Executor) Backend() Backend { return e.backend }
 // Callbacks are serialized; fn need not be safe for concurrent use.
 func (e *Executor) SetProgress(fn func(Progress)) { e.onProgress = fn }
 
+// SetCollector attaches a telemetry collector. The executor counts
+// job-level cache hits and executed sims into it (so its counters
+// reconcile with Stats by construction) and folds each result's
+// per-job phase timings — local or carried back over the wire — into
+// the same collector. A nil collector disables recording.
+func (e *Executor) SetCollector(col *telemetry.Collector) { e.col = col }
+
 // SetDispatch installs a callback fired once per batch that reaches
 // the backend, after cache hits are served, with the number of jobs
 // actually dispatched. It runs on the batch's calling goroutine before
@@ -101,10 +111,12 @@ func (e *Executor) Stats() Stats {
 	return s
 }
 
-// count applies one completed result to the stats snapshot.
+// count applies one completed result to the stats snapshot and mirrors
+// it into the telemetry collector: CacheHits tracks Hits and
+// SimsExecuted tracks Runs exactly, which is what lets a metrics
+// artifact reconcile against Stats.
 func (e *Executor) count(r Result) {
 	e.statsMu.Lock()
-	defer e.statsMu.Unlock()
 	if r.Cached {
 		e.stats.Hits++
 	} else {
@@ -112,6 +124,17 @@ func (e *Executor) count(r Result) {
 	}
 	if r.Err != "" {
 		e.stats.Errors++
+	}
+	e.statsMu.Unlock()
+	e.col.Count(func(c *telemetry.Counters) {
+		if r.Cached {
+			c.CacheHits++
+		} else {
+			c.SimsExecuted++
+		}
+	})
+	if r.Telemetry != nil {
+		e.col.Add(*r.Telemetry)
 	}
 }
 
@@ -212,6 +235,9 @@ func (e *Executor) cacheHits(jobs []Job) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if jobs[i].ForceRun {
+					continue
+				}
 				var cached Result
 				if e.cache.Get(jobs[i].Key(), &cached) && cached.Err == "" {
 					cached.Cached = true

@@ -50,6 +50,14 @@ type Job struct {
 	// spec-built jobs it is the in-process compilation of Payload: both
 	// must compute the same result.
 	Run func() Result
+	// ForceRun makes the executor skip the cache lookup and execute the
+	// cell even when a cached result exists. The re-run's result is
+	// byte-identical to the cached one (cells are deterministic), so the
+	// redundant write-back is harmless. It exists for side-effect
+	// capture: tracing a cached cell's RL decisions requires one re-run,
+	// which publishes the trace artifact so later traced runs are pure
+	// hits again. ForceRun never enters the canonical key.
+	ForceRun bool
 }
 
 // Key returns the stable canonical key naming this cell.

@@ -7,6 +7,8 @@ import (
 	stdruntime "runtime"
 	"sync"
 	"time"
+
+	"fedgpo/internal/telemetry"
 )
 
 // WireRequest is one job dispatched to a worker: the canonical key it
@@ -31,6 +33,12 @@ type WireResponse struct {
 	Key    string `json:"key"`
 	Result Result `json:"result"`
 	Cached bool   `json:"cached,omitempty"`
+	// Metrics is the worker's per-job telemetry snapshot (protocol v3).
+	// Like Cached it travels beside the result because Result.Telemetry
+	// is excluded from result JSON — cached bytes must not depend on
+	// whether telemetry was recorded. The coordinator folds it into its
+	// own collector, so remote pools are as observable as local ones.
+	Metrics *telemetry.Metrics `json:"metrics,omitempty"`
 }
 
 // WorkerOptions parameterizes the worker half of a wire session.
@@ -89,7 +97,7 @@ func ServeSession(r io.Reader, w io.Writer, run func(key string, spec json.RawMe
 			lastInner = req.Inner
 		}
 		res := run(req.Key, req.Spec)
-		if err := enc.Encode(WireResponse{Key: req.Key, Result: res, Cached: res.Cached}); err != nil {
+		if err := enc.Encode(WireResponse{Key: req.Key, Result: res, Cached: res.Cached, Metrics: res.Telemetry}); err != nil {
 			return fmt.Errorf("runtime: worker encode (frame %d): %w", frame, err)
 		}
 	}
@@ -185,10 +193,17 @@ type endpoint struct {
 type Coordinator struct {
 	cfg       ProcConfig
 	endpoints []*endpoint
+	col       *telemetry.Collector
 
 	mu      sync.Mutex
 	lastErr error
 }
+
+// SetCollector attaches a telemetry collector. The coordinator records
+// per-endpoint dispatch latency (request Send to response Recv, so a
+// cell's worker-side execution time is included) plus retry and
+// failover counters into it. A nil collector disables recording.
+func (c *Coordinator) SetCollector(col *telemetry.Collector) { c.col = col }
 
 // ProcBackend is the coordinator's historical name, kept so PR 3 era
 // call sites and docs stay valid.
@@ -521,6 +536,7 @@ func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, jobs
 			c.mu.Lock()
 			ep.stats.Failed++
 			c.mu.Unlock()
+			c.col.Count(func(cc *telemetry.Counters) { cc.Failovers++ })
 			return
 		}
 		if conn == nil {
@@ -559,6 +575,7 @@ func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, carried i
 			}
 		}
 		key := jobs[i].Key()
+		sent := time.Now()
 		if err := conn.Send(WireRequest{Key: key, Spec: jobs[i].Payload, Inner: inner}); err != nil {
 			return i, fmt.Errorf("sending %q: %w", key, err)
 		}
@@ -572,8 +589,10 @@ func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, carried i
 		if resp.Key != key {
 			return i, fmt.Errorf("worker replied out of order: got %q, want %q", resp.Key, key)
 		}
+		c.col.RecordLatency(ep.stats.Endpoint, time.Since(sent))
 		r := resp.Result
 		r.Cached = resp.Cached
+		r.Telemetry = resp.Metrics
 		// A worker sharing the coordinator's cache directory already
 		// published the entry (best effort — a failed worker write costs
 		// a future re-run, exactly like a failed coordinator write);
@@ -592,9 +611,13 @@ func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, carried i
 // retry attempts, the endpoint's retry counter.
 func (c *Coordinator) noteSessionFailure(ep *endpoint, wasRetry bool, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.lastErr = err
-	if !wasRetry {
+	retried := !wasRetry
+	if retried {
 		ep.stats.Retried++
+	}
+	c.mu.Unlock()
+	if retried {
+		c.col.Count(func(cc *telemetry.Counters) { cc.Retries++ })
 	}
 }

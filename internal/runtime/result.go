@@ -4,6 +4,19 @@ import (
 	"encoding/json"
 
 	"fedgpo/internal/fl"
+	"fedgpo/internal/telemetry"
+)
+
+// Provenance values for Result.Provenance.
+const (
+	// ProvenanceMeasured marks a result whose cell actually executed in
+	// this run — its wall-clock measurements (ControllerOverheadSec, the
+	// sec54 timing rows) were taken on this machine, now.
+	ProvenanceMeasured = "measured"
+	// ProvenanceReplayed marks a result served from the run cache — its
+	// wall-clock measurements were taken whenever the cell originally
+	// ran, possibly on different hardware.
+	ProvenanceReplayed = "replayed-from-cache"
 )
 
 // Result is the serializable outcome of one job: the simulator's
@@ -28,6 +41,18 @@ type Result struct {
 	// executor's cache directory), so the executor skips the redundant
 	// re-serialization and re-write of the entry.
 	Persisted bool `json:"-"`
+	// Telemetry carries the executing process's per-job phase timings
+	// (pretrain, rounds, merge). Like Cached it is excluded from result
+	// JSON — telemetry must never change cached bytes — and travels the
+	// wire separately, in WireResponse's metrics field.
+	Telemetry *telemetry.Metrics `json:"-"`
+	// Provenance tags the result's wall-clock measurements as
+	// ProvenanceMeasured or ProvenanceReplayed. It is set by the
+	// experiment runtime after execution — never by job bodies or
+	// workers, and always after the cache write-back — so cache entries
+	// and wire frames carry no provenance and stay byte-identical across
+	// cold and warm runs; only the -results store JSON sees the tag.
+	Provenance string `json:"provenance,omitempty"`
 }
 
 // SetExtra marshals v into the Extra payload.

@@ -9,11 +9,13 @@ import (
 
 // ProtoVersion is the wire-protocol generation spoken on every
 // transport session. Version 2 added the hello handshake, the
-// per-request inner-budget field and the TCP transport; a coordinator
-// refuses to feed jobs to a worker speaking any other version (see
-// WireHello), so a version skew surfaces as a handshake error instead
-// of a poisoned cache or a protocol deadlock.
-const ProtoVersion = 2
+// per-request inner-budget field and the TCP transport; version 3 adds
+// the response-side "metrics" field carrying the worker's per-job
+// telemetry snapshot back to the coordinator. A coordinator refuses to
+// feed jobs to a worker speaking any other version (see WireHello), so
+// a version skew surfaces as a handshake error instead of a poisoned
+// cache or a protocol deadlock.
+const ProtoVersion = 3
 
 // WireHello is the first frame of every wire session, sent by the
 // worker the moment the session opens — before any request arrives.

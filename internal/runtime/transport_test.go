@@ -286,9 +286,10 @@ func TestHandshakeRejectsMismatches(t *testing.T) {
 		_, err := newWireConn(strings.NewReader(firstFrame), &strings.Builder{}, 0, nil)
 		return err
 	}
+	proto := fmt.Sprint(ProtoVersion)
 	cases := []struct{ frame, want string }{
 		{`{"hello":true,"proto":1,"keyVersion":"` + keyVersion + `","capacity":1}`, "wire protocol"},
-		{`{"hello":true,"proto":2,"keyVersion":"v1","capacity":1}`, "cache-key scheme"},
+		{`{"hello":true,"proto":` + proto + `,"keyVersion":"v1","capacity":1}`, "cache-key scheme"},
 		{`{"key":"k0","result":{}}`, "not a hello"},
 		{`worker: cannot open cache`, "reading hello"},
 	}
@@ -298,7 +299,7 @@ func TestHandshakeRejectsMismatches(t *testing.T) {
 			t.Errorf("handshake on %q: error = %v, want mention of %q", c.frame, err, c.want)
 		}
 	}
-	good := `{"hello":true,"proto":2,"keyVersion":"` + keyVersion + `","capacity":3,"cacheDir":"/tmp/c"}`
+	good := `{"hello":true,"proto":` + proto + `,"keyVersion":"` + keyVersion + `","capacity":3,"cacheDir":"/tmp/c"}`
 	conn, err := newWireConn(strings.NewReader(good), &strings.Builder{}, 0, nil)
 	if err != nil {
 		t.Fatalf("valid hello rejected: %v", err)

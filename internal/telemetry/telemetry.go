@@ -1,0 +1,341 @@
+// Package telemetry is the run-metrics model shared by the whole
+// stack: a serializable Metrics snapshot (per-phase timings, counters,
+// per-endpoint dispatch latency histograms) and a concurrency-safe
+// Collector that accumulates one. The executor, cache, coordinator and
+// simulator all record into collectors; worker processes carry their
+// per-job snapshots back over the wire protocol's v3 "metrics" field,
+// so a remote pool is exactly as observable as an in-process one.
+//
+// Telemetry is observational only: nothing recorded here may influence
+// a simulation's outcome, a canonical cache key, or a cached entry's
+// bytes. Every Collector method is nil-safe — a nil collector records
+// nothing — so instrumented code paths never branch on whether
+// observability is wired up.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase names recorded by the instrumented layers. Phases are
+// monotonic accumulators: seconds only ever grow within a process.
+const (
+	// PhasePretrain is controller construction, including the FedGPO
+	// Q-table warm-up when the pretrained-controller cache misses
+	// (near-zero on a snapshot hit).
+	PhasePretrain = "pretrain"
+	// PhaseRounds is full simulated-round execution (fl.Run's loop
+	// body: observe, plan, execute, learn, feed back).
+	PhaseRounds = "rounds"
+	// PhaseMerge is the serial phase-3 merge inside each round
+	// (straggler semantics, energy accounting, aggregation).
+	PhaseMerge = "merge"
+	// PhaseCacheRead / PhaseCacheWrite are run-cache I/O (lookup
+	// including payload unmarshal; serialize + atomic publish).
+	PhaseCacheRead  = "cacheRead"
+	PhaseCacheWrite = "cacheWrite"
+)
+
+// Trace levels for the opt-in RL decision traces (the CLIs'
+// -trace-level flag and JobSpec.Trace field).
+const (
+	// TraceNone disables decision tracing (the default).
+	TraceNone = ""
+	// TraceDecisions records per-round RL decisions: state, masked
+	// action set, chosen action, reward and Q-delta (see core package).
+	TraceDecisions = "decisions"
+)
+
+// Phase is one phase's accumulated wall time and entry count.
+type Phase struct {
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+}
+
+// Counters are the run-level event counters. The job-level pair
+// (CacheHits, SimsExecuted) is counted by the executor and reconciles
+// with Executor.Stats by construction: CacheHits == Stats.Hits and
+// SimsExecuted == Stats.Runs. The cache-level trio (mem/disk hits,
+// misses) counts individual cache reads — job results, pretrained
+// snapshots and trace artifacts alike — so it may exceed the job-level
+// hit count.
+type Counters struct {
+	// CacheHits counts jobs served from the run cache (job-level).
+	CacheHits int64 `json:"cacheHits"`
+	// CacheMemHits / CacheDiskHits split successful cache reads by
+	// storage mode (cache-level; includes non-job artifacts).
+	CacheMemHits  int64 `json:"cacheMemHits"`
+	CacheDiskHits int64 `json:"cacheDiskHits"`
+	// CacheMisses counts failed cache reads (cache-level).
+	CacheMisses int64 `json:"cacheMisses"`
+	// SimsExecuted counts jobs whose body actually ran (job-level).
+	SimsExecuted int64 `json:"simsExecuted"`
+	// Evictions counts cache entries removed by Prune.
+	Evictions int64 `json:"evictions"`
+	// Retries counts worker sessions that failed and were retried on a
+	// fresh session.
+	Retries int64 `json:"retries"`
+	// Failovers counts jobs a session gave up on (retry budget spent)
+	// and handed back to the fleet for another endpoint to absorb.
+	Failovers int64 `json:"failovers"`
+}
+
+// Histogram is a log-bucketed latency distribution. Bucket i counts
+// observations in [histBase·2^i, histBase·2^(i+1)); the last bucket is
+// open-ended. Count and SumSeconds make the mean recoverable exactly.
+type Histogram struct {
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sumSeconds"`
+	Buckets    []int64 `json:"buckets,omitempty"`
+}
+
+// histBase is the lower edge of bucket 0 (1 ms); histBuckets spans
+// 1 ms .. ~17 min, wide enough for multi-minute simulation cells.
+const (
+	histBase    = time.Millisecond
+	histBuckets = 20
+)
+
+// observe records one duration.
+func (h *Histogram) observe(d time.Duration) {
+	if len(h.Buckets) == 0 {
+		h.Buckets = make([]int64, histBuckets)
+	}
+	i := 0
+	for edge := histBase; d >= 2*edge && i < histBuckets-1; edge *= 2 {
+		i++
+	}
+	if d < histBase {
+		i = 0
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.SumSeconds += d.Seconds()
+}
+
+// merge folds another histogram into h.
+func (h *Histogram) merge(o Histogram) {
+	h.Count += o.Count
+	h.SumSeconds += o.SumSeconds
+	if len(o.Buckets) == 0 {
+		return
+	}
+	if len(h.Buckets) < len(o.Buckets) {
+		b := make([]int64, len(o.Buckets))
+		copy(b, h.Buckets)
+		h.Buckets = b
+	}
+	for i, n := range o.Buckets {
+		h.Buckets[i] += n
+	}
+}
+
+// MeanSeconds returns the mean observed latency (0 when empty).
+func (h Histogram) MeanSeconds() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumSeconds / float64(h.Count)
+}
+
+// Endpoint is one worker endpoint's dispatch view: the coordinator's
+// counters plus the request round-trip latency histogram (Send of the
+// request to Recv of its response, so it includes the cell's execution
+// time on the worker).
+type Endpoint struct {
+	Endpoint   string    `json:"endpoint"`
+	Dispatched int64     `json:"dispatched"`
+	Retried    int64     `json:"retried"`
+	Failed     int64     `json:"failed"`
+	Latency    Histogram `json:"latency"`
+}
+
+// Metrics is one serializable telemetry snapshot: what the CLIs write
+// to -metrics-out and what a worker attaches to each wire response.
+// All fields are plain data; a Metrics value never changes canonical
+// keys or cached bytes (results exclude their telemetry from JSON).
+type Metrics struct {
+	Phases    map[string]Phase `json:"phases,omitempty"`
+	Counters  Counters         `json:"counters"`
+	Endpoints []Endpoint       `json:"endpoints,omitempty"`
+}
+
+// Empty reports whether the snapshot recorded nothing at all.
+func (m Metrics) Empty() bool {
+	return len(m.Phases) == 0 && len(m.Endpoints) == 0 && m.Counters == Counters{}
+}
+
+// SetEndpointCounts overwrites one endpoint's dispatch counters,
+// creating the entry if needed — used when folding the coordinator's
+// authoritative EndpointStats into a snapshot so the metrics artifact
+// always reconciles with Executor.Stats.
+func (m *Metrics) SetEndpointCounts(name string, dispatched, retried, failed int64) {
+	for i := range m.Endpoints {
+		if m.Endpoints[i].Endpoint == name {
+			m.Endpoints[i].Dispatched = dispatched
+			m.Endpoints[i].Retried = retried
+			m.Endpoints[i].Failed = failed
+			return
+		}
+	}
+	m.Endpoints = append(m.Endpoints, Endpoint{
+		Endpoint: name, Dispatched: dispatched, Retried: retried, Failed: failed,
+	})
+	sort.Slice(m.Endpoints, func(i, j int) bool {
+		return m.Endpoints[i].Endpoint < m.Endpoints[j].Endpoint
+	})
+}
+
+// Summary renders a compact human-readable view (fedgpo-report -v).
+func (m Metrics) Summary() string {
+	var b strings.Builder
+	c := m.Counters
+	fmt.Fprintf(&b, "telemetry: %d sims executed, %d cache hits (%d mem / %d disk reads, %d misses), %d evictions, %d retries, %d failovers\n",
+		c.SimsExecuted, c.CacheHits, c.CacheMemHits, c.CacheDiskHits, c.CacheMisses,
+		c.Evictions, c.Retries, c.Failovers)
+	if len(m.Phases) > 0 {
+		names := make([]string, 0, len(m.Phases))
+		for n := range m.Phases {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("  phases:")
+		for _, n := range names {
+			p := m.Phases[n]
+			fmt.Fprintf(&b, " %s=%.3fs/%d", n, p.Seconds, p.Count)
+		}
+		b.WriteByte('\n')
+	}
+	for _, ep := range m.Endpoints {
+		fmt.Fprintf(&b, "  endpoint %s: %d dispatched, %d retried, %d failed, mean dispatch latency %.1fms\n",
+			ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed, 1000*ep.Latency.MeanSeconds())
+	}
+	return b.String()
+}
+
+// Collector accumulates a Metrics snapshot. It is safe for concurrent
+// use, and every method is nil-safe: instrumented code records
+// unconditionally and a nil collector drops everything.
+type Collector struct {
+	mu        sync.Mutex
+	phases    map[string]Phase
+	counters  Counters
+	endpoints map[string]*Endpoint
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		phases:    make(map[string]Phase),
+		endpoints: make(map[string]*Endpoint),
+	}
+}
+
+// RecordPhase accumulates one timed entry into a named phase.
+func (c *Collector) RecordPhase(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	p := c.phases[name]
+	p.Seconds += d.Seconds()
+	p.Count++
+	c.phases[name] = p
+	c.mu.Unlock()
+}
+
+// Count mutates the counters under the collector's lock; fn must not
+// block or call back into the collector.
+func (c *Collector) Count(fn func(*Counters)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	fn(&c.counters)
+	c.mu.Unlock()
+}
+
+// RecordLatency observes one request round-trip on an endpoint's
+// dispatch latency histogram.
+func (c *Collector) RecordLatency(endpoint string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	ep, ok := c.endpoints[endpoint]
+	if !ok {
+		ep = &Endpoint{Endpoint: endpoint}
+		c.endpoints[endpoint] = ep
+	}
+	ep.Latency.observe(d)
+	c.mu.Unlock()
+}
+
+// Add merges a snapshot into the collector: phases and counters sum,
+// endpoint histograms merge by name. It is how a worker's per-job
+// metrics (carried on the wire) fold into the coordinator's run view.
+func (c *Collector) Add(m Metrics) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	for name, p := range m.Phases {
+		q := c.phases[name]
+		q.Seconds += p.Seconds
+		q.Count += p.Count
+		c.phases[name] = q
+	}
+	cc := &c.counters
+	mc := m.Counters
+	cc.CacheHits += mc.CacheHits
+	cc.CacheMemHits += mc.CacheMemHits
+	cc.CacheDiskHits += mc.CacheDiskHits
+	cc.CacheMisses += mc.CacheMisses
+	cc.SimsExecuted += mc.SimsExecuted
+	cc.Evictions += mc.Evictions
+	cc.Retries += mc.Retries
+	cc.Failovers += mc.Failovers
+	for _, mep := range m.Endpoints {
+		ep, ok := c.endpoints[mep.Endpoint]
+		if !ok {
+			ep = &Endpoint{Endpoint: mep.Endpoint}
+			c.endpoints[mep.Endpoint] = ep
+		}
+		ep.Dispatched += mep.Dispatched
+		ep.Retried += mep.Retried
+		ep.Failed += mep.Failed
+		ep.Latency.merge(mep.Latency)
+	}
+	c.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of the accumulated metrics, with
+// endpoints in name order so the JSON encoding is deterministic.
+// A nil collector snapshots to the zero Metrics.
+func (c *Collector) Snapshot() Metrics {
+	if c == nil {
+		return Metrics{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := Metrics{Counters: c.counters}
+	if len(c.phases) > 0 {
+		m.Phases = make(map[string]Phase, len(c.phases))
+		for n, p := range c.phases {
+			m.Phases[n] = p
+		}
+	}
+	for _, ep := range c.endpoints {
+		cp := *ep
+		cp.Latency.Buckets = append([]int64(nil), ep.Latency.Buckets...)
+		m.Endpoints = append(m.Endpoints, cp)
+	}
+	sort.Slice(m.Endpoints, func(i, j int) bool {
+		return m.Endpoints[i].Endpoint < m.Endpoints[j].Endpoint
+	})
+	return m
+}
