@@ -23,6 +23,7 @@ import (
 
 	"fedgpo/internal/exp"
 	"fedgpo/internal/fl"
+	"fedgpo/internal/runtime"
 	"fedgpo/internal/workload"
 )
 
@@ -196,6 +197,13 @@ func BenchmarkAblation_ColdStart(b *testing.B) {
 //     is the dominant fixed cost of the comparison figures.
 //   - warm_speedup_x: the same sweep against a cold on-disk run cache
 //     versus a rerun over the populated cache (every cell replayed).
+//   - wire_bytes_per_cell / wire_v3_bytes_per_cell: what one of the
+//     sweep's cells costs on the wire under the v4 binary framing
+//     versus the v3 JSON framing, measured on the real request and
+//     response payloads (round histories included).
+//   - results_rss_bytes: the in-memory retention of recording the
+//     sweep's results in a buffered store — the bytes the streaming
+//     JSONL store keeps off the heap.
 //
 // With BENCH_JSON=<path> in the environment the reported metrics are
 // additionally written as a JSON artifact so CI can gate on the bench
@@ -237,6 +245,36 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		exp.SweepStatic(o, s, params, 1)
 		return time.Since(start)
 	}
+	// wireAndStore measures the data-plane metrics on the sweep's real
+	// cells: encode every request and its actual result both ways for
+	// bytes-per-cell, and record the results in a buffered store for
+	// the retention footprint the streaming store avoids.
+	wireAndStore := func() (v3, v4, rss float64) {
+		rt, err := exp.NewRuntime(0, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs := make([]runtime.Job, len(params))
+		reqs := make([]runtime.WireRequest, len(params))
+		for i, p := range params {
+			sp := exp.JobSpec{Kind: exp.KindSim, Scenario: s,
+				Contender: exp.ContenderSpec{Type: exp.ContStatic, Name: "Fixed" + p.String(), Params: p}, Seed: 1}
+			jobs[i] = rt.Job(sp)
+			reqs[i] = runtime.WireRequest{Key: jobs[i].Key(), Spec: jobs[i].Payload}
+		}
+		results := runtime.NewPoolBackend(0).Run(jobs, nil)
+		resps := make([]runtime.WireResponse, len(results))
+		for i, r := range results {
+			resps[i] = runtime.WireResponse{Key: r.Key, Result: r}
+		}
+		v3, v4, err = runtime.WireBytesPerCell(reqs, resps, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := runtime.NewStore()
+		store.Add(results...)
+		return v3, v4, float64(store.RetainedBytes())
+	}
 	cores := stdruntime.GOMAXPROCS(0)
 	var serial, parallel, innerOn, figTime, cold, warm time.Duration
 	warmups := 0
@@ -255,13 +293,17 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		cold += cached(dir)
 		warm += cached(dir)
 	}
+	v3Bytes, v4Bytes, rssBytes := wireAndStore()
 	metrics := map[string]float64{
-		"speedup_x":        serial.Seconds() / parallel.Seconds(),
-		"inner_speedup_x":  serial.Seconds() / innerOn.Seconds(),
-		"fig11_seconds":    figTime.Seconds() / float64(b.N),
-		"pretrain_warmups": float64(warmups),
-		"workers":          float64(cores),
-		"warm_speedup_x":   cold.Seconds() / warm.Seconds(),
+		"speedup_x":              serial.Seconds() / parallel.Seconds(),
+		"inner_speedup_x":        serial.Seconds() / innerOn.Seconds(),
+		"fig11_seconds":          figTime.Seconds() / float64(b.N),
+		"pretrain_warmups":       float64(warmups),
+		"workers":                float64(cores),
+		"warm_speedup_x":         cold.Seconds() / warm.Seconds(),
+		"wire_bytes_per_cell":    v4Bytes,
+		"wire_v3_bytes_per_cell": v3Bytes,
+		"results_rss_bytes":      rssBytes,
 	}
 	for name, v := range metrics {
 		b.ReportMetric(v, name)

@@ -28,12 +28,30 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced fleet and seeds")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
-	results := flag.String("results", "", "write the structured result store (JSON) to this path")
+	results := flag.String("results", "", "write the structured result store to this path: a .jsonl path streams cells to disk as they complete (bounded memory), any other path buffers and writes one JSON array at exit")
+	compactResults := flag.String("compact-results", "", "instead of running experiments, compact the result log at this path (either format) into -results as the canonical JSON array")
 	verbose := flag.Bool("v", false, "per-job progress on stderr")
 	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if rtFlags.HandleListScenarios(os.Stdout) {
+		return
+	}
+	if *compactResults != "" {
+		if *results == "" {
+			fmt.Fprintln(os.Stderr, "fedgpo-report: -compact-results needs -results for the output path")
+			os.Exit(1)
+		}
+		if err := runtime.Compact(*compactResults, *results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, err := runtime.ReadStore(*results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "result store: compacted %s -> %s (%d cells)\n", *compactResults, *results, st.Len())
 		return
 	}
 	opts := exp.Default()
@@ -64,8 +82,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s%s\n", p.Done, p.Total, p.Key, tag)
 		})
 	}
+	streaming := strings.HasSuffix(*results, ".jsonl")
 	if *results != "" {
-		rt.EnableStore()
+		if streaming {
+			if err := rt.StreamStore(*results); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			rt.EnableStore()
+		}
 	}
 	opts = opts.WithRuntime(rt)
 
@@ -95,8 +121,7 @@ func main() {
 		rtFlags.Backend, rt.Workers(), rt.InnerParallel(), st.Runs, st.Hits, pretrainRuns, pretrainKeys)
 	if *verbose {
 		for _, ep := range st.Endpoints {
-			fmt.Fprintf(os.Stderr, "  endpoint %s: %d dispatched, %d retried, %d failed\n",
-				ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed)
+			fmt.Fprint(os.Stderr, cli.EndpointLine(ep))
 		}
 		fmt.Fprint(os.Stderr, rt.Metrics().Summary())
 	}
@@ -105,7 +130,12 @@ func main() {
 		os.Exit(1)
 	}
 	if *results != "" {
-		if err := rt.Store().WriteFile(*results); err != nil {
+		if streaming {
+			if err := rt.CloseStore(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if err := rt.Store().WriteFile(*results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

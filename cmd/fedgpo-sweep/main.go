@@ -45,6 +45,7 @@ func main() {
 	scenarioFile := flag.String("scenario-file", "", "run ScenarioSpec JSON (one object or an array) from this file")
 	paramsFlag := flag.String("params", "8,10,20", "the (B,E,K) setting matrix/scenario-file cells run at")
 	seed := flag.Int64("seed", 1, "run seed")
+	resultsPath := flag.String("results", "", "write the structured result store to this path: a .jsonl path streams cells to disk as they complete (bounded memory), any other path buffers and writes one JSON array at exit")
 	verbose := flag.Bool("v", false, "per-endpoint dispatch stats on stderr")
 	rtFlags := cli.Register(flag.CommandLine)
 	flag.Parse()
@@ -61,6 +62,17 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	streaming := strings.HasSuffix(*resultsPath, ".jsonl")
+	if *resultsPath != "" {
+		if streaming {
+			if err := rt.StreamStore(*resultsPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			rt.EnableStore()
+		}
 	}
 	opts := exp.Default()
 	if *quick {
@@ -80,7 +92,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fedgpo-sweep: note: -quick does not rescale -matrix/-scenario-file deployments; the specs say exactly what runs")
 		}
 		runScenarios(opts, rt, w, *matrix, *scenarioFile, *paramsFlag, *seed)
-		finish(rt, rtFlags, *verbose)
+		finish(rt, rtFlags, *verbose, *resultsPath, streaming)
 		return
 	}
 
@@ -122,7 +134,7 @@ func main() {
 		fmt.Printf("%-12s %10v %12s %14.0f %10.3g\n",
 			p.String(), res.Converged, conv, res.EnergyToConvergenceJ/1000, res.PPW)
 	}
-	finish(rt, rtFlags, *verbose)
+	finish(rt, rtFlags, *verbose, *resultsPath, streaming)
 }
 
 // runScenarios executes the scenario-matrix / scenario-file mode: one
@@ -201,20 +213,31 @@ func parseParams(s string) (fl.Params, error) {
 }
 
 // finish prints the runtime summary (the exact "runtime: ..." line CI
-// greps), the per-endpoint dispatch stats under -v, and writes the
-// -metrics-out artifact.
-func finish(rt *exp.Runtime, rtFlags *cli.RuntimeFlags, verbose bool) {
+// greps), the per-endpoint dispatch stats under -v, writes the
+// -metrics-out artifact, and finalizes the -results store.
+func finish(rt *exp.Runtime, rtFlags *cli.RuntimeFlags, verbose bool, results string, streaming bool) {
 	st := rt.Stats()
 	fmt.Fprintf(os.Stderr, "runtime: %d cells simulated, %d served from cache\n", st.Runs, st.Hits)
 	if verbose {
 		for _, ep := range st.Endpoints {
-			fmt.Fprintf(os.Stderr, "  endpoint %s: %d dispatched, %d retried, %d failed\n",
-				ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed)
+			fmt.Fprint(os.Stderr, cli.EndpointLine(ep))
 		}
 	}
 	if err := rtFlags.WriteMetrics(rt); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if results != "" {
+		if streaming {
+			if err := rt.CloseStore(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if err := rt.Store().WriteFile(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "result store: %d cells -> %s\n", rt.Store().Len(), results)
 	}
 }
 

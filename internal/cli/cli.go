@@ -188,6 +188,20 @@ func (f *RuntimeFlags) WriteMetrics(rt *exp.Runtime) error {
 	return nil
 }
 
+// EndpointLine renders one endpoint's dispatch summary for the CLIs'
+// -v output — counters first, then the wire-level view (request
+// frames, realized batch density, raw bytes both ways) when the
+// endpoint actually moved frames.
+func EndpointLine(ep runtime.EndpointStats) string {
+	line := fmt.Sprintf("  endpoint %s: %d dispatched, %d retried, %d failed",
+		ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed)
+	if ep.Frames > 0 {
+		line += fmt.Sprintf(", %d frames (%.1f specs/frame), %d B sent / %d B recv",
+			ep.Frames, float64(ep.Specs)/float64(ep.Frames), ep.BytesSent, ep.BytesRecv)
+	}
+	return line + "\n"
+}
+
 // remotes parses -workers into its host:port list (empty entries from
 // stray commas are dropped).
 func (f *RuntimeFlags) remotes() []string {

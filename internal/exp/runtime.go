@@ -144,7 +144,11 @@ func (r *Runtime) TraceLevel() string { return r.traceLevel }
 func (r *Runtime) Metrics() telemetry.Metrics {
 	m := r.col.Snapshot()
 	for _, ep := range r.exec.Stats().Endpoints {
-		m.SetEndpointCounts(ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed)
+		m.SetEndpointCounts(ep.Endpoint, telemetry.EndpointCounts{
+			Dispatched: ep.Dispatched, Retried: ep.Retried, Failed: ep.Failed,
+			BytesSent: ep.BytesSent, BytesRecv: ep.BytesRecv,
+			Frames: ep.Frames, Specs: ep.Specs,
+		})
 	}
 	return m
 }
@@ -283,6 +287,24 @@ func (r *Runtime) SetProgress(fn func(runtime.Progress)) { r.exec.SetProgress(fn
 // multi-hundred-round histories, dead weight unless something (e.g.
 // fedgpo-report's -results flag) will consume them.
 func (r *Runtime) EnableStore() { r.record = true }
+
+// StreamStore turns on result recording in streaming mode: every cell
+// is appended to path as JSON Lines the moment its batch completes,
+// and nothing is retained in memory — the recording path for sweeps
+// too large to hold. Call CloseStore when done; runtime.Compact (or
+// fedgpo-report -compact-results) rewrites the log as the canonical
+// JSON array.
+func (r *Runtime) StreamStore(path string) error {
+	if err := r.store.StreamTo(path); err != nil {
+		return err
+	}
+	r.record = true
+	return nil
+}
+
+// CloseStore flushes and closes a streaming store (no-op otherwise),
+// surfacing any write error the stream hit along the way.
+func (r *Runtime) CloseStore() error { return r.store.Close() }
 
 // Store returns the structured record of the cells retained since
 // EnableStore was called (empty otherwise).

@@ -168,6 +168,13 @@ func Run(cfg Config, ctrl Controller) Result {
 	// misses round deadlines (see convmodel.RoundInputs).
 	chronicDrop := stats.NewEMA(0.05)
 
+	// Round-local scratch reused across the loop: these buffers never
+	// escape a round (unlike parts/states/energyByCat, which travel out
+	// through RoundResult into the controller and the history), so
+	// reallocating them per round was pure allocator churn on the inner
+	// hot path.
+	var scr roundScratch
+
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		roundStart := time.Now()
 		// 1. Observe the environment.
@@ -200,7 +207,7 @@ func Run(cfg Config, ctrl Controller) Result {
 		sort.Ints(selected)
 
 		// 4. Execute the round.
-		rr := executeRound(cfg, plan, selected, states, profiles, samples)
+		rr := executeRound(cfg, plan, selected, states, profiles, samples, &scr)
 		rr.Round = round
 		rr.PlannedK = k
 		rr.PrevAccuracy = prevAcc
@@ -289,6 +296,32 @@ func observeStates(cfg Config, samples []int, rng *stats.RNG) []DeviceState {
 	return states
 }
 
+// roundScratch holds executeRound's round-local buffers, reused across
+// a simulation's rounds. Nothing here may escape the round: buffers
+// that travel out through RoundResult (participants, states, per-round
+// energy maps) are allocated fresh each round instead.
+type roundScratch struct {
+	commJoules []float64 // per-participant communication joules
+	times      []float64 // per-participant total seconds
+	selected   []bool    // device id -> selected this round
+}
+
+// reset sizes the buffers for k participants over an n-device fleet
+// and clears the selected set.
+func (s *roundScratch) reset(k, n int) {
+	if cap(s.commJoules) < k {
+		s.commJoules = make([]float64, k)
+		s.times = make([]float64, k)
+	}
+	s.commJoules = s.commJoules[:k]
+	s.times = s.times[:k]
+	if len(s.selected) != n {
+		s.selected = make([]bool, n)
+	} else {
+		clear(s.selected)
+	}
+}
+
 // executeRound runs the selected devices' local training and computes
 // the round's timing and fleet-wide energy.
 //
@@ -303,7 +336,8 @@ func observeStates(cfg Config, samples []int, rng *stats.RNG) []DeviceState {
 // accumulation happens in the same order for any pool size and the
 // round outcome is byte-identical with or without inner parallelism.
 func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
-	profiles []device.Profile, samples []int) RoundResult {
+	profiles []device.Profile, samples []int, scr *roundScratch) RoundResult {
+	scr.reset(len(selected), len(profiles))
 
 	// Phase 1: controller assignments (serial; may mutate controller
 	// state and consume controller randomness).
@@ -324,7 +358,7 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 	// both its seconds and its joules below: the two are one physical
 	// transfer, and a second model call would silently diverge the
 	// moment the channel model becomes stochastic per call.
-	commJoules := make([]float64, len(selected))
+	commJoules := scr.commJoules
 	cfg.Inner.ForEach(len(selected), func(i int) {
 		p := &parts[i]
 		id := p.DeviceID
@@ -344,7 +378,7 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 
 	// Phase 3: serial merge in fixed device order.
 	mergeStart := time.Now()
-	times := make([]float64, len(parts))
+	times := scr.times
 	for i := range parts {
 		times[i] = parts[i].TotalSec
 	}
@@ -367,13 +401,12 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 
 	// Energy accounting (paper Eqs. 2–6).
 	energyByCat := make(map[device.Category]float64, device.NumCategories)
-	selectedSet := make(map[int]bool, len(selected))
+	selectedSet := scr.selected
 	for _, id := range selected {
 		selectedSet[id] = true
 	}
 	aggK := 0
 	var wB, wE, wSamples float64
-	aggIDs := make([]int, 0, len(parts))
 	for i := range parts {
 		p := &parts[i]
 		prof := profiles[p.DeviceID]
@@ -400,7 +433,6 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 		energyByCat[prof.Category] += p.EnergyJ
 		if !p.Dropped {
 			aggK++
-			aggIDs = append(aggIDs, p.DeviceID)
 			wB += float64(p.Samples) * float64(p.Local.B)
 			wE += float64(p.Samples) * float64(p.Local.E)
 			wSamples += float64(p.Samples)

@@ -53,8 +53,16 @@ func (c *Cache) Dir() string { return c.dir }
 
 // Get looks the key up and unmarshals the payload into v on a hit.
 func (c *Cache) Get(key string, v any) bool {
+	return c.GetHashed(key, HashKey(key), v)
+}
+
+// GetHashed is Get for callers that already hold the key's content
+// address — a batch executor hashes each canonical key exactly once
+// and reuses the digest across its lookup and write-back instead of
+// re-running SHA-256 per cache touch. hash must equal HashKey(key).
+func (c *Cache) GetHashed(key, hash string, v any) bool {
 	start := time.Now()
-	hit, disk := c.get(key, v)
+	hit, disk := c.get(key, hash, v)
 	c.col.RecordPhase(telemetry.PhaseCacheRead, time.Since(start))
 	c.col.Count(func(cc *telemetry.Counters) {
 		switch {
@@ -71,8 +79,7 @@ func (c *Cache) Get(key string, v any) bool {
 
 // get is Get's lookup body; disk reports which storage mode served a
 // hit.
-func (c *Cache) get(key string, v any) (hit, disk bool) {
-	hash := HashKey(key)
+func (c *Cache) get(key, hash string, v any) (hit, disk bool) {
 	if c.dir == "" {
 		c.mu.RLock()
 		payload, ok := c.mem[hash]
@@ -166,13 +173,18 @@ func (c *Cache) Prune(maxBytes int64) (int, error) {
 
 // Put stores v under the key, in memory or (when configured) on disk.
 func (c *Cache) Put(key string, v any) error {
+	return c.PutHashed(key, HashKey(key), v)
+}
+
+// PutHashed is Put for callers that already hold the key's content
+// address; hash must equal HashKey(key).
+func (c *Cache) PutHashed(key, hash string, v any) error {
 	start := time.Now()
 	defer func() { c.col.RecordPhase(telemetry.PhaseCacheWrite, time.Since(start)) }()
 	payload, err := json.Marshal(v)
 	if err != nil {
 		return fmt.Errorf("runtime: cache payload: %w", err)
 	}
-	hash := HashKey(key)
 	if c.dir == "" {
 		c.mu.Lock()
 		c.mem[hash] = payload

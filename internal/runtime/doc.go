@@ -115,8 +115,8 @@
 // Every session opens with a handshake: the worker speaks first,
 // sending a hello frame
 //
-//	{"hello": true, "proto": 3, "keyVersion": "v3", "capacity": N,
-//	 "cacheDir": "<worker's -cachedir>"}
+//	{"hello": true, "proto": 3, "maxProto": 4, "keyVersion": "v3",
+//	 "capacity": N, "cacheDir": "<worker's -cachedir>"}
 //
 // which the coordinator validates before dispatching anything. A
 // protocol-version or cache-key-scheme mismatch rejects the endpoint
@@ -129,7 +129,42 @@
 // by the coordinator's executor, so warm -cachedir reruns are
 // hit-only no matter where the cells originally ran.
 //
-// After the hello, each request frame is a WireRequest:
+// # Protocol negotiation and v4 binary framing
+//
+// The hello's "proto" stays at the v3 baseline every coordinator since
+// PR 5 accepts; the upgrade rides in "maxProto", the highest
+// generation the worker speaks. A v4-capable coordinator answers a
+// v4-capable hello with a JSON ack frame
+//
+//	{"helloAck": true, "proto": 4}
+//
+// and both sides switch to the wire package's binary framing: each
+// frame is a 4-byte big-endian length prefix followed by that many
+// bytes of DEFLATE-compressed payload, bounded on both axes
+// (wire.MaxFrameBytes on the wire, wire.MaxPayloadBytes decompressed)
+// before anything is allocated. A v4 frame's payload is a JSON
+// envelope — {"reqs": [...]} toward the worker, {"resps": [...]} back.
+// Requests batch to amortize per-frame dispatch: the coordinator packs
+// up to each session's fair share of the batch (capped at 16 specs)
+// into one envelope. Responses stream: the worker answers every spec
+// the moment it finishes, one single-response envelope frame each, in
+// request order — so a worker death mid-frame costs only the specs it
+// had not yet answered, the exact failure granularity of the v3
+// one-spec-per-frame loop.
+//
+// Fallback is negotiated per session, both directions. A v3-only
+// worker (no maxProto in its hello) never sees an ack — its first
+// inbound frame is a plain WireRequest, exactly as before v4 existed —
+// and a v3-only coordinator ignores the unknown maxProto field and
+// never sends one; the worker distinguishes the two by its first
+// inbound frame. Mixed fleets are therefore fine: each endpoint speaks
+// the best generation both of its sides support, results are
+// byte-identical either way, and the per-endpoint Frames/Specs
+// counters record the realized batch density (always 1.0 on a
+// fallback session).
+//
+// On a v3 session (and inside every v4 envelope), each request is a
+// WireRequest:
 //
 //	{"key": "<canonical job key>", "spec": <serialized JobSpec>, "inner": N}
 //
@@ -265,6 +300,20 @@
 // single JSON file so table/figure constructors — or external tooling
 // — can consume completed runs without re-simulating.
 //
+// A store has two persistence modes. In memory (the default,
+// WriteFile) it buffers every result and writes one indented JSON
+// array at the end — fine for reports, but the retained round
+// histories grow with the sweep. StreamTo switches it to streaming
+// mode: every Add appends the result to a JSON Lines file as the cell
+// completes and retains only its key, so memory stays bounded by the
+// cell count regardless of history size (the CLIs select this mode
+// when -results names a .jsonl path). A repeated key appends a new
+// line rather than rewriting the file. ReadStore loads either format
+// — the first non-whitespace byte tells them apart, and for a
+// streamed log the last occurrence of a key wins — and Compact
+// (fedgpo-report -compact-results) rewrites a streamed log as the
+// canonical JSON array, shadowed lines dropped.
+//
 // # Telemetry
 //
 // The runtime is instrumented against a telemetry.Collector (wired by
@@ -285,7 +334,11 @@
 //     artifacts are cache traffic but not jobs.
 //   - The coordinator times each dispatch Send→Recv into a
 //     per-endpoint latency histogram (exponential 1ms-base buckets)
-//     and counts Retries and Failovers as sessions fail.
+//     and counts Retries and Failovers as sessions fail. Sessions
+//     meter raw bytes both ways (handshake included) and the
+//     coordinator folds the totals — plus request-frame and spec
+//     counts, whose ratio is the realized v4 batch density — into the
+//     per-endpoint stats the -v summaries print.
 //
 // Provenance: because wall-clock measurements (the sec54 probe's
 // overhead timers, ControllerOverheadSec) are replayed verbatim on a

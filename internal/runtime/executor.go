@@ -167,10 +167,21 @@ func (e *Executor) RunAll(jobs []Job) []Result {
 		e.progressMu.Unlock()
 	}
 
+	// Resolve each job's canonical key and content address exactly once
+	// for the whole batch: the key assembly and SHA-256 digest are on
+	// the warm-rerun hot path (every lookup and write-back needs them),
+	// and per-touch recomputation was measurable on paper-scale batches.
+	keys := make([]string, len(jobs))
+	hashes := make([]string, len(jobs))
+	for i := range jobs {
+		keys[i] = jobs[i].Key()
+		hashes[i] = HashKey(keys[i])
+	}
+
 	// Serve cache hits first — checked in parallel (a warm disk-cache
 	// rerun is otherwise bottlenecked on serial file reads), reported
 	// in job order.
-	hits := e.cacheHits(jobs)
+	hits := e.cacheHits(jobs, keys, hashes)
 	missIdx := make([]int, 0, len(jobs))
 	for i := range jobs {
 		if hits[i] != nil {
@@ -201,7 +212,8 @@ func (e *Executor) RunAll(jobs []Job) []Result {
 			// multi-hundred-round history on the coordinator would double
 			// the cache-write I/O. With a memory-only cache this Put is
 			// what makes a worker's result visible to this process at all.
-			_ = e.cache.Put(miss[k].Key(), r)
+			i := missIdx[k]
+			_ = e.cache.PutHashed(keys[i], hashes[i], r)
 		}
 		report(r)
 	})
@@ -212,11 +224,13 @@ func (e *Executor) RunAll(jobs []Job) []Result {
 }
 
 // cacheHits looks every job up in the run cache concurrently and
-// returns the hits by batch index (nil = miss or no cache). The
-// lookup fan-out respects the backend's configured parallelism — a
-// -parallel 1 run stays single-threaded through warm batches too,
-// lookups (disk read + history unmarshal) included.
-func (e *Executor) cacheHits(jobs []Job) []*Result {
+// returns the hits by batch index (nil = miss or no cache). keys and
+// hashes are the batch's precomputed canonical keys and content
+// addresses, parallel to jobs. The lookup fan-out respects the
+// backend's configured parallelism — a -parallel 1 run stays
+// single-threaded through warm batches too, lookups (disk read +
+// history unmarshal) included.
+func (e *Executor) cacheHits(jobs []Job, keys, hashes []string) []*Result {
 	hits := make([]*Result, len(jobs))
 	if e.cache == nil {
 		return hits
@@ -239,7 +253,7 @@ func (e *Executor) cacheHits(jobs []Job) []*Result {
 					continue
 				}
 				var cached Result
-				if e.cache.Get(jobs[i].Key(), &cached) && cached.Err == "" {
+				if e.cache.GetHashed(keys[i], hashes[i], &cached) && cached.Err == "" {
 					cached.Cached = true
 					hits[i] = &cached
 				}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"fedgpo/internal/runtime/wire"
 	"fedgpo/internal/telemetry"
 )
 
@@ -41,6 +42,15 @@ type WireResponse struct {
 	Metrics *telemetry.Metrics `json:"metrics,omitempty"`
 }
 
+// wireEnvelope is the payload of one protocol-v4 binary frame: a batch
+// of requests (coordinator to worker) or the matching batch of
+// responses, answered in request order. Exactly one of the two sides
+// is populated per frame.
+type wireEnvelope struct {
+	Reqs  []WireRequest  `json:"reqs,omitempty"`
+	Resps []WireResponse `json:"resps,omitempty"`
+}
+
 // WorkerOptions parameterizes the worker half of a wire session.
 type WorkerOptions struct {
 	// Capacity is the concurrency advertised in the hello frame (<= 1
@@ -52,6 +62,10 @@ type WorkerOptions struct {
 	// SetInner, when non-nil, applies coordinator-forwarded inner
 	// budgets (WireRequest.Inner) before each job runs.
 	SetInner func(n int)
+	// MaxProto caps the protocol generation advertised in the hello
+	// (0 advertises ProtoVersion). Tests pin ProtoV3 to exercise the
+	// JSON fallback a pre-v4 worker would negotiate.
+	MaxProto int
 }
 
 // ServeWorker runs the worker half of the wire protocol on a byte
@@ -64,34 +78,33 @@ func ServeWorker(r io.Reader, w io.Writer, run func(key string, spec json.RawMes
 }
 
 // ServeSession runs one worker wire session: it sends the hello frame,
-// then decodes WireRequests from r until EOF, executes each via run,
-// and encodes one WireResponse per request to w, in request order.
-// Whitespace between frames — blank lines, trailing newlines from
-// wrapper scripts — is tolerated; a malformed frame fails the session
-// with the offending frame's index in the error.
+// then serves requests from r until EOF, executing each via run and
+// answering in request order. The framing depends on what the far side
+// negotiates from the hello: a v4 coordinator opens with a helloAck
+// and the session switches to batched binary frames (see serveBatches);
+// a pre-v4 coordinator sends plain WireRequest JSON frames and gets
+// the v3 loop, whitespace between frames — blank lines, trailing
+// newlines from wrapper scripts — tolerated. Either way a malformed
+// frame fails the session with the offending frame's index in the
+// error.
 func ServeSession(r io.Reader, w io.Writer, run func(key string, spec json.RawMessage) Result, opt WorkerOptions) error {
 	if opt.Capacity < 1 {
 		opt.Capacity = 1
 	}
+	maxProto := opt.MaxProto
+	if maxProto == 0 {
+		maxProto = ProtoVersion
+	}
 	enc := json.NewEncoder(w)
 	if err := enc.Encode(WireHello{
-		Hello: true, Proto: ProtoVersion, KeyVersion: keyVersion,
+		Hello: true, Proto: ProtoV3, MaxProto: maxProto, KeyVersion: keyVersion,
 		Capacity: opt.Capacity, CacheDir: opt.CacheDir,
 	}); err != nil {
 		return fmt.Errorf("runtime: worker hello: %w", err)
 	}
 	dec := json.NewDecoder(r)
 	lastInner := 0
-	for frame := 1; ; frame++ {
-		var req WireRequest
-		if err := dec.Decode(&req); err == io.EOF {
-			// json.Decoder skips whitespace before a value, so a clean
-			// EOF here also covers streams ending in blank lines or
-			// stray newlines.
-			return nil
-		} else if err != nil {
-			return fmt.Errorf("runtime: worker decode (frame %d): %w", frame, err)
-		}
+	serve := func(req WireRequest, frame int) error {
 		if opt.SetInner != nil && req.Inner != lastInner {
 			opt.SetInner(req.Inner)
 			lastInner = req.Inner
@@ -99,6 +112,90 @@ func ServeSession(r io.Reader, w io.Writer, run func(key string, spec json.RawMe
 		res := run(req.Key, req.Spec)
 		if err := enc.Encode(WireResponse{Key: req.Key, Result: res, Cached: res.Cached, Metrics: res.Telemetry}); err != nil {
 			return fmt.Errorf("runtime: worker encode (frame %d): %w", frame, err)
+		}
+		return nil
+	}
+	// The first inbound frame decides the session generation: a
+	// coordinator that negotiated v4 sends a helloAck before anything
+	// else; one that didn't sends a plain request (or nothing at all).
+	var first struct {
+		HelloAck bool `json:"helloAck"`
+		Proto    int  `json:"proto"`
+		WireRequest
+	}
+	if err := dec.Decode(&first); err == io.EOF {
+		// json.Decoder skips whitespace before a value, so a clean EOF
+		// here also covers streams ending in blank lines or stray
+		// newlines.
+		return nil
+	} else if err != nil {
+		return fmt.Errorf("runtime: worker decode (frame 1): %w", err)
+	}
+	if first.HelloAck {
+		if first.Proto < ProtoV4 || first.Proto > maxProto {
+			return fmt.Errorf("runtime: worker handshake: coordinator acked unsupported protocol %d", first.Proto)
+		}
+		// The JSON decoder may have read ahead into the first binary
+		// frame; drain its buffer before the raw stream, and skip the
+		// newline the coordinator's ack encoder left behind.
+		return serveBatches(wire.Handoff(io.MultiReader(dec.Buffered(), r)), w, run, opt)
+	}
+	if err := serve(first.WireRequest, 1); err != nil {
+		return err
+	}
+	for frame := 2; ; frame++ {
+		var req WireRequest
+		if err := dec.Decode(&req); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("runtime: worker decode (frame %d): %w", frame, err)
+		}
+		if err := serve(req, frame); err != nil {
+			return err
+		}
+	}
+}
+
+// serveBatches runs the protocol-v4 worker loop: every inbound frame
+// is a compressed envelope of batched requests, executed in order, and
+// every finished spec is answered immediately with its own response
+// frame. Requests batch to amortize dispatch; responses stream so a
+// worker death mid-batch only costs the specs it had not yet answered
+// — the same failure granularity as the v3 one-spec-per-frame loop.
+// Frame indexes restart at 1 on both sides at the binary handoff (the
+// helloAck is handshake, not data).
+func serveBatches(r io.Reader, w io.Writer, run func(key string, spec json.RawMessage) Result, opt WorkerOptions) error {
+	lastInner := 0
+	for frame := 1; ; frame++ {
+		payload, _, err := wire.ReadFrame(r, frame)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			// wire errors are already frame-indexed.
+			return fmt.Errorf("runtime: worker read: %w", err)
+		}
+		var env wireEnvelope
+		if err := json.Unmarshal(payload, &env); err != nil {
+			return fmt.Errorf("runtime: worker decode (frame %d): %w", frame, err)
+		}
+		if len(env.Reqs) == 0 {
+			return fmt.Errorf("runtime: worker decode (frame %d): empty request envelope", frame)
+		}
+		for _, req := range env.Reqs {
+			if opt.SetInner != nil && req.Inner != lastInner {
+				opt.SetInner(req.Inner)
+				lastInner = req.Inner
+			}
+			res := run(req.Key, req.Spec)
+			resp := WireResponse{Key: req.Key, Result: res, Cached: res.Cached, Metrics: res.Telemetry}
+			b, err := json.Marshal(wireEnvelope{Resps: []WireResponse{resp}})
+			if err != nil {
+				return fmt.Errorf("runtime: worker encode (frame %d): %w", frame, err)
+			}
+			if _, err := wire.WriteFrame(w, b); err != nil {
+				return fmt.Errorf("runtime: worker write (frame %d): %w", frame, err)
+			}
 		}
 	}
 }
@@ -158,6 +255,18 @@ type EndpointStats struct {
 	// budget ran out — handed back to the fleet, and surfaced as error
 	// results only when no endpoint could take them.
 	Failed int64 `json:"failed"`
+	// BytesSent / BytesRecv meter raw bytes moved on the endpoint's
+	// sessions as seen from the coordinator's edge of the transport,
+	// handshake frames included. Zero for sessions that don't meter
+	// (scripted test conns).
+	BytesSent int64 `json:"bytesSent,omitempty"`
+	BytesRecv int64 `json:"bytesRecv,omitempty"`
+	// Frames counts request frames sent (responses mirror them 1:1);
+	// Specs counts the specs those frames carried. Specs/Frames is the
+	// realized batch density — 1.0 on v3-fallback sessions, up to the
+	// fair-share cap on v4 sessions.
+	Frames int64 `json:"frames,omitempty"`
+	Specs  int64 `json:"specs,omitempty"`
 }
 
 // EndpointStatser is implemented by backends that track per-endpoint
@@ -325,10 +434,27 @@ func (q *workQueue) pop() (int, bool) {
 	return i, true
 }
 
-// requeue gives an unanswered job back to the fleet.
-func (q *workQueue) requeue(i int) {
+// take removes up to k queued jobs without blocking — the batch
+// top-up: a v4 session filling a frame takes whatever is immediately
+// available and never waits for frame-mates.
+func (q *workQueue) take(k int) []int {
 	q.mu.Lock()
-	q.items = append(q.items, i)
+	defer q.mu.Unlock()
+	if k > len(q.items) {
+		k = len(q.items)
+	}
+	if k <= 0 {
+		return nil
+	}
+	out := append([]int(nil), q.items[:k]...)
+	q.items = q.items[k:]
+	return out
+}
+
+// requeue gives unanswered jobs back to the fleet.
+func (q *workQueue) requeue(idxs ...int) {
+	q.mu.Lock()
+	q.items = append(q.items, idxs...)
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }
@@ -361,13 +487,20 @@ func (c *Coordinator) Run(jobs []Job, done func(int, Result)) []Result {
 	if len(jobs) == 0 {
 		return results
 	}
+	// Canonical keys are resolved exactly once per job here — sends,
+	// response validation and error annotation all read the slice
+	// instead of re-joining the key per use.
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i] = j.Key()
+	}
 	idxs := make([]int, 0, len(jobs))
 	for i, j := range jobs {
 		// A job with no serialized spec cannot cross the process
 		// boundary; that is a programming error on the batch builder,
 		// surfaced per job rather than by panicking the batch.
 		if len(j.Payload) == 0 {
-			results[i] = Result{Key: j.Key(), Err: "runtime: job has no spec payload; procs backend requires spec-built jobs"}
+			results[i] = Result{Key: keys[i], Err: "runtime: job has no spec payload; procs backend requires spec-built jobs"}
 			if done != nil {
 				done(i, results[i])
 			}
@@ -386,7 +519,7 @@ func (c *Coordinator) Run(jobs []Job, done func(int, Result)) []Result {
 		wg.Add(1)
 		go func(ep *endpoint) {
 			defer wg.Done()
-			c.runEndpoint(ep, len(idxs), totalCap, jobs, queue, results, done)
+			c.runEndpoint(ep, len(idxs), totalCap, jobs, keys, queue, results, done)
 		}(ep)
 	}
 	wg.Wait()
@@ -400,7 +533,7 @@ func (c *Coordinator) Run(jobs []Job, done func(int, Result)) []Result {
 		lastErr = fmt.Errorf("no worker endpoints available")
 	}
 	for _, i := range queue.abandoned() {
-		results[i] = Result{Key: jobs[i].Key(), Err: fmt.Sprintf("runtime: worker shard failed after retry: %v", lastErr)}
+		results[i] = Result{Key: keys[i], Err: fmt.Sprintf("runtime: worker shard failed after retry: %v", lastErr)}
 		if done != nil {
 			done(i, results[i])
 		}
@@ -408,12 +541,36 @@ func (c *Coordinator) Run(jobs []Job, done func(int, Result)) []Result {
 	return results
 }
 
+// maxSpecsPerFrame caps how many specs a v4 session packs into one
+// request frame, bounding both the frame size and the amount of work a
+// single session failure requeues.
+const maxSpecsPerFrame = 16
+
+// specsPerFrame derives a v4 session's frame batch size from the batch
+// shape: each frame carries at most the session's fair share of the
+// batch across the fleet's capacity, so batching never trades away the
+// work queue's load balancing — a fleet that could run every cell
+// concurrently still gets one spec per frame.
+func specsPerFrame(batch, totalCap int) int {
+	if totalCap < 1 {
+		totalCap = 1
+	}
+	n := batch / totalCap
+	if n < 1 {
+		n = 1
+	}
+	if n > maxSpecsPerFrame {
+		n = maxSpecsPerFrame
+	}
+	return n
+}
+
 // runEndpoint drives one endpoint through a batch: it resolves the
 // session count (dialing a probe session for capacity-advertising
 // transports), derives the endpoint's forwarded inner budget from the
 // batch shape, and runs the sessions until the queue drains or every
 // session's retry budget is spent.
-func (c *Coordinator) runEndpoint(ep *endpoint, batch, totalCap int, jobs []Job, queue *workQueue, results []Result, done func(int, Result)) {
+func (c *Coordinator) runEndpoint(ep *endpoint, batch, totalCap int, jobs []Job, keys []string, queue *workQueue, results []Result, done func(int, Result)) {
 	sessions := ep.transport.Sessions()
 	var probe Conn
 	if sessions <= 0 {
@@ -438,6 +595,7 @@ func (c *Coordinator) runEndpoint(ep *endpoint, batch, totalCap int, jobs []Job,
 		totalCap += grew
 	}
 	inner := c.innerBudget(batch, sessions, totalCap)
+	specs := specsPerFrame(batch, totalCap)
 	var wg sync.WaitGroup
 	for s := 0; s < sessions; s++ {
 		conn := probe
@@ -445,7 +603,7 @@ func (c *Coordinator) runEndpoint(ep *endpoint, batch, totalCap int, jobs []Job,
 		wg.Add(1)
 		go func(conn Conn) {
 			defer wg.Done()
-			c.runSession(ep, conn, inner, jobs, queue, results, done)
+			c.runSession(ep, conn, inner, specs, jobs, keys, queue, results, done)
 		}(conn)
 	}
 	wg.Wait()
@@ -507,16 +665,16 @@ func (c *Coordinator) innerBudget(n, endpointCap, totalCap int) wireBudget {
 	return wireBudget{perProcess: spare / active, shared: spare}
 }
 
-// runSession drives one endpoint session: pull a job from the queue,
-// send it, read its response, repeat. Dialing is lazy — no worker is
+// runSession drives one endpoint session: pull work from the queue,
+// send it, read the response, repeat. Dialing is lazy — no worker is
 // spawned or connected until the session actually holds a job. A
 // session failure re-dials once and resends only the unanswered
-// in-flight job (answered jobs are never resent); when the retry
-// budget is spent the session gives its in-flight job back to the
-// fleet — a surviving endpoint absorbs it, and only a fleet with no
-// session left turns it into an error result (the batch drain).
-func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, jobs []Job, queue *workQueue, results []Result, done func(int, Result)) {
-	pending := -1 // in-flight job index carried across a retry
+// in-flight frame (answered frames are never resent); when the retry
+// budget is spent the session gives its in-flight jobs back to the
+// fleet — a surviving endpoint absorbs them, and only a fleet with no
+// session left turns them into error results (the batch drain).
+func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, specs int, jobs []Job, keys []string, queue *workQueue, results []Result, done func(int, Result)) {
+	var carried []int // in-flight frame's job indexes, carried across a retry
 	failures := 0
 	defer func() {
 		if conn != nil {
@@ -524,19 +682,24 @@ func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, jobs
 		}
 	}()
 	for {
-		if pending < 0 {
-			var ok bool
-			if pending, ok = queue.pop(); !ok {
+		if len(carried) == 0 {
+			// Pop a single job before dialing: the frame is topped up to
+			// the session's batch size inside pump, once the negotiated
+			// generation is known.
+			i, ok := queue.pop()
+			if !ok {
 				return // batch finished
 			}
+			carried = []int{i}
 		}
 		if failures >= 2 {
-			// Retry budget spent: hand the unanswered job back.
-			queue.requeue(pending)
+			// Retry budget spent: hand the unanswered jobs back.
+			queue.requeue(carried...)
+			n := int64(len(carried))
 			c.mu.Lock()
-			ep.stats.Failed++
+			ep.stats.Failed += n
 			c.mu.Unlock()
-			c.col.Count(func(cc *telemetry.Counters) { cc.Failovers++ })
+			c.col.Count(func(cc *telemetry.Counters) { cc.Failovers += n })
 			return
 		}
 		if conn == nil {
@@ -548,7 +711,7 @@ func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, jobs
 			}
 		}
 		var err error
-		if pending, err = c.pump(ep, conn, inner, pending, jobs, queue, results, done); err == nil {
+		if carried, err = c.pump(ep, conn, inner, specs, carried, jobs, keys, queue, results, done); err == nil {
 			return // queue drained through this session
 		} else {
 			failures++
@@ -559,50 +722,109 @@ func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, jobs
 	}
 }
 
-// pump streams jobs through one established session until the batch
-// finishes or the session fails. It returns the index of the job left
-// unanswered by a failure (-1 and a nil error once the batch is done).
-func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, carried int, jobs []Job, queue *workQueue, results []Result, done func(int, Result)) (int, error) {
+// pump streams job frames through one established session until the
+// batch finishes or the session fails. Each iteration moves one
+// request frame: a single spec on a v3 session, up to the endpoint's
+// fair-share batch on a v4 BatchConn. Responses stream back per spec
+// and are finalized as they arrive, in request order; a failure
+// mid-frame returns only the unanswered tail for requeue, so specs a
+// dying worker already answered are never re-run — the exact failure
+// granularity of the v3 one-spec-per-frame protocol.
+func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, specs int, carried []int, jobs []Job, keys []string, queue *workQueue, results []Result, done func(int, Result)) ([]int, error) {
 	sharesCache := c.cfg.CacheDir != "" && conn.Hello().CacheDir == c.cfg.CacheDir
 	inner := budget.forConn(conn)
+	bc, _ := conn.(BatchConn)
+	if bc == nil {
+		specs = 1 // v3 fallback: one spec per frame, the PR 5 contract
+	}
+	ws, _ := conn.(WireStatser)
+	var lastSent, lastRecv int64 // 0,0 so the first delta includes the handshake
 	for {
-		i := carried
-		carried = -1
-		if i < 0 {
-			var ok bool
-			if i, ok = queue.pop(); !ok {
-				return -1, nil
+		frame := carried
+		carried = nil
+		if len(frame) == 0 {
+			i, ok := queue.pop()
+			if !ok {
+				return nil, nil
 			}
+			frame = []int{i}
 		}
-		key := jobs[i].Key()
+		if len(frame) < specs {
+			frame = append(frame, queue.take(specs-len(frame))...)
+		}
+		reqs := make([]WireRequest, len(frame))
+		for k, i := range frame {
+			reqs[k] = WireRequest{Key: keys[i], Spec: jobs[i].Payload, Inner: inner}
+		}
 		sent := time.Now()
-		if err := conn.Send(WireRequest{Key: key, Spec: jobs[i].Payload, Inner: inner}); err != nil {
-			return i, fmt.Errorf("sending %q: %w", key, err)
+		var err error
+		if bc != nil {
+			err = bc.SendBatch(reqs)
+		} else {
+			err = conn.Send(reqs[0])
+		}
+		if err != nil {
+			return frame, fmt.Errorf("sending %q: %w", keys[frame[0]], err)
 		}
 		c.mu.Lock()
-		ep.stats.Dispatched++
+		ep.stats.Dispatched += int64(len(frame))
+		ep.stats.Frames++
+		ep.stats.Specs += int64(len(frame))
 		c.mu.Unlock()
-		resp, err := conn.Recv()
-		if err != nil {
-			return i, fmt.Errorf("worker reply for %q: %w", key, err)
+		// Responses stream back per spec, in request order (a worker may
+		// still group several into one envelope). Finalize each as it
+		// arrives so a session death mid-frame costs only the unanswered
+		// tail. Latency is measured from the frame send to each spec's
+		// arrival, recorded once per spec so the histogram's count keeps
+		// reconciling with Dispatched.
+		answered := 0
+		for answered < len(frame) {
+			var resps []WireResponse
+			if bc != nil {
+				resps, err = bc.RecvBatch()
+			} else {
+				var resp WireResponse
+				resp, err = conn.Recv()
+				resps = []WireResponse{resp}
+			}
+			if err != nil {
+				return frame[answered:], fmt.Errorf("worker reply for %q: %w", keys[frame[answered]], err)
+			}
+			if len(resps) == 0 || answered+len(resps) > len(frame) {
+				return frame[answered:], fmt.Errorf("worker answered %d specs for a frame of %d", answered+len(resps), len(frame))
+			}
+			elapsed := time.Since(sent)
+			for _, resp := range resps {
+				i := frame[answered]
+				if resp.Key != keys[i] {
+					return frame[answered:], fmt.Errorf("worker replied out of order: got %q, want %q", resp.Key, keys[i])
+				}
+				answered++
+				c.col.RecordLatency(ep.stats.Endpoint, elapsed)
+				r := resp.Result
+				r.Cached = resp.Cached
+				r.Telemetry = resp.Metrics
+				// A worker sharing the coordinator's cache directory already
+				// published the entry (best effort — a failed worker write
+				// costs a future re-run, exactly like a failed coordinator
+				// write); results from other workers are persisted by the
+				// executor.
+				r.Persisted = sharesCache && r.Err == ""
+				results[i] = r
+				if done != nil {
+					done(i, r)
+				}
+				queue.finalize()
+			}
 		}
-		if resp.Key != key {
-			return i, fmt.Errorf("worker replied out of order: got %q, want %q", resp.Key, key)
+		if ws != nil {
+			s, rv := ws.WireStats()
+			c.mu.Lock()
+			ep.stats.BytesSent += s - lastSent
+			ep.stats.BytesRecv += rv - lastRecv
+			c.mu.Unlock()
+			lastSent, lastRecv = s, rv
 		}
-		c.col.RecordLatency(ep.stats.Endpoint, time.Since(sent))
-		r := resp.Result
-		r.Cached = resp.Cached
-		r.Telemetry = resp.Metrics
-		// A worker sharing the coordinator's cache directory already
-		// published the entry (best effort — a failed worker write costs
-		// a future re-run, exactly like a failed coordinator write);
-		// results from other workers are persisted by the executor.
-		r.Persisted = sharesCache && r.Err == ""
-		results[i] = r
-		if done != nil {
-			done(i, r)
-		}
-		queue.finalize()
 	}
 }
 

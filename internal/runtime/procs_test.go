@@ -251,7 +251,10 @@ func TestServeWorkerOrderAndCachedFlag(t *testing.T) {
 	if err := dec.Decode(&hello); err != nil {
 		t.Fatalf("hello frame: %v", err)
 	}
-	if !hello.Hello || hello.Proto != ProtoVersion || hello.KeyVersion != keyVersion || hello.Capacity != 1 {
+	// The hello's base Proto stays at the v3 baseline so pre-v4
+	// coordinators keep accepting it; the v4 capability rides in
+	// MaxProto.
+	if !hello.Hello || hello.Proto != ProtoV3 || hello.MaxProto != ProtoVersion || hello.KeyVersion != keyVersion || hello.Capacity != 1 {
 		t.Errorf("hello frame = %+v", hello)
 	}
 	for i := 0; i < 5; i++ {

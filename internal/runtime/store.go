@@ -1,8 +1,10 @@
 package runtime
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
@@ -11,17 +13,102 @@ import (
 // structured record of what a report or sweep actually ran, including
 // each cell's JSON round history and summary metrics. It is safe for
 // concurrent use.
+//
+// A store holds results in memory by default. StreamTo switches it to
+// streaming mode: every Add appends the result to a JSONL file as the
+// cell completes and retains only its key, so a sweep's memory stays
+// bounded by the number of cells, not the size of their round
+// histories. ReadStore loads either format, and Compact rewrites a
+// streamed (possibly duplicated) log as the canonical JSON array.
 type Store struct {
 	mu    sync.Mutex
 	order []string
 	byKey map[string]Result
+
+	streaming bool
+	stream    *os.File
+	sw        *bufio.Writer
+	serr      error
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty in-memory store.
 func NewStore() *Store { return &Store{byKey: make(map[string]Result)} }
 
+// StreamTo switches the store to streaming mode: results added from
+// now on are appended to path as JSON Lines — one result object per
+// line, written as each cell completes — instead of being retained in
+// memory. Results already held are flushed to the stream first, in
+// insertion order. A repeated key appends a new line; the read path
+// keeps the last occurrence, and Compact rewrites the log without the
+// shadowed lines. Call Close when done.
+func (s *Store) StreamTo(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stream != nil {
+		return fmt.Errorf("runtime: store already streaming to %s", s.stream.Name())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("runtime: store stream: %w", err)
+	}
+	s.streaming = true
+	s.stream = f
+	s.sw = bufio.NewWriter(f)
+	for _, k := range s.order {
+		s.append(s.byKey[k])
+		// Keep the key, drop the payload: Add needs the key set to keep
+		// Len and insertion order dedup-correct across the switch.
+		s.byKey[k] = Result{}
+	}
+	return s.serr
+}
+
+// Close flushes and closes the stream file. It is a no-op for an
+// in-memory store. The store keeps its key order, so Len still reports
+// the distinct-cell count after closing.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stream == nil {
+		return nil
+	}
+	if err := s.sw.Flush(); err != nil && s.serr == nil {
+		s.serr = fmt.Errorf("runtime: store stream: %w", err)
+	}
+	if err := s.stream.Close(); err != nil && s.serr == nil {
+		s.serr = fmt.Errorf("runtime: store stream: %w", err)
+	}
+	s.stream, s.sw = nil, nil
+	return s.serr
+}
+
+// StreamErr returns the first error the streaming writer hit (nil for
+// an in-memory store or a healthy stream). Add cannot return an error
+// without breaking its fire-and-forget call sites, so a full disk
+// surfaces here and at Close.
+func (s *Store) StreamErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serr
+}
+
+// append writes one result to the stream. Caller holds mu.
+func (s *Store) append(r Result) {
+	if s.serr != nil {
+		return
+	}
+	b, err := json.Marshal(r)
+	if err == nil {
+		_, err = s.sw.Write(append(b, '\n'))
+	}
+	if err != nil {
+		s.serr = fmt.Errorf("runtime: store stream: %w", err)
+	}
+}
+
 // Add records results; a repeated key keeps its original position and
-// is overwritten in place.
+// is overwritten in place (in streaming mode the new line shadows the
+// old one on read).
 func (s *Store) Add(rs ...Result) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -29,14 +116,25 @@ func (s *Store) Add(rs ...Result) {
 		if _, seen := s.byKey[r.Key]; !seen {
 			s.order = append(s.order, r.Key)
 		}
+		if s.streaming {
+			s.byKey[r.Key] = Result{} // key tracked, payload on disk
+			if s.stream != nil {
+				s.append(r)
+			}
+			continue
+		}
 		s.byKey[r.Key] = r
 	}
 }
 
-// Get returns the result stored under the canonical key.
+// Get returns the result stored under the canonical key. In streaming
+// mode results live on disk, not in the map, so Get reports false.
 func (s *Store) Get(key string) (Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.streaming {
+		return Result{}, false
+	}
 	r, ok := s.byKey[key]
 	return r, ok
 }
@@ -48,15 +146,33 @@ func (s *Store) Len() int {
 	return len(s.order)
 }
 
-// Results returns all results in insertion order.
+// Results returns all results in insertion order (empty in streaming
+// mode — the results are on disk; ReadStore loads them back).
 func (s *Store) Results() []Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.streaming {
+		return nil
+	}
 	out := make([]Result, len(s.order))
 	for i, k := range s.order {
 		out[i] = s.byKey[k]
 	}
 	return out
+}
+
+// RetainedBytes reports the in-memory footprint of the retained
+// results as their total encoded size — the quantity streaming mode
+// drives to zero. It is a measurement helper for benchmarks, not an
+// allocator-accurate RSS.
+func (s *Store) RetainedBytes() int64 {
+	var n int64
+	for _, r := range s.Results() {
+		if b, err := json.Marshal(r); err == nil {
+			n += int64(len(b))
+		}
+	}
+	return n
 }
 
 // WriteFile persists the store as one JSON array in insertion order.
@@ -68,17 +184,70 @@ func (s *Store) WriteFile(path string) error {
 	return os.WriteFile(path, b, 0o644)
 }
 
-// ReadStore loads a store previously written by WriteFile.
+// ReadStore loads a store from either on-disk format: the JSON array
+// WriteFile produces, or the JSON Lines log StreamTo appends. The
+// first non-whitespace byte tells them apart ('[' opens the array;
+// every JSONL line opens an object). For a streamed log with repeated
+// keys, the last occurrence wins, matching Add's overwrite semantics.
 func ReadStore(path string) (*Store, error) {
-	b, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	var rs []Result
-	if err := json.Unmarshal(b, &rs); err != nil {
-		return nil, fmt.Errorf("runtime: store decode: %w", err)
-	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	first, err := firstByte(br)
 	st := NewStore()
-	st.Add(rs...)
-	return st, nil
+	if err == io.EOF {
+		return st, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runtime: store decode %s: %w", path, err)
+	}
+	dec := json.NewDecoder(br)
+	if first == '[' {
+		var rs []Result
+		if err := dec.Decode(&rs); err != nil {
+			return nil, fmt.Errorf("runtime: store decode %s: %w", path, err)
+		}
+		st.Add(rs...)
+		return st, nil
+	}
+	for line := 1; ; line++ {
+		var r Result
+		if err := dec.Decode(&r); err == io.EOF {
+			return st, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("runtime: store decode %s (line %d): %w", path, line, err)
+		}
+		st.Add(r)
+	}
+}
+
+// firstByte peeks the first non-whitespace byte without consuming it.
+func firstByte(br *bufio.Reader) (byte, error) {
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		default:
+			return b, br.UnreadByte()
+		}
+	}
+}
+
+// Compact rewrites a result log as the canonical JSON array: streamed
+// JSONL in, WriteFile's format out, duplicate keys collapsed to their
+// last occurrence. It accepts either input format, so compacting an
+// already-compact store is the identity.
+func Compact(src, dst string) error {
+	st, err := ReadStore(src)
+	if err != nil {
+		return err
+	}
+	return st.WriteFile(dst)
 }

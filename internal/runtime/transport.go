@@ -5,17 +5,36 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"fedgpo/internal/runtime/wire"
 )
 
-// ProtoVersion is the wire-protocol generation spoken on every
-// transport session. Version 2 added the hello handshake, the
-// per-request inner-budget field and the TCP transport; version 3 adds
+// Wire-protocol generations. Version 2 added the hello handshake, the
+// per-request inner-budget field and the TCP transport; version 3 added
 // the response-side "metrics" field carrying the worker's per-job
-// telemetry snapshot back to the coordinator. A coordinator refuses to
-// feed jobs to a worker speaking any other version (see WireHello), so
-// a version skew surfaces as a handshake error instead of a poisoned
-// cache or a protocol deadlock.
-const ProtoVersion = 3
+// telemetry snapshot back to the coordinator; version 4 moves the job
+// stream to length-prefixed compressed binary frames (see the wire
+// package) whose payloads are envelopes batching several specs per
+// frame.
+//
+// Negotiation is backward compatible in both directions. A worker's
+// hello always carries Proto == ProtoV3 — the baseline every
+// coordinator since PR 5 accepts — plus MaxProto advertising the
+// highest generation it speaks. A v4-capable coordinator answers a
+// v4-capable hello with a JSON helloAck frame and both sides switch to
+// binary framing; a v3-only worker (no MaxProto) gets plain v3 JSON
+// frames and no ack, and a v3-only coordinator ignores the unknown
+// MaxProto field and never sends one. A worker distinguishes the two
+// by its first inbound frame: helloAck or a plain WireRequest.
+const (
+	// ProtoV3 is the newline-delimited JSON baseline: one WireRequest
+	// frame per cell, one WireResponse frame back, in order.
+	ProtoV3 = 3
+	// ProtoV4 is the batched binary framing generation.
+	ProtoV4 = 4
+	// ProtoVersion is the highest generation this build speaks.
+	ProtoVersion = ProtoV4
+)
 
 // WireHello is the first frame of every wire session, sent by the
 // worker the moment the session opens — before any request arrives.
@@ -28,8 +47,15 @@ type WireHello struct {
 	// not a handshake — most likely an older worker or a non-worker
 	// process on the far side).
 	Hello bool `json:"hello"`
-	// Proto is the worker's wire-protocol version (ProtoVersion).
+	// Proto is the worker's baseline wire-protocol version. It stays at
+	// ProtoV3 even for v4-capable workers, so coordinators predating
+	// the v4 negotiation still accept the hello; the upgrade rides in
+	// MaxProto.
 	Proto int `json:"proto"`
+	// MaxProto is the highest protocol generation the worker speaks
+	// (0 on pre-v4 workers, which is treated as Proto). The negotiated
+	// session generation is min(MaxProto, coordinator's ProtoVersion).
+	MaxProto int `json:"maxProto,omitempty"`
 	// KeyVersion is the worker's cache-key scheme version (keyVersion in
 	// job.go). Coordinator and worker must agree or cached results
 	// written by one are semantically wrong for the other.
@@ -45,11 +71,21 @@ type WireHello struct {
 	CacheDir string `json:"cacheDir,omitempty"`
 }
 
+// helloAck is the coordinator's handshake reply upgrading a session to
+// a negotiated protocol generation above the v3 baseline. It is only
+// sent when the hello advertised the higher generation, so a v3 worker
+// never sees one — its first inbound frame is a plain WireRequest,
+// exactly as before v4 existed.
+type helloAck struct {
+	HelloAck bool `json:"helloAck"`
+	Proto    int  `json:"proto"`
+}
+
 // Conn is one established wire session to a worker: hello already
-// exchanged and validated, requests and responses flowing as JSON
-// frames. A Conn is used by one coordinator session loop at a time and
-// need not be safe for concurrent use. Close releases the session's
-// resources (for a subprocess, reaping it; for a socket, closing it).
+// exchanged and validated, requests and responses flowing as frames. A
+// Conn is used by one coordinator session loop at a time and need not
+// be safe for concurrent use. Close releases the session's resources
+// (for a subprocess, reaping it; for a socket, closing it).
 type Conn interface {
 	// Hello returns the worker's validated handshake frame.
 	Hello() WireHello
@@ -59,6 +95,26 @@ type Conn interface {
 	Recv() (WireResponse, error)
 	// Close ends the session.
 	Close() error
+}
+
+// BatchConn is the protocol-v4 session surface: SendBatch writes one
+// length-prefixed compressed envelope frame carrying a whole request
+// batch and RecvBatch reads the matching response envelope. Sessions
+// that negotiated v3 (and scripted test conns) don't implement it, so
+// the coordinator's type assertion is the fallback switch: no
+// BatchConn, no batching — one JSON frame per cell, exactly the v3
+// contract.
+type BatchConn interface {
+	Conn
+	SendBatch([]WireRequest) error
+	RecvBatch() ([]WireResponse, error)
+}
+
+// WireStatser is implemented by sessions that meter raw bytes moved on
+// the wire (handshake frames included). The coordinator folds the
+// totals into its per-endpoint stats.
+type WireStatser interface {
+	WireStats() (sent, recv int64)
 }
 
 // Transport dials wire sessions to one worker endpoint. The
@@ -87,26 +143,63 @@ type deadlineReader interface {
 	SetReadDeadline(t time.Time) error
 }
 
-// wireConn frames WireRequest/WireResponse JSON over any reader/writer
-// pair and owns the handshake, shared by the stdio and TCP transports.
+// countReader / countWriter meter the raw bytes a session moves; the
+// handshake decoder and both framing modes read and write through
+// them, so WireStats covers hello, ack and every frame.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// wireConn is a coordinator-side wire session over any reader/writer
+// pair, shared by the stdio and TCP transports. It owns the handshake
+// and speaks the v3 JSON framing; a session that negotiates v4 is
+// returned wrapped in batchConn, which reuses the same state but moves
+// frames through the wire package instead.
 type wireConn struct {
 	dec     *json.Decoder
 	enc     *json.Encoder
 	hello   WireHello
-	raw     io.Writer // the write side, kept for deadline checks
-	rawRead any       // the read side, checked for deadlineReader
+	proto   int
+	framed  io.Reader // v4 read side: handshake readahead + the stream
+	cr      *countReader
+	cw      *countWriter
+	rawRead any // the original read side, checked for deadlineReader
 	timeout time.Duration
 	closer  func() error
+	frames  int // response frames read, for frame-indexed v4 errors
 }
 
 // newWireConn wraps an open byte stream into a wire session: it reads
-// and validates the worker's hello frame and returns the ready Conn.
-// closer runs exactly once, on Close.
-func newWireConn(r io.Reader, w io.Writer, timeout time.Duration, closer func() error) (*wireConn, error) {
+// and validates the worker's hello frame, negotiates the protocol
+// generation (acking a v4 upgrade), and returns the ready Conn — a
+// BatchConn when the session speaks v4. closer runs exactly once, on
+// Close.
+func newWireConn(r io.Reader, w io.Writer, timeout time.Duration, closer func() error) (Conn, error) {
+	cr := &countReader{r: r}
+	cw := &countWriter{w: w}
 	c := &wireConn{
-		dec:     json.NewDecoder(r),
-		enc:     json.NewEncoder(w),
-		raw:     w,
+		dec:     json.NewDecoder(cr),
+		enc:     json.NewEncoder(cw),
+		cr:      cr,
+		cw:      cw,
 		rawRead: r,
 		timeout: timeout,
 		closer:  closer,
@@ -117,10 +210,18 @@ func newWireConn(r io.Reader, w io.Writer, timeout time.Duration, closer func() 
 		}
 		return nil, err
 	}
+	if c.proto >= ProtoV4 {
+		// The handshake decoder may have read ahead into the binary
+		// stream; drain its buffer before the raw reader, and skip the
+		// newline the worker's hello encoder left behind.
+		c.framed = wire.Handoff(io.MultiReader(c.dec.Buffered(), cr))
+		return &batchConn{c}, nil
+	}
 	return c, nil
 }
 
-// handshake reads and validates the worker's hello frame.
+// handshake reads and validates the worker's hello frame and settles
+// the session's protocol generation.
 func (c *wireConn) handshake() error {
 	if err := c.setRecvDeadline(); err != nil {
 		return err
@@ -132,7 +233,7 @@ func (c *wireConn) handshake() error {
 	if !h.Hello {
 		return fmt.Errorf("runtime: transport handshake: first frame is not a hello (worker predates protocol %d?)", ProtoVersion)
 	}
-	if h.Proto != ProtoVersion {
+	if h.Proto < ProtoV3 || h.Proto > ProtoVersion {
 		return fmt.Errorf("runtime: transport handshake: worker speaks wire protocol %d, coordinator %d", h.Proto, ProtoVersion)
 	}
 	if h.KeyVersion != keyVersion {
@@ -142,6 +243,18 @@ func (c *wireConn) handshake() error {
 		h.Capacity = 1
 	}
 	c.hello = h
+	c.proto = h.Proto
+	if h.MaxProto > c.proto {
+		c.proto = h.MaxProto
+	}
+	if c.proto > ProtoVersion {
+		c.proto = ProtoVersion
+	}
+	if c.proto >= ProtoV4 {
+		if err := c.enc.Encode(helloAck{HelloAck: true, Proto: c.proto}); err != nil {
+			return fmt.Errorf("runtime: transport handshake: sending upgrade ack: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -157,6 +270,13 @@ func (c *wireConn) setRecvDeadline() error {
 
 // Hello returns the validated handshake frame.
 func (c *wireConn) Hello() WireHello { return c.hello }
+
+// Proto returns the session's negotiated protocol generation.
+func (c *wireConn) Proto() int { return c.proto }
+
+// WireStats returns the session's cumulative raw bytes written and
+// read, handshake included.
+func (c *wireConn) WireStats() (sent, recv int64) { return c.cw.n, c.cr.n }
 
 // Send writes one request frame.
 func (c *wireConn) Send(req WireRequest) error { return c.enc.Encode(req) }
@@ -178,4 +298,55 @@ func (c *wireConn) Close() error {
 		return nil
 	}
 	return c.closer()
+}
+
+// batchConn is a protocol-v4 session: request batches travel as one
+// compressed length-prefixed envelope frame each way. Send/Recv remain
+// available as batch-of-one wrappers so call sites that move a single
+// job (probe paths, tests) work on either generation.
+type batchConn struct{ *wireConn }
+
+// SendBatch writes one request envelope frame.
+func (c *batchConn) SendBatch(reqs []WireRequest) error {
+	b, err := json.Marshal(wireEnvelope{Reqs: reqs})
+	if err != nil {
+		return fmt.Errorf("runtime: encoding request envelope: %w", err)
+	}
+	_, err = wire.WriteFrame(c.cw, b)
+	return err
+}
+
+// RecvBatch reads one response envelope frame, bounded by the
+// transport's reply timeout when the connection supports deadlines.
+func (c *batchConn) RecvBatch() ([]WireResponse, error) {
+	if err := c.setRecvDeadline(); err != nil {
+		return nil, err
+	}
+	c.frames++
+	payload, _, err := wire.ReadFrame(c.framed, c.frames)
+	if err != nil {
+		return nil, err
+	}
+	var env wireEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, fmt.Errorf("runtime: response envelope (frame %d): %w", c.frames, err)
+	}
+	return env.Resps, nil
+}
+
+// Send writes a batch of one.
+func (c *batchConn) Send(req WireRequest) error {
+	return c.SendBatch([]WireRequest{req})
+}
+
+// Recv reads a batch expected to hold exactly one response.
+func (c *batchConn) Recv() (WireResponse, error) {
+	resps, err := c.RecvBatch()
+	if err != nil {
+		return WireResponse{}, err
+	}
+	if len(resps) != 1 {
+		return WireResponse{}, fmt.Errorf("runtime: expected 1 response in envelope, got %d", len(resps))
+	}
+	return resps[0], nil
 }

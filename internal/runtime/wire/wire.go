@@ -1,0 +1,186 @@
+// Package wire implements the length-prefixed binary framing shared by
+// protocol-v4 transport sessions: one frame is a 4-byte big-endian
+// length prefix followed by that many bytes of DEFLATE-compressed
+// payload. The payload is an opaque byte string to this package — the
+// runtime package puts JSON batch envelopes inside — so the framing,
+// its size guards and its fuzz surface live in one place for the stdio
+// and TCP transports alike.
+//
+// Both directions of a frame are bounded: the length prefix is
+// validated against MaxFrameBytes before a single payload byte is
+// allocated or read, and decompression stops at MaxPayloadBytes — a
+// corrupt or hostile stream can make a reader fail, never allocate
+// without bound. Read errors carry the 1-based frame index so a
+// session failure names the exact frame that broke it.
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// MaxFrameBytes bounds the on-wire (compressed) body of one frame.
+	// A length prefix above it fails the read before any allocation.
+	MaxFrameBytes = 64 << 20
+	// MaxPayloadBytes bounds the decompressed payload of one frame, so
+	// a malicious deflate stream cannot expand without bound.
+	MaxPayloadBytes = 256 << 20
+	// headerLen is the length prefix size.
+	headerLen = 4
+)
+
+// bodyChunk is the step readBody grows its buffer by: memory is
+// committed as bytes actually arrive, so a truncated stream whose
+// prefix claims MaxFrameBytes costs one chunk, not the claim.
+const bodyChunk = 1 << 20
+
+// WriteFrame compresses payload and writes it as one frame, returning
+// the number of bytes put on the wire (prefix included).
+func WriteFrame(w io.Writer, payload []byte) (int, error) {
+	if len(payload) > MaxPayloadBytes {
+		return 0, fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", len(payload), MaxPayloadBytes)
+	}
+	var body bytes.Buffer
+	fw, err := flate.NewWriter(&body, flate.BestSpeed)
+	if err != nil {
+		return 0, fmt.Errorf("wire: frame compress: %w", err)
+	}
+	if _, err := fw.Write(payload); err != nil {
+		return 0, fmt.Errorf("wire: frame compress: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return 0, fmt.Errorf("wire: frame compress: %w", err)
+	}
+	if body.Len() > MaxFrameBytes {
+		return 0, fmt.Errorf("wire: frame body %d bytes exceeds limit %d", body.Len(), MaxFrameBytes)
+	}
+	var hdr [headerLen]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(body.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	n, err := w.Write(body.Bytes())
+	return headerLen + n, err
+}
+
+// ReadFrame reads one frame and returns its decompressed payload plus
+// the number of wire bytes consumed. frame is the 1-based frame index
+// used in error messages. A clean EOF at a frame boundary returns
+// io.EOF unwrapped, so callers can end sessions exactly as the JSON
+// decode loop does; EOF inside a frame is a truncation error.
+func ReadFrame(r io.Reader, frame int) ([]byte, int, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("wire: frame %d: reading length prefix: %w", frame, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrameBytes {
+		return nil, 0, fmt.Errorf("wire: frame %d: length prefix %d outside (0, %d]", frame, n, MaxFrameBytes)
+	}
+	body, err := readBody(r, int(n))
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: frame %d: reading %d-byte body: %w", frame, n, err)
+	}
+	payload, err := inflate(body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wire: frame %d: %w", frame, err)
+	}
+	return payload, headerLen + int(n), nil
+}
+
+// readBody reads exactly n bytes, growing the buffer chunk by chunk so
+// a lying length prefix over a short stream never commits more memory
+// than the stream delivers.
+func readBody(r io.Reader, n int) ([]byte, error) {
+	chunk := bodyChunk
+	if chunk > n {
+		chunk = n
+	}
+	body := make([]byte, 0, chunk)
+	for len(body) < n {
+		m := n - len(body)
+		if m > bodyChunk {
+			m = bodyChunk
+		}
+		off := len(body)
+		body = append(body, make([]byte, m)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return body, nil
+}
+
+// inflate decompresses one frame body, bounded by MaxPayloadBytes.
+func inflate(body []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(body))
+	defer fr.Close()
+	var out bytes.Buffer
+	n, err := io.Copy(&out, io.LimitReader(fr, MaxPayloadBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("decompress: %w", err)
+	}
+	if n > MaxPayloadBytes {
+		return nil, fmt.Errorf("decompress: payload exceeds limit %d", int64(MaxPayloadBytes))
+	}
+	return out.Bytes(), nil
+}
+
+// Handoff wraps a reader at the JSON-handshake → binary-framing
+// boundary, skipping any ASCII whitespace left over from the
+// handshake (json.Encoder terminates each value with a newline) before
+// the first frame byte. Only leading whitespace is skipped: once a
+// non-whitespace byte arrives the stream passes through verbatim. The
+// skip is unambiguous because a whitespace first byte (>= 0x09) would
+// encode a length prefix far above MaxFrameBytes.
+func Handoff(r io.Reader) io.Reader {
+	return &handoffReader{r: r}
+}
+
+type handoffReader struct {
+	r      io.Reader
+	inBody bool
+}
+
+func (h *handoffReader) Read(p []byte) (int, error) {
+	n, err := h.r.Read(p)
+	if h.inBody || n == 0 {
+		return n, err
+	}
+	skip := 0
+	for skip < n {
+		switch p[skip] {
+		case ' ', '\t', '\n', '\r':
+			skip++
+		default:
+			h.inBody = true
+			copy(p, p[skip:n])
+			return n - skip, err
+		}
+	}
+	// The whole read was handshake whitespace; report progress as a
+	// zero-byte read only if the stream ended, otherwise read again.
+	if err != nil {
+		return 0, err
+	}
+	return h.Read(p)
+}
+
+// ErrTruncated reports whether a ReadFrame error was caused by the
+// stream ending inside a frame (as opposed to a corrupt or oversized
+// one) — a worker crash mid-write looks like this, and coordinators
+// treat it exactly like a connection error.
+func ErrTruncated(err error) bool {
+	return errors.Is(err, io.ErrUnexpectedEOF)
+}

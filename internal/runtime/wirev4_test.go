@@ -1,0 +1,304 @@
+package runtime
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fedgpo/internal/fl"
+)
+
+// pipeSession wires a coordinator-side Conn to a worker goroutine over
+// in-process pipes, returning the established Conn and a wait func
+// that joins the worker and returns its ServeSession error.
+func pipeSession(t *testing.T, opt WorkerOptions, run func(key string, spec json.RawMessage) Result) (Conn, func() error) {
+	t.Helper()
+	cr, ww := io.Pipe() // worker writes -> coordinator reads
+	wr, cw := io.Pipe() // coordinator writes -> worker reads
+	errc := make(chan error, 1)
+	go func() {
+		err := ServeSession(wr, ww, run, opt)
+		_ = ww.Close()
+		errc <- err
+	}()
+	conn, err := newWireConn(cr, cw, 0, func() error { return cw.Close() })
+	if err != nil {
+		t.Fatalf("newWireConn: %v", err)
+	}
+	return conn, func() error {
+		_ = cw.Close()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(5 * time.Second):
+			return io.ErrNoProgress
+		}
+	}
+}
+
+func echoRun(key string, spec json.RawMessage) Result {
+	var s stubSpec
+	if err := json.Unmarshal(spec, &s); err != nil {
+		return Result{Key: key, Err: err.Error()}
+	}
+	return Result{Key: key, Sim: fl.Result{PPW: s.PPW}}
+}
+
+// Two current-generation peers must negotiate protocol v4: the session
+// surfaces as a BatchConn, a request envelope of several specs comes
+// back as one streamed response frame per spec in request order, and
+// the byte meters see traffic both ways (handshake included).
+func TestWireSessionNegotiatesV4(t *testing.T) {
+	conn, wait := pipeSession(t, WorkerOptions{Capacity: 2}, echoRun)
+	defer conn.Close()
+	bc, ok := conn.(BatchConn)
+	if !ok {
+		t.Fatalf("negotiated session is %T, want a BatchConn (protocol %d)", conn, ProtoV4)
+	}
+	if h := conn.Hello(); h.Proto != ProtoV3 || h.MaxProto != ProtoVersion || h.Capacity != 2 {
+		t.Errorf("hello = %+v, want baseline proto %d with maxProto %d, capacity 2", h, ProtoV3, ProtoVersion)
+	}
+
+	jobs := specJobs(5)
+	reqs := make([]WireRequest, len(jobs))
+	for i, j := range jobs {
+		reqs[i] = WireRequest{Key: j.Key(), Spec: j.Payload}
+	}
+	if err := bc.SendBatch(reqs); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	for i := range reqs {
+		resps, err := bc.RecvBatch()
+		if err != nil {
+			t.Fatalf("RecvBatch %d: %v", i, err)
+		}
+		// serveBatches answers each spec the moment it finishes, so a
+		// 5-spec request envelope yields 5 single-response frames.
+		if len(resps) != 1 {
+			t.Fatalf("frame %d carried %d responses, want 1 (streamed per spec)", i, len(resps))
+		}
+		if resps[0].Key != reqs[i].Key {
+			t.Errorf("frame %d answered %q, want %q (request order)", i, resps[0].Key, reqs[i].Key)
+		}
+		if resps[0].Result.Sim.PPW != float64(i) {
+			t.Errorf("frame %d PPW = %v, want %v", i, resps[0].Result.Sim.PPW, float64(i))
+		}
+	}
+
+	ws, ok := conn.(WireStatser)
+	if !ok {
+		t.Fatal("v4 session does not meter wire bytes")
+	}
+	sent, recv := ws.WireStats()
+	if sent <= 0 || recv <= 0 {
+		t.Errorf("WireStats = (%d, %d), want both positive after a batch", sent, recv)
+	}
+	if err := wait(); err != nil {
+		t.Errorf("worker session: %v", err)
+	}
+}
+
+// A worker capped at protocol v3 (a pre-v4 build) must fall back to
+// the newline-delimited JSON framing: no BatchConn, one spec per
+// frame, and the session still round-trips work correctly.
+func TestWireSessionV3Fallback(t *testing.T) {
+	conn, wait := pipeSession(t, WorkerOptions{Capacity: 1, MaxProto: ProtoV3}, echoRun)
+	defer conn.Close()
+	if _, ok := conn.(BatchConn); ok {
+		t.Fatalf("v3-capped worker negotiated a BatchConn; want the JSON fallback")
+	}
+	if h := conn.Hello(); h.MaxProto != ProtoV3 {
+		t.Errorf("hello.MaxProto = %d, want %d", h.MaxProto, ProtoV3)
+	}
+	jobs := specJobs(3)
+	for i, j := range jobs {
+		if err := conn.Send(WireRequest{Key: j.Key(), Spec: j.Payload}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+		resp, err := conn.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if resp.Key != j.Key() || resp.Result.Sim.PPW != float64(i) {
+			t.Errorf("job %d = %+v, want key %q PPW %v", i, resp, j.Key(), float64(i))
+		}
+	}
+	if err := wait(); err != nil {
+		t.Errorf("worker session: %v", err)
+	}
+}
+
+// tcpServeV3 starts a localhost worker whose sessions are capped at
+// protocol v3 — a stand-in for a pre-v4 worker build in the fleet.
+func tcpServeV3(t *testing.T, capacity int) (addr string, shutdown func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(nc net.Conn) {
+				defer wg.Done()
+				defer nc.Close()
+				_ = ServeSession(nc, nc, echoRun, WorkerOptions{Capacity: capacity, MaxProto: ProtoV3})
+			}(nc)
+		}
+	}()
+	return lis.Addr().String(), func() {
+		_ = lis.Close()
+		wg.Wait()
+	}
+}
+
+// A mixed-version fleet — one endpoint negotiating the v3 JSON
+// fallback beside a v4 endpoint batching binary frames — must produce
+// results identical to the in-process pool, with per-endpoint
+// accounting that reflects each session's negotiated framing: the v3
+// endpoint moves exactly one spec per frame while the whole fleet's
+// dispatch, frame and spec counters reconcile with the batch.
+func TestMixedVersionFleetByteIdenticalResults(t *testing.T) {
+	v3Addr, v3Shutdown := tcpServeV3(t, 2)
+	defer v3Shutdown()
+	v4Addr, v4Shutdown := tcpServe(t, 2, "")
+
+	jobs := specJobs(24)
+	want := NewPoolBackend(4).Run(jobs, nil)
+
+	c := NewProcBackend(ProcConfig{Workers: []string{v3Addr, v4Addr}})
+	results := c.Run(jobs, nil)
+	for i := range want {
+		if results[i].Err != want[i].Err || results[i].Sim.PPW != want[i].Sim.PPW {
+			t.Errorf("job %d on mixed fleet = %+v, want %+v", i, results[i], want[i])
+		}
+	}
+
+	var dispatched, frames, specs int64
+	for _, ep := range c.EndpointStats() {
+		dispatched += ep.Dispatched
+		frames += ep.Frames
+		specs += ep.Specs
+		if ep.Retried != 0 || ep.Failed != 0 {
+			t.Errorf("endpoint %s: retried=%d failed=%d on a healthy fleet", ep.Endpoint, ep.Retried, ep.Failed)
+		}
+		if strings.Contains(ep.Endpoint, v3Addr) {
+			if ep.Frames != ep.Specs {
+				t.Errorf("v3 endpoint packed %d specs into %d frames; fallback must stay one spec per frame", ep.Specs, ep.Frames)
+			}
+			if ep.Dispatched == 0 {
+				t.Errorf("v3 endpoint dispatched nothing; fleet did not mix")
+			}
+		}
+		if ep.Dispatched > 0 && (ep.BytesSent <= 0 || ep.BytesRecv <= 0) {
+			t.Errorf("endpoint %s moved %d jobs but metered (%d, %d) bytes", ep.Endpoint, ep.Dispatched, ep.BytesSent, ep.BytesRecv)
+		}
+	}
+	if dispatched != int64(len(jobs)) || specs != int64(len(jobs)) {
+		t.Errorf("fleet dispatched %d jobs as %d specs, want %d of each", dispatched, specs, len(jobs))
+	}
+	if frames > specs {
+		t.Errorf("fleet sent %d frames for %d specs; frames cannot exceed specs", frames, specs)
+	}
+	if err := v4Shutdown(); err != nil {
+		t.Errorf("graceful drain: %v", err)
+	}
+}
+
+// When the v3-fallback endpoint of a mixed fleet dies mid-batch, the
+// v4 endpoint must absorb its jobs and the dead endpoint's retry and
+// failover counters must record the handoff.
+func TestMixedVersionFleetFailoverAccounting(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns sync.Map
+	answered := make(chan struct{}, 64)
+	go func() {
+		for {
+			nc, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			conns.Store(nc, struct{}{})
+			go func(nc net.Conn) {
+				_ = ServeSession(nc, nc, func(key string, spec json.RawMessage) Result {
+					answered <- struct{}{}
+					time.Sleep(10 * time.Millisecond)
+					return echoRun(key, spec)
+				}, WorkerOptions{Capacity: 1, MaxProto: ProtoV3})
+			}(nc)
+		}
+	}()
+
+	v4Addr, v4Shutdown := tcpServe(t, 1, "")
+	jobs := specJobs(12)
+	c := NewProcBackend(ProcConfig{Workers: []string{lis.Addr().String(), v4Addr}})
+	go func() {
+		<-answered
+		_ = lis.Close()
+		conns.Range(func(k, _ any) bool {
+			_ = k.(net.Conn).Close()
+			return true
+		})
+	}()
+	results := c.Run(jobs, nil)
+	for i, r := range results {
+		if r.Err != "" || r.Sim.PPW != float64(i) {
+			t.Errorf("job %d = %+v after v3 endpoint death", i, r)
+		}
+	}
+	flakyName := "tcp:" + lis.Addr().String()
+	for _, ep := range c.EndpointStats() {
+		if ep.Endpoint == flakyName {
+			if ep.Retried == 0 {
+				t.Errorf("dead v3 endpoint recorded no retry")
+			}
+			if ep.Failed == 0 {
+				t.Errorf("dead v3 endpoint recorded no failover handoff")
+			}
+		} else if ep.Failed != 0 {
+			t.Errorf("surviving endpoint %s recorded %d failed", ep.Endpoint, ep.Failed)
+		}
+	}
+	if err := v4Shutdown(); err != nil {
+		t.Errorf("graceful drain: %v", err)
+	}
+}
+
+// WireBytesPerCell must show the v4 framing costing fewer bytes per
+// cell than v3 even on minimal stub payloads (the 2x floor is gated in
+// CI over the bench's real sweep payloads, which compress far better),
+// and must reject an empty request set.
+func TestWireBytesPerCellMeters(t *testing.T) {
+	jobs := specJobs(16)
+	reqs := make([]WireRequest, len(jobs))
+	resps := make([]WireResponse, len(jobs))
+	for i, j := range jobs {
+		reqs[i] = WireRequest{Key: j.Key(), Spec: j.Payload}
+		resps[i] = WireResponse{Key: j.Key(), Result: Result{Key: j.Key(), Sim: fl.Result{PPW: float64(i)}}}
+	}
+	v3, v4, err := WireBytesPerCell(reqs, resps, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 <= 0 || v4 <= 0 {
+		t.Fatalf("WireBytesPerCell = (%v, %v), want positive", v3, v4)
+	}
+	if v4 >= v3 {
+		t.Errorf("v3 %.0f B/cell vs v4 %.0f B/cell; batched compressed framing must cost less", v3, v4)
+	}
+	if _, _, err := WireBytesPerCell(nil, nil, 8); err == nil {
+		t.Error("empty request set must error, not divide by zero")
+	}
+}

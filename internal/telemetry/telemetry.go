@@ -151,7 +151,25 @@ type Endpoint struct {
 	Dispatched int64     `json:"dispatched"`
 	Retried    int64     `json:"retried"`
 	Failed     int64     `json:"failed"`
-	Latency    Histogram `json:"latency"`
+	// BytesSent / BytesRecv are raw wire bytes through the endpoint's
+	// sessions, handshakes and framing included.
+	BytesSent int64 `json:"bytesSent,omitempty"`
+	BytesRecv int64 `json:"bytesRecv,omitempty"`
+	// Frames counts request frames; Specs counts the specs inside them.
+	// Specs/Frames is the realized batch density (1.0 on a v3 session,
+	// up to the coordinator's fair-share batch on v4).
+	Frames  int64     `json:"frames,omitempty"`
+	Specs   int64     `json:"specs,omitempty"`
+	Latency Histogram `json:"latency"`
+}
+
+// EndpointCounts carries one endpoint's coordinator-authoritative
+// dispatch counters into SetEndpointCounts — everything in Endpoint
+// except the name and the latency histogram.
+type EndpointCounts struct {
+	Dispatched, Retried, Failed int64
+	BytesSent, BytesRecv        int64
+	Frames, Specs               int64
 }
 
 // Metrics is one serializable telemetry snapshot: what the CLIs write
@@ -173,18 +191,25 @@ func (m Metrics) Empty() bool {
 // creating the entry if needed — used when folding the coordinator's
 // authoritative EndpointStats into a snapshot so the metrics artifact
 // always reconciles with Executor.Stats.
-func (m *Metrics) SetEndpointCounts(name string, dispatched, retried, failed int64) {
+func (m *Metrics) SetEndpointCounts(name string, c EndpointCounts) {
+	set := func(ep *Endpoint) {
+		ep.Dispatched = c.Dispatched
+		ep.Retried = c.Retried
+		ep.Failed = c.Failed
+		ep.BytesSent = c.BytesSent
+		ep.BytesRecv = c.BytesRecv
+		ep.Frames = c.Frames
+		ep.Specs = c.Specs
+	}
 	for i := range m.Endpoints {
 		if m.Endpoints[i].Endpoint == name {
-			m.Endpoints[i].Dispatched = dispatched
-			m.Endpoints[i].Retried = retried
-			m.Endpoints[i].Failed = failed
+			set(&m.Endpoints[i])
 			return
 		}
 	}
-	m.Endpoints = append(m.Endpoints, Endpoint{
-		Endpoint: name, Dispatched: dispatched, Retried: retried, Failed: failed,
-	})
+	ep := Endpoint{Endpoint: name}
+	set(&ep)
+	m.Endpoints = append(m.Endpoints, ep)
 	sort.Slice(m.Endpoints, func(i, j int) bool {
 		return m.Endpoints[i].Endpoint < m.Endpoints[j].Endpoint
 	})
@@ -211,10 +236,21 @@ func (m Metrics) Summary() string {
 		b.WriteByte('\n')
 	}
 	for _, ep := range m.Endpoints {
-		fmt.Fprintf(&b, "  endpoint %s: %d dispatched, %d retried, %d failed, mean dispatch latency %.1fms\n",
-			ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed, 1000*ep.Latency.MeanSeconds())
+		fmt.Fprintf(&b, "  endpoint %s: %d dispatched, %d retried, %d failed, mean dispatch latency %.1fms%s\n",
+			ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed, 1000*ep.Latency.MeanSeconds(), ep.wireSummary())
 	}
 	return b.String()
+}
+
+// wireSummary renders the wire-level counters as a summary-line
+// suffix, empty when the endpoint moved no frames (an in-process pool
+// has no wire).
+func (ep Endpoint) wireSummary() string {
+	if ep.Frames == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d frames (%.1f specs/frame), %d B sent / %d B recv",
+		ep.Frames, float64(ep.Specs)/float64(ep.Frames), ep.BytesSent, ep.BytesRecv)
 }
 
 // Collector accumulates a Metrics snapshot. It is safe for concurrent
@@ -308,6 +344,10 @@ func (c *Collector) Add(m Metrics) {
 		ep.Dispatched += mep.Dispatched
 		ep.Retried += mep.Retried
 		ep.Failed += mep.Failed
+		ep.BytesSent += mep.BytesSent
+		ep.BytesRecv += mep.BytesRecv
+		ep.Frames += mep.Frames
+		ep.Specs += mep.Specs
 		ep.Latency.merge(mep.Latency)
 	}
 	c.mu.Unlock()

@@ -77,11 +77,15 @@ func TestHistogramBuckets(t *testing.T) {
 
 func TestSetEndpointCounts(t *testing.T) {
 	var m Metrics
-	m.SetEndpointCounts("tcp:b", 5, 1, 0)
-	m.SetEndpointCounts("tcp:a", 3, 0, 1)
-	m.SetEndpointCounts("tcp:b", 6, 1, 0) // overwrite, not append
+	m.SetEndpointCounts("tcp:b", EndpointCounts{Dispatched: 5, Retried: 1})
+	m.SetEndpointCounts("tcp:a", EndpointCounts{Dispatched: 3, Failed: 1})
+	// Overwrite, not append; wire counters land too.
+	m.SetEndpointCounts("tcp:b", EndpointCounts{Dispatched: 6, Retried: 1, BytesSent: 100, BytesRecv: 200, Frames: 2, Specs: 6})
 	if len(m.Endpoints) != 2 || m.Endpoints[0].Endpoint != "tcp:a" || m.Endpoints[1].Dispatched != 6 {
 		t.Fatalf("endpoints = %+v", m.Endpoints)
+	}
+	if ep := m.Endpoints[1]; ep.BytesSent != 100 || ep.BytesRecv != 200 || ep.Frames != 2 || ep.Specs != 6 {
+		t.Fatalf("wire counters lost: %+v", ep)
 	}
 }
 
