@@ -12,8 +12,10 @@
 package fedgpo
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	stdruntime "runtime"
 	"strconv"
@@ -204,6 +206,13 @@ func BenchmarkAblation_ColdStart(b *testing.B) {
 //   - results_rss_bytes: the in-memory retention of recording the
 //     sweep's results in a buffered store — the bytes the streaming
 //     JSONL store keeps off the heap.
+//   - fleet_pretrain_runs / fleet_scenarios / affinity_hit_rate: a
+//     cold 2-endpoint fleet sweep of warm-FedGPO cells over S
+//     scenarios must execute exactly S Q-table warm-ups fleet-wide —
+//     the affinity router co-locates each scenario's cells, the
+//     per-process singleflight dedups within an endpoint, and wire v5
+//     ships the snapshot to any cell scheduled elsewhere. CI gates
+//     fleet_pretrain_runs == fleet_scenarios.
 //
 // With BENCH_JSON=<path> in the environment the reported metrics are
 // additionally written as a JSON artifact so CI can gate on the bench
@@ -275,6 +284,88 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		store.Add(results...)
 		return v3, v4, float64(store.RetainedBytes())
 	}
+	// fleetReuse runs a cold warm-FedGPO sweep over S scenarios against
+	// a 2-endpoint localhost fleet and reports how many Q-table
+	// warm-ups the whole fleet executed plus the router's hit rate.
+	fleetReuse := func() (pretrainRuns, scenarios, hitRate float64) {
+		w := workload.CNNMNIST()
+		build := func(f func(workload.Workload) exp.ScenarioSpec) exp.ScenarioSpec {
+			sc := f(w)
+			sc.Fleet.Size = 20
+			sc.MaxRounds = 60
+			return sc
+		}
+		scens := []exp.ScenarioSpec{build(exp.Ideal), build(exp.Realistic), build(exp.RealisticNonIID)}
+		var specs []exp.JobSpec
+		for _, sc := range scens {
+			for seed := int64(1); seed <= 4; seed++ {
+				specs = append(specs, exp.JobSpec{
+					Kind: exp.KindSim, Scenario: sc,
+					Contender: exp.FedGPOWarmContender(sc), Seed: seed,
+				})
+			}
+		}
+		var addrs []string
+		var shutdowns []func()
+		for i := 0; i < 2; i++ {
+			wrt, err := exp.NewRuntime(1, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			errc := make(chan error, 1)
+			go func() {
+				errc <- runtime.Serve(ctx, lis, runtime.ServeConfig{
+					Capacity: 2,
+					Run: func(key string, spec json.RawMessage) runtime.Result {
+						sp, err := exp.DecodeJobSpec(spec)
+						if err != nil {
+							return runtime.Result{Key: key, Err: err.Error()}
+						}
+						return wrt.RunJob(wrt.Job(sp))
+					},
+					SetInner: wrt.SetInnerParallel,
+					Install:  wrt.InstallSnapshot,
+				})
+			}()
+			addrs = append(addrs, lis.Addr().String())
+			shutdowns = append(shutdowns, func() {
+				cancel()
+				if err := <-errc; err != nil {
+					b.Error(err)
+				}
+			})
+		}
+		cache, err := runtime.NewCache("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := exp.NewRuntimeWithBackend(runtime.NewProcBackend(runtime.ProcConfig{
+			Workers: addrs,
+		}), cache)
+		for _, r := range rt.RunSpecs(specs) {
+			if r.Err != "" {
+				b.Fatal(r.Err)
+			}
+		}
+		for _, stop := range shutdowns {
+			stop()
+		}
+		m := rt.Metrics()
+		var hits, placed int64
+		for _, ep := range m.Endpoints {
+			hits += ep.AffinityHits
+			placed += ep.AffinityHits + ep.AffinityMisses
+		}
+		if placed > 0 {
+			hitRate = float64(hits) / float64(placed)
+		}
+		return float64(m.Counters.PretrainRuns), float64(len(scens)), hitRate
+	}
 	cores := stdruntime.GOMAXPROCS(0)
 	var serial, parallel, innerOn, figTime, cold, warm time.Duration
 	warmups := 0
@@ -294,7 +385,11 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		warm += cached(dir)
 	}
 	v3Bytes, v4Bytes, rssBytes := wireAndStore()
+	fleetRuns, fleetScens, hitRate := fleetReuse()
 	metrics := map[string]float64{
+		"fleet_pretrain_runs":    fleetRuns,
+		"fleet_scenarios":        fleetScens,
+		"affinity_hit_rate":      hitRate,
 		"speedup_x":              serial.Seconds() / parallel.Seconds(),
 		"inner_speedup_x":        serial.Seconds() / innerOn.Seconds(),
 		"fig11_seconds":          figTime.Seconds() / float64(b.N),

@@ -20,6 +20,13 @@
 // fine — the coordinator persists those results itself. The worker
 // never prunes the cache; eviction is the coordinator's startup job.
 //
+// Under protocol v5 the worker also participates in fleet-wide
+// pretrain-snapshot reuse: a cell that builds a fresh
+// pretrained-controller snapshot returns the serialized artifact with
+// its response, and coordinator-pushed artifacts (WireRequest.Snaps)
+// are installed into the pool's pretrain cache so co-scheduled warm
+// cells deserialize instead of re-running the warm-up.
+//
 // With the default -inner-parallel=-1 the worker follows the
 // coordinator's wire-forwarded per-job inner budget (small batches on
 // big machines fan their per-round participant modeling out inside the
@@ -122,6 +129,7 @@ func main() {
 			CacheDir: *cachedir,
 			Run:      run,
 			SetInner: setInner,
+			Install:  rt.InstallSnapshot,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "fedgpo-worker: "+format+"\n", args...)
 			},
@@ -138,6 +146,7 @@ func main() {
 		Capacity: 1,
 		CacheDir: *cachedir,
 		SetInner: setInner,
+		Install:  rt.InstallSnapshot,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedgpo-worker:", err)

@@ -53,6 +53,11 @@ type RuntimeFlags struct {
 	Workers string
 	// WorkerBin overrides the fedgpo-worker binary location.
 	WorkerBin string
+	// Route selects the procs-backend dispatch policy: "affinity"
+	// (capacity-weighted pretrain-key routing with work-stealing
+	// fallback, the default) or "pull" (pure pull-order work queue).
+	// Results are byte-identical either way.
+	Route string
 	// ListScenarios requests the scenario-preset listing and exit.
 	ListScenarios bool
 	// MetricsOut, when set, writes the runtime's telemetry snapshot
@@ -79,6 +84,8 @@ func Register(fs *flag.FlagSet) *RuntimeFlags {
 		"comma-separated host:port TCP worker pools (fedgpo-worker -listen) to dispatch cells to; implies -backend=procs, mixable with local -procs")
 	fs.StringVar(&f.WorkerBin, "worker-bin", "",
 		"fedgpo-worker binary for -backend=procs (default: next to this binary, then $PATH)")
+	fs.StringVar(&f.Route, "route", "affinity",
+		"procs-backend dispatch policy: affinity (group cells by pretrain key onto capacity-weighted endpoints, steal to drain stragglers) or pull (pure pull-order queue); results are byte-identical either way")
 	fs.BoolVar(&f.ListScenarios, "list-scenarios", false,
 		"print the scenario presets and their resolved spec JSON, then exit")
 	fs.StringVar(&f.MetricsOut, "metrics-out", "",
@@ -110,6 +117,11 @@ func (f *RuntimeFlags) HandleListScenarios(w io.Writer) bool {
 // cache (pruned to the byte budget), execution backend, and inner
 // worker budget.
 func (f *RuntimeFlags) Runtime() (*exp.Runtime, error) {
+	switch f.Route {
+	case "", "affinity", "pull":
+	default:
+		return nil, fmt.Errorf("cli: unknown -route %q (valid: affinity, pull)", f.Route)
+	}
 	cache, err := runtime.NewCache(f.CacheDir)
 	if err != nil {
 		return nil, err
@@ -154,6 +166,7 @@ func (f *RuntimeFlags) Runtime() (*exp.Runtime, error) {
 			Workers:       remotes,
 			CacheDir:      f.CacheDir,
 			InnerParallel: f.InnerParallel,
+			Route:         f.Route,
 		})
 	default:
 		return nil, fmt.Errorf("cli: unknown backend %q (valid: %s, %s)", f.Backend, BackendPool, BackendProcs)
@@ -191,13 +204,26 @@ func (f *RuntimeFlags) WriteMetrics(rt *exp.Runtime) error {
 // EndpointLine renders one endpoint's dispatch summary for the CLIs'
 // -v output — counters first, then the wire-level view (request
 // frames, realized batch density, raw bytes both ways) when the
-// endpoint actually moved frames.
+// endpoint actually moved frames, then the scheduling view (affinity
+// hit rate, stolen jobs, snapshot bytes pushed) when the affinity
+// router made any placement decision there. Endpoints print in
+// EndpointStats order, which is sorted by name — the same deterministic
+// ordering both -v summaries share.
 func EndpointLine(ep runtime.EndpointStats) string {
 	line := fmt.Sprintf("  endpoint %s: %d dispatched, %d retried, %d failed",
 		ep.Endpoint, ep.Dispatched, ep.Retried, ep.Failed)
 	if ep.Frames > 0 {
 		line += fmt.Sprintf(", %d frames (%.1f specs/frame), %d B sent / %d B recv",
 			ep.Frames, float64(ep.Specs)/float64(ep.Frames), ep.BytesSent, ep.BytesRecv)
+	}
+	if placed := ep.AffinityHits + ep.AffinityMisses; placed > 0 {
+		line += fmt.Sprintf(", %d/%d affinity hits", ep.AffinityHits, placed)
+		if ep.Stolen > 0 {
+			line += fmt.Sprintf(" (%d stolen)", ep.Stolen)
+		}
+	}
+	if ep.SnapBytesSent > 0 {
+		line += fmt.Sprintf(", %d B snaps pushed", ep.SnapBytesSent)
 	}
 	return line + "\n"
 }

@@ -189,3 +189,62 @@ func TestRuntimeBuildsProcs(t *testing.T) {
 		t.Errorf("procs runtime with -parallel 3 got %d workers, want 3", rt.Workers())
 	}
 }
+
+// -route defaults to affinity, accepts pull, and anything else is
+// rejected before the runtime is built.
+func TestRouteFlagParsesAndValidates(t *testing.T) {
+	if f := parse(t); f.Route != "affinity" {
+		t.Errorf("route default = %q, want affinity", f.Route)
+	}
+	for _, route := range []string{"affinity", "pull"} {
+		rt, err := parse(t, "-route", route, "-workers", "127.0.0.1:9331").Runtime()
+		if err != nil {
+			t.Fatalf("-route=%s rejected: %v", route, err)
+		}
+		_ = rt
+	}
+	if _, err := parse(t, "-route", "random").Runtime(); err == nil ||
+		!strings.Contains(err.Error(), `unknown -route "random"`) {
+		t.Errorf("-route=random error = %v, want unknown -route", err)
+	}
+}
+
+// EndpointLine appends the scheduling view — affinity hit rate, stolen
+// jobs, pushed snapshot bytes — only when the router actually placed
+// work there, so pull-route and pool-backend summaries are unchanged.
+func TestEndpointLineSchedulingColumns(t *testing.T) {
+	base := runtime.EndpointStats{Endpoint: "tcp:10.0.0.5:9331", Dispatched: 12, Retried: 1}
+	if line := EndpointLine(base); strings.Contains(line, "affinity") || strings.Contains(line, "snaps") {
+		t.Errorf("idle scheduling columns leaked into %q", line)
+	}
+	ep := base
+	ep.AffinityHits, ep.AffinityMisses, ep.Stolen, ep.SnapBytesSent = 9, 3, 2, 4096
+	line := EndpointLine(ep)
+	for _, want := range []string{"9/12 affinity hits", "(2 stolen)", "4096 B snaps pushed"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("EndpointLine = %q, missing %q", line, want)
+		}
+	}
+	// No steals -> no parenthetical.
+	ep.Stolen = 0
+	if line := EndpointLine(ep); strings.Contains(line, "stolen") {
+		t.Errorf("EndpointLine = %q, stray stolen column", line)
+	}
+}
+
+// Both -v summaries print the fleet in EndpointStats order, which the
+// coordinator sorts by name — so two runs over the same fleet list
+// endpoints identically regardless of dispatch timing.
+func TestEndpointOrderingDeterministic(t *testing.T) {
+	rt, err := parse(t, "-workers", "127.0.0.1:9332,127.0.0.1:9331").Runtime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := rt.Stats().Endpoints
+	if len(eps) != 2 {
+		t.Fatalf("endpoints = %d, want 2", len(eps))
+	}
+	if eps[0].Endpoint > eps[1].Endpoint {
+		t.Errorf("endpoint stats not sorted by name: %q before %q", eps[0].Endpoint, eps[1].Endpoint)
+	}
+}

@@ -167,6 +167,7 @@ func startWorkerPool(t *testing.T, capacity int, cacheDir string) (string, func(
 				return wrt.RunJob(job)
 			},
 			SetInner: wrt.SetInnerParallel,
+			Install:  wrt.InstallSnapshot,
 		})
 	}()
 	return lis.Addr().String(), func() {
@@ -321,6 +322,84 @@ func TestProcsBackendMatchesPoolAcrossRegistry(t *testing.T) {
 		if pool != procs {
 			t.Errorf("%s: procs backend output differs from pool backend:\n--- pool ---\n%s--- procs ---\n%s",
 				e.ID, pool, procs)
+		}
+	}
+}
+
+// The fleet-wide pretrain-reuse guarantee, end to end: a cold sweep of
+// warm-FedGPO cells over S scenarios against a 2-endpoint fleet
+// executes exactly S Q-table warm-ups across the whole fleet — the
+// affinity router co-locates each scenario's cells on one pool, the
+// per-process singleflight dedups within it, and any cell that still
+// lands elsewhere receives the shipped snapshot instead of re-warming.
+// The scheduling machinery must not leak into result bytes: every cell
+// matches the in-process pool backend exactly.
+func TestFleetWideExactlyOnePretrainPerScenario(t *testing.T) {
+	w := workload.CNNMNIST()
+	opts := Options{FleetSize: 20, MaxRounds: 60}
+	scens := []ScenarioSpec{opts.apply(Ideal(w)), opts.apply(Realistic(w))}
+	var specs []JobSpec
+	for _, s := range scens {
+		for _, seed := range []int64{1, 2, 3} {
+			specs = append(specs, simSpec(s, fedgpoWarmContender(s), seed))
+		}
+	}
+
+	a1, stop1 := startWorkerPool(t, 2, t.TempDir())
+	defer stop1()
+	a2, stop2 := startWorkerPool(t, 2, t.TempDir())
+	defer stop2()
+	memCache, err := runtime.NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRuntimeWithBackend(runtime.NewProcBackend(runtime.ProcConfig{
+		Workers: []string{a1, a2},
+	}), memCache)
+	res := rt.RunSpecs(specs)
+	for i, r := range res {
+		if r.Err != "" {
+			t.Fatalf("spec %d failed: %s", i, r.Err)
+		}
+	}
+
+	m := rt.Metrics()
+	if got, want := m.Counters.PretrainRuns, int64(len(scens)); got != want {
+		t.Errorf("fleet executed %d pretrain warm-ups for %d scenarios, want exactly one per scenario",
+			got, want)
+	}
+	var placed int64
+	for _, ep := range m.Endpoints {
+		placed += ep.AffinityHits + ep.AffinityMisses
+	}
+	if placed != int64(len(specs)) {
+		t.Errorf("affinity router accounted for %d placements, want %d", placed, len(specs))
+	}
+	// Every scenario's snapshot came home with its builder's response:
+	// the coordinator pooled it for pre-pushing and persisted it.
+	for _, s := range scens {
+		key := affinityKey(simSpec(s, fedgpoWarmContender(s), 1))
+		if key == "" {
+			t.Fatal("warm FedGPO spec has no affinity key")
+		}
+		var raw json.RawMessage
+		if !memCache.Get(key, &raw) || len(raw) == 0 {
+			t.Errorf("coordinator cache missing shipped pretrain snapshot %q", key)
+		}
+	}
+
+	pool, err := NewRuntime(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range pool.RunSpecs(specs) {
+		a, b := res[i].Sim, pr.Sim
+		a.ControllerOverheadSec, b.ControllerOverheadSec = 0, 0
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Errorf("spec %d: fleet result differs from pool backend:\n--- fleet ---\n%s\n--- pool ---\n%s",
+				i, aj, bj)
 		}
 	}
 }

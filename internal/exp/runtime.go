@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sync"
@@ -55,6 +56,12 @@ type Runtime struct {
 	pretrainMu   sync.Mutex
 	pretrains    map[string]*pretrainEntry
 	pretrainRuns atomic.Int64
+	// builtSnaps holds the serialized artifacts of snapshots this
+	// process built from scratch, keyed by pretrain key and guarded by
+	// pretrainMu. Each artifact is taken exactly once, by the first
+	// finished job sharing the key (attachBuiltSnapshot), which carries
+	// it back to the coordinator over wire v5.
+	builtSnaps map[string]json.RawMessage
 }
 
 // pretrainEntry is one pretrain key's singleflight slot. A plain
@@ -107,6 +114,14 @@ func NewRuntimeWithBackend(b runtime.Backend, cache *runtime.Cache) *Runtime {
 	}); ok {
 		bc.SetCollector(r.col)
 	}
+	// A coordinator backend additionally gets the run cache so worker-
+	// returned pretrain snapshots (wire v5) persist under their own keys
+	// and re-ship fleet-wide.
+	if bc, ok := b.(interface {
+		SetCache(*runtime.Cache)
+	}); ok {
+		bc.SetCache(cache)
+	}
 	// Under the adaptive split the inner budget is retuned per batch
 	// from the number of cells actually dispatched — cache hits don't
 	// occupy workers, so a warm batch with one invalidated cell gets
@@ -148,6 +163,8 @@ func (r *Runtime) Metrics() telemetry.Metrics {
 			Dispatched: ep.Dispatched, Retried: ep.Retried, Failed: ep.Failed,
 			BytesSent: ep.BytesSent, BytesRecv: ep.BytesRecv,
 			Frames: ep.Frames, Specs: ep.Specs,
+			AffinityHits: ep.AffinityHits, AffinityMisses: ep.AffinityMisses,
+			Stolen: ep.Stolen, SnapBytesSent: ep.SnapBytesSent,
 		})
 	}
 	return m
@@ -263,6 +280,19 @@ func (r *Runtime) pretrainedSnapshot(s ScenarioSpec, cfg core.Config, warmSeed i
 			snap := core.PretrainSnapshot(cfg, warmCfg)
 			r.pretrainRuns.Add(1)
 			_ = r.cache.Put(key, snap)
+			// Keep the serialized artifact so the first finished job
+			// sharing this key can carry it to the coordinator (wire v5)
+			// for fleet-wide reuse. The bytes match the cache payload
+			// exactly, so a coordinator persisting them writes the entry
+			// this process would have.
+			if data, err := json.Marshal(snap); err == nil {
+				r.pretrainMu.Lock()
+				if r.builtSnaps == nil {
+					r.builtSnaps = make(map[string]json.RawMessage)
+				}
+				r.builtSnaps[key] = data
+				r.pretrainMu.Unlock()
+			}
 			var cached core.Snapshot
 			if r.cache.Get(key, &cached) {
 				e.snap = cached
@@ -276,6 +306,65 @@ func (r *Runtime) pretrainedSnapshot(s ScenarioSpec, cfg core.Config, warmSeed i
 	}
 	e.done = true
 	return e.snap
+}
+
+// attachBuiltSnapshot moves a freshly built pretrain artifact onto the
+// first finished result that shares its affinity key — taken exactly
+// once, so the artifact crosses the wire a single time no matter how
+// many sibling cells follow. The carrying result also counts the
+// warm-up in its per-job telemetry (Counters.PretrainRuns), which the
+// coordinator folds fleet-wide: a cold sweep's counter equals the
+// number of warm-ups that actually executed anywhere in the fleet.
+func (r *Runtime) attachBuiltSnapshot(sp JobSpec, res *runtime.Result) {
+	key := affinityKey(sp)
+	if key == "" {
+		return
+	}
+	r.pretrainMu.Lock()
+	data, ok := r.builtSnaps[key]
+	if ok {
+		delete(r.builtSnaps, key)
+	}
+	r.pretrainMu.Unlock()
+	if !ok {
+		return
+	}
+	res.Snaps = append(res.Snaps, runtime.SnapshotArtifact{Key: key, Data: data})
+	if res.Telemetry == nil {
+		res.Telemetry = &telemetry.Metrics{}
+	}
+	res.Telemetry.Counters.PretrainRuns++
+}
+
+// InstallSnapshot installs a coordinator-shipped pretrained-controller
+// artifact (wire v5, WireRequest.Snaps) into this runtime's pretrain
+// singleflight and run cache, so a cell needing key deserializes it
+// instead of re-running the warm-up. An entry this process already
+// resolved wins — the shipped copy is byte-identical by construction,
+// so skipping it changes nothing.
+func (r *Runtime) InstallSnapshot(key string, data json.RawMessage) error {
+	var snap core.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("exp: installing snapshot %q: %w", key, err)
+	}
+	r.pretrainMu.Lock()
+	e, ok := r.pretrains[key]
+	if !ok {
+		e = &pretrainEntry{}
+		r.pretrains[key] = e
+	}
+	r.pretrainMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done || e.panicked != nil {
+		return nil
+	}
+	e.snap = snap
+	e.done = true
+	// Persist like a locally built snapshot would (best effort), so this
+	// process's cache directory serves future cold runs too.
+	_ = r.cache.Put(key, data)
+	return nil
 }
 
 // SetProgress installs a per-job progress callback.
@@ -316,6 +405,12 @@ type cell struct {
 	s ScenarioSpec
 	c ContenderSpec
 }
+
+// RunSpecs compiles a spec batch and executes it through the runtime's
+// executor, returning results in spec order — the programmatic entry
+// point behind the figure constructors, exposed for benches and
+// fleet-level tests.
+func (r *Runtime) RunSpecs(specs []JobSpec) []runtime.Result { return r.runSpecs(specs) }
 
 // runSpecs compiles a spec batch and executes it; see runAll.
 func (r *Runtime) runSpecs(specs []JobSpec) []runtime.Result {

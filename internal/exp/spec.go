@@ -280,7 +280,22 @@ func (r *Runtime) Job(sp JobSpec) runtime.Job {
 		Payload:    EncodeJobSpec(sp),
 		Run:        func() runtime.Result { return r.Execute(sp) },
 		ForceRun:   sp.Trace != "" && sp.traceable() && !r.hasTrace(sp),
+		Affinity:   affinityKey(sp),
 	}
+}
+
+// affinityKey returns the spec's scheduling-affinity hint: the
+// pretrained-controller snapshot key for warm FedGPO cells, "" for
+// every contender with no per-scenario warm-up to share. Cells with
+// equal keys co-located in one worker process warm up once
+// (pretrainedSnapshot singleflights per key per process). Advisory
+// only — it never enters the cache identity.
+func affinityKey(sp JobSpec) string {
+	c := sp.Contender
+	if c.Type != ContFedGPOWarm || c.Core == nil {
+		return ""
+	}
+	return pretrainKey(sp.Scenario, *c.Core, c.WarmSeed, c.WarmRounds)
 }
 
 // RunJob executes one compiled job through the runtime's executor —
@@ -300,18 +315,24 @@ func (r *Runtime) Execute(sp JobSpec) runtime.Result {
 	if err := sp.validate(); err != nil {
 		panic(err.Error())
 	}
+	var res runtime.Result
 	switch sp.Kind {
 	case KindSim:
-		return executeSim(r, sp)
+		res = executeSim(r, sp)
 	case KindQMem:
-		return executeQMem(r, sp)
+		res = executeQMem(r, sp)
 	case KindOracle:
-		return executeOracle(r, sp)
+		res = executeOracle(r, sp)
 	case KindSec54:
-		return executeSec54(r, sp)
+		res = executeSec54(r, sp)
 	default:
 		panic("exp: unknown job kind " + sp.Kind)
 	}
+	// If this job's warm-up built a fresh pretrain snapshot, the first
+	// result sharing its key carries the artifact out (wire v5 ships it
+	// fleet-wide). Observational only: Sim bytes are untouched.
+	r.attachBuiltSnapshot(sp, &res)
+	return res
 }
 
 // executeSim runs a plain simulation cell with per-job telemetry:
@@ -419,6 +440,14 @@ func staticContender(p fl.Params, label string) ContenderSpec {
 // amortized server-side infrastructure.
 func fedgpoWarmContender(s ScenarioSpec) ContenderSpec {
 	return fedgpoVariantContender(s, "FedGPO", nil)
+}
+
+// FedGPOWarmContender exposes the warm-started FedGPO contender to
+// external harnesses (the repo's benchmark suite) that assemble
+// explicit JobSpecs — the contender whose per-scenario warm-up the
+// affinity router co-locates and whose snapshot wire v5 ships.
+func FedGPOWarmContender(s ScenarioSpec) ContenderSpec {
+	return fedgpoWarmContender(s)
 }
 
 // fedgpoVariantContender builds a warm-started FedGPO contender with a

@@ -1,0 +1,416 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fedgpo/internal/fl"
+	"fedgpo/internal/telemetry"
+)
+
+// affJob builds a spec-carrying stub job tagged with a scheduling
+// affinity key.
+func affJob(i int, affinity string) Job {
+	j := stubJob(i, stubSpec{PPW: float64(i)})
+	j.Affinity = affinity
+	return j
+}
+
+// assignGroups is the placement kernel: capacity-weighted relative
+// load, lowest-index tiebreak, deterministic in its inputs.
+func TestAssignGroupsCapacityWeighted(t *testing.T) {
+	// Ten unit groups over capacities 4:1 split exactly 8:2.
+	unit := make([]int, 10)
+	for i := range unit {
+		unit[i] = 1
+	}
+	counts := [2]int{}
+	for _, home := range assignGroups(unit, []int{4, 1}) {
+		counts[home]++
+	}
+	if counts[0] != 8 || counts[1] != 2 {
+		t.Errorf("unit groups split %v over caps [4,1], want [8 2]", counts)
+	}
+
+	// LPT greedy over equal capacities: largest first, ties to the
+	// lowest index.
+	homes := assignGroups([]int{5, 3, 2, 2}, []int{2, 2})
+	if want := []int{0, 1, 1, 0}; !reflect.DeepEqual(homes, want) {
+		t.Errorf("homes = %v, want %v", homes, want)
+	}
+
+	// Degenerate capacities clamp to 1 instead of dividing by zero, and
+	// an empty fleet places everything on endpoint 0.
+	homes = assignGroups([]int{1, 1}, []int{0, -3})
+	if !reflect.DeepEqual(homes, []int{0, 1}) {
+		t.Errorf("clamped-capacity homes = %v, want [0 1]", homes)
+	}
+	if homes = assignGroups([]int{1}, nil); homes[0] != 0 {
+		t.Errorf("no-fleet home = %v, want 0", homes[0])
+	}
+}
+
+// A capacity-4 endpoint must absorb ~4x the cells of a capacity-1
+// sibling under affinity routing: placement is capacity-weighted
+// up front, and work stealing only rebalances what the weighting got
+// wrong. Responders sleep so throughput, not scheduling latency,
+// decides the split.
+func TestAffinityCapacityWeightedDispatch(t *testing.T) {
+	respond := func(_ int, req WireRequest) (WireResponse, error) {
+		time.Sleep(2 * time.Millisecond)
+		return okResponse(req)
+	}
+	big := newFakeTransport("fake:big", 4, respond)
+	small := newFakeTransport("fake:small", 1, respond)
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		jobs[i] = affJob(i, fmt.Sprintf("group-%02d", i))
+	}
+	c := NewCoordinator(ProcConfig{}, big, small)
+	for i, r := range c.Run(jobs, nil) {
+		if r.Err != "" {
+			t.Fatalf("job %d failed: %s", i, r.Err)
+		}
+	}
+	// EndpointStats sorts by name: "fake:big" first.
+	st := c.EndpointStats()
+	bigN, smallN := st[0].Dispatched, st[1].Dispatched
+	if bigN+smallN != int64(len(jobs)) {
+		t.Fatalf("dispatched %d+%d, want %d total", bigN, smallN, len(jobs))
+	}
+	// The static assignment is 16:4; stealing under timing jitter may
+	// shift a couple of groups, never the shape.
+	if bigN < 12 {
+		t.Errorf("capacity-4 endpoint ran %d of %d cells, want >= 12 (~4x its capacity-1 sibling's %d)",
+			bigN, len(jobs), smallN)
+	}
+	if hits, misses := st[0].AffinityHits+st[1].AffinityHits, st[0].AffinityMisses+st[1].AffinityMisses; hits+misses != int64(len(jobs)) {
+		t.Errorf("affinity tallies %d hits + %d misses, want %d placements", hits, misses, len(jobs))
+	}
+}
+
+// Cells sharing a pretrain key must run in one worker process: without
+// a shippable snapshot, a touched group is never split — whole-group
+// adoption is the only migration, and it keeps the group co-located.
+func TestAffinityCoLocatesGroups(t *testing.T) {
+	var mu sync.Mutex
+	ranOn := make(map[string]map[string]bool) // affinity key -> endpoints
+	byJobKey := make(map[string]string)       // job key -> affinity key
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = affJob(i, fmt.Sprintf("pretrain-%d", i/4))
+		byJobKey[jobs[i].Key()] = jobs[i].Affinity
+	}
+	respond := func(name string) func(int, WireRequest) (WireResponse, error) {
+		return func(_ int, req WireRequest) (WireResponse, error) {
+			mu.Lock()
+			a := byJobKey[req.Key]
+			if ranOn[a] == nil {
+				ranOn[a] = make(map[string]bool)
+			}
+			ranOn[a][name] = true
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			return okResponse(req)
+		}
+	}
+	c := NewCoordinator(ProcConfig{},
+		newFakeTransport("fake:a", 2, respond("a")),
+		newFakeTransport("fake:b", 2, respond("b")))
+	for i, r := range c.Run(jobs, nil) {
+		if r.Err != "" {
+			t.Fatalf("job %d failed: %s", i, r.Err)
+		}
+	}
+	for a, eps := range ranOn {
+		if len(eps) != 1 {
+			t.Errorf("group %s ran on %d endpoints (%v), want co-location on exactly 1", a, len(eps), eps)
+		}
+	}
+	var misses int64
+	for _, ep := range c.EndpointStats() {
+		misses += ep.AffinityMisses
+	}
+	if misses != 0 {
+		t.Errorf("%d affinity misses; with no shippable snapshots every cell must run at its group's home", misses)
+	}
+}
+
+// An idle endpoint must steal a straggler's untouched groups — whole,
+// so no warm-up is split — and no job may execute twice in the
+// process. The schedule is pinned by handshake rather than sleeps so
+// it holds under race-detector load: the straggler blocks inside its
+// first cell (its group is now touched) while the fast endpoint — which
+// may not finish anything before the straggler has started — drains
+// its own six cells, adopts the one untouched group, and only then
+// releases the straggler to finish its touched group.
+func TestAffinityStragglerGroupsStolenWithoutDoubleExecution(t *testing.T) {
+	slowStarted := make(chan struct{})
+	release := make(chan struct{})
+	var fastRan, slowRan int64
+	fast := newFakeTransport("fake:fast", 1, func(_ int, req WireRequest) (WireResponse, error) {
+		<-slowStarted
+		if atomic.AddInt64(&fastRan, 1) == 9 {
+			close(release)
+		}
+		return okResponse(req)
+	})
+	slow := newFakeTransport("fake:slow", 1, func(_ int, req WireRequest) (WireResponse, error) {
+		if atomic.AddInt64(&slowRan, 1) == 1 {
+			close(slowStarted)
+			<-release
+		}
+		return okResponse(req)
+	})
+	// Four 3-job groups over caps [1,1] place g0,g2 on fast and g1,g3
+	// on slow; fast drains its six cells, then adopts the untouched
+	// slow-homed group while slow is still inside its first. The two
+	// singles left in slow's touched group are snapshot-gated (no
+	// coordinator snapshot here), so fast cannot split that warm-up and
+	// the final dispatch split is exactly 9/3.
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		jobs[i] = affJob(i, fmt.Sprintf("g%d", i/3))
+	}
+	c := NewCoordinator(ProcConfig{}, fast, slow)
+	for i, r := range c.Run(jobs, nil) {
+		if r.Err != "" {
+			t.Fatalf("job %d failed: %s", i, r.Err)
+		}
+	}
+	for i := range jobs {
+		total := fast.sendCount(jobs[i].Key()) + slow.sendCount(jobs[i].Key())
+		if total != 1 {
+			t.Errorf("job %d executed %d times, want exactly once", i, total)
+		}
+	}
+	// EndpointStats sorts by name: "fake:fast" first, "fake:slow" second.
+	st := c.EndpointStats()
+	if st[0].Stolen != 3 {
+		t.Errorf("fast endpoint stole %d jobs, want the straggler's untouched 3-job group", st[0].Stolen)
+	}
+	if st[0].Dispatched != 9 || st[1].Dispatched != 3 {
+		t.Errorf("dispatch split %d/%d, want 9/3 (fast absorbed the untouched group)", st[0].Dispatched, st[1].Dispatched)
+	}
+}
+
+// Singles may only be stolen out of a touched group once the
+// coordinator holds the group's snapshot: the thief's request ships
+// it, so the stolen cell deserializes instead of re-warming. Until
+// then the would-be thief blocks; a snapshot arrival (wake) releases
+// it.
+func TestAffinityQueueSnapshotGatesSingleSteal(t *testing.T) {
+	var mu sync.Mutex
+	haveSnap := false
+	hasSnap := func(string) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return haveSnap
+	}
+	jobs := []Job{affJob(0, "k"), affJob(1, "k"), affJob(2, "k")}
+	q := newAffinityQueue(jobs, []int{0, 1, 2}, []int{1, 1}, hasSnap)
+
+	if i, ok := q.pop(0); !ok || jobs[i].Affinity != "k" {
+		t.Fatalf("home pop = (%d, %v), want a group job", i, ok)
+	}
+	got := make(chan int, 1)
+	go func() {
+		i, ok := q.pop(1)
+		if !ok {
+			i = -1
+		}
+		got <- i
+	}()
+	select {
+	case i := <-got:
+		t.Fatalf("endpoint 1 stole job %d from a touched group with no shippable snapshot", i)
+	case <-time.After(30 * time.Millisecond):
+	}
+	mu.Lock()
+	haveSnap = true
+	mu.Unlock()
+	q.wake()
+	select {
+	case i := <-got:
+		if i < 0 {
+			t.Fatal("pop returned done with jobs still queued")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("snapshot arrival did not release the blocked steal")
+	}
+	qs := q.stats(1)
+	if qs.stolen != 1 || qs.affinityMisses != 1 {
+		t.Errorf("thief tally = %+v, want 1 stolen / 1 miss", qs)
+	}
+}
+
+// -route=affinity and -route=pull must produce identical results on
+// the same fleet: routing changes placement, never bytes.
+func TestRouteAffinityAndPullByteIdentical(t *testing.T) {
+	build := func() []Job {
+		jobs := make([]Job, 12)
+		for i := range jobs {
+			a := ""
+			if i < 8 {
+				a = fmt.Sprintf("k%d", i/4)
+			}
+			jobs[i] = affJob(i, a)
+		}
+		return jobs
+	}
+	run := func(route string) []Result {
+		c := NewCoordinator(ProcConfig{Route: route},
+			newFakeTransport("fake:a", 2, func(_ int, req WireRequest) (WireResponse, error) { return okResponse(req) }),
+			newFakeTransport("fake:b", 1, func(_ int, req WireRequest) (WireResponse, error) { return okResponse(req) }))
+		return c.Run(build(), nil)
+	}
+	affinity, pull := run("affinity"), run("pull")
+	if !reflect.DeepEqual(affinity, pull) {
+		t.Errorf("routes diverged:\n--- affinity ---\n%+v\n--- pull ---\n%+v", affinity, pull)
+	}
+	// Pull-order keeps the PR 5 semantics: no affinity accounting at all.
+	c := NewCoordinator(ProcConfig{Route: "pull"},
+		newFakeTransport("fake:a", 2, func(_ int, req WireRequest) (WireResponse, error) { return okResponse(req) }))
+	c.Run(build(), nil)
+	for _, ep := range c.EndpointStats() {
+		if ep.AffinityHits != 0 || ep.AffinityMisses != 0 || ep.Stolen != 0 {
+			t.Errorf("pull route recorded scheduling tallies: %+v", ep)
+		}
+	}
+}
+
+// snapSpec is the snapshot-shipping TCP tests' job description.
+type snapSpec struct {
+	PPW float64 `json:"ppw"`
+	// Snap, when set, makes the worker return a freshly built snapshot
+	// artifact under that key with its response.
+	Snap string `json:"snap,omitempty"`
+}
+
+// snapJob builds a spec job whose worker-side execution may return a
+// snapshot artifact (snap != "").
+func snapJob(i int, affinity, snap string) Job {
+	payload, _ := json.Marshal(snapSpec{PPW: float64(i), Snap: snap})
+	return Job{
+		Kind:     "sim",
+		Scenario: fmt.Sprintf("snap-%d", i),
+		Seed:     int64(i),
+		Payload:  payload,
+		Affinity: affinity,
+	}
+}
+
+// snapArtifact is the deterministic payload the test worker "builds".
+var snapArtifact = json.RawMessage(`{"q":[1,2,3]}`)
+
+// tcpServeSnaps serves a capacity-1 worker pool that returns snapshot
+// artifacts on request and records every coordinator-pushed install.
+func tcpServeSnaps(t *testing.T, installs *sync.Map) (addr string, shutdown func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Serve(ctx, lis, ServeConfig{
+			Capacity: 1,
+			Install: func(key string, data json.RawMessage) error {
+				installs.Store(key, append(json.RawMessage(nil), data...))
+				return nil
+			},
+			Run: func(key string, spec json.RawMessage) Result {
+				var s snapSpec
+				if err := json.Unmarshal(spec, &s); err != nil {
+					return Result{Key: key, Err: err.Error()}
+				}
+				res := Result{Key: key, Sim: fl.Result{PPW: s.PPW}}
+				if s.Snap != "" {
+					res.Snaps = []SnapshotArtifact{{Key: s.Snap, Data: snapArtifact}}
+				}
+				return res
+			},
+		})
+	}()
+	return lis.Addr().String(), func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Errorf("snap pool drain: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("snap pool did not drain")
+		}
+	}
+}
+
+// Wire v5 end to end: a worker-built snapshot artifact returns with
+// its response, the coordinator pools and persists it under its own
+// cache key, and a later batch for the same affinity key pre-pushes
+// the artifact to a worker process not known to hold it — metered in
+// the endpoint stats and telemetry counters.
+func TestCoordinatorPoolsAndShipsSnapshots(t *testing.T) {
+	var installs sync.Map
+	addr, shutdown := tcpServeSnaps(t, &installs)
+	defer shutdown()
+
+	cache, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.NewCollector()
+	c := NewProcBackend(ProcConfig{Workers: []string{addr}})
+	c.SetCache(cache)
+	c.SetCollector(col)
+
+	// Batch 1: the job builds the snapshot; its response carries the
+	// artifact home.
+	res := c.Run([]Job{snapJob(0, "pretrain-k", "pretrain-k")}, nil)
+	if res[0].Err != "" {
+		t.Fatalf("builder job failed: %s", res[0].Err)
+	}
+	var raw json.RawMessage
+	if !cache.Get("pretrain-k", &raw) {
+		t.Fatal("worker-built snapshot not persisted to the coordinator cache")
+	}
+	if string(raw) != string(snapArtifact) {
+		t.Errorf("persisted artifact = %s, want the byte-identical worker payload %s", raw, snapArtifact)
+	}
+	if st := c.EndpointStats(); st[0].SnapBytesSent != 0 {
+		t.Errorf("coordinator pushed %d B before holding any artifact", st[0].SnapBytesSent)
+	}
+	if _, ok := installs.Load("pretrain-k"); ok {
+		t.Error("worker saw an install before the coordinator had anything to push")
+	}
+
+	// Batch 2: a fresh capacity-1 session means a fresh worker process
+	// as far as the coordinator knows — the request pre-pushes the
+	// pooled artifact.
+	res = c.Run([]Job{snapJob(1, "pretrain-k", "")}, nil)
+	if res[0].Err != "" {
+		t.Fatalf("consumer job failed: %s", res[0].Err)
+	}
+	data, ok := installs.Load("pretrain-k")
+	if !ok {
+		t.Fatal("coordinator did not pre-push the pooled snapshot to the next session")
+	}
+	if string(data.(json.RawMessage)) != string(snapArtifact) {
+		t.Errorf("installed artifact = %s, want %s", data, snapArtifact)
+	}
+	st := c.EndpointStats()
+	if st[0].SnapBytesSent != int64(len(snapArtifact)) {
+		t.Errorf("endpoint metered %d snapshot bytes, want %d", st[0].SnapBytesSent, len(snapArtifact))
+	}
+	if m := col.Snapshot(); m.Counters.SnapshotBytesShipped != int64(len(snapArtifact)) {
+		t.Errorf("counters.SnapshotBytesShipped = %d, want %d", m.Counters.SnapshotBytesShipped, len(snapArtifact))
+	}
+}

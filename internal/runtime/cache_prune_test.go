@@ -133,3 +133,62 @@ func TestStatsConsistentSnapshot(t *testing.T) {
 		t.Errorf("final stats %+v do not account for %d jobs", st, len(jobs)*2)
 	}
 }
+
+// Secondary artifacts — pretrain snapshots, decision traces — live in
+// the same directory under KeyFor-style keys and flow through the
+// hashed fast path (PutHashed/GetHashed with a caller-held digest).
+// A GetHashed hit must touch the entry exactly like Get does, so a
+// recently reused snapshot survives -cache-max-bytes eviction over a
+// merely recently written one.
+func TestCachePruneTouchesHashedSecondaryArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type snap struct {
+		Q []float64 `json:"q"`
+	}
+	keys := make([]string, 4)
+	hashes := make([]string, 4)
+	var entrySize int64
+	for i := range keys {
+		keys[i] = KeyFor("pretrain", fmt.Sprintf("scenario-%d", i), "cfg={}", "seed=99")
+		hashes[i] = HashKey(keys[i])
+		if err := cache.PutHashed(keys[i], hashes[i], snap{Q: []float64{float64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(cache.path(hashes[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entrySize = info.Size()
+		mt := time.Now().Add(time.Duration(i-len(keys)) * time.Hour)
+		if err := os.Chtimes(cache.path(hashes[i]), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reuse the oldest snapshot through the hashed path: the hit must
+	// refresh its mtime.
+	var got snap
+	if !cache.GetHashed(keys[0], hashes[0], &got) || len(got.Q) != 1 || got.Q[0] != 0 {
+		t.Fatalf("oldest artifact should hit intact before pruning, got %+v", got)
+	}
+	removed, err := cache.Prune(2 * entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Errorf("pruned %d artifacts, want 2", removed)
+	}
+	for i, wantAlive := range []bool{true, false, false, true} {
+		if alive := cache.GetHashed(keys[i], hashes[i], &got); alive != wantAlive {
+			t.Errorf("artifact %d alive=%v, want %v", i, alive, wantAlive)
+		}
+	}
+	// The touched survivor must still round-trip through the plain-key
+	// path too (same entry, same envelope).
+	if !cache.Get(keys[0], &got) || got.Q[0] != 0 {
+		t.Errorf("touched artifact corrupted: %+v", got)
+	}
+}

@@ -241,6 +241,51 @@
 // device order, so results are byte-identical for any inner budget;
 // the budget therefore never appears in a cache key.
 //
+// # Scheduling and snapshot shipping
+//
+// Jobs may carry a scheduling-affinity hint (Job.Affinity — for warm
+// FedGPO cells, the pretrained-controller snapshot key). The hint is
+// advisory: it never enters the canonical key, the wire spec, or any
+// result byte, so routing policy is free to change without
+// invalidating a single cache entry.
+//
+// Under the default affinity route the coordinator groups each batch
+// by affinity key and assigns whole groups to endpoints weighted by
+// their hello-advertised session capacity — largest group first, each
+// to the endpoint with the lowest projected (load+size)/capacity
+// score, ties to the lowest index — so all cells sharing a pretrain
+// key co-locate in one worker process, whose in-process singleflight
+// then executes the warm-up exactly once. Cells without a key flow
+// through a FIFO overflow lane. The pull-order work queue remains as
+// the stealing fallback, preserving PR 5's failover semantics
+// exactly: an idle endpoint first adopts the groups of a dead
+// endpoint, then whole groups their home endpoint has not started,
+// and only then single cells from another endpoint's started group —
+// gated on the coordinator already holding that group's snapshot, so
+// a steal never triggers a duplicate warm-up. A fleet-wide cold sweep
+// over S distinct scenarios therefore performs exactly S Q-table
+// warm-ups (the CI-gated fleet_pretrain_runs == fleet_scenarios
+// invariant). The CLIs' -route flag selects the policy (affinity or
+// pull); results are byte-identical either way, because routing only
+// decides where a cell runs, never what it computes.
+//
+// Protocol v5 (negotiated through the same maxProto handshake; v4 and
+// v3 peers interoperate unchanged) adds fleet-wide snapshot reuse. A
+// worker whose cell built a fresh pretrain snapshot returns the
+// serialized artifact with its response ("snaps" beside the result);
+// the coordinator pools it, persists it into its own cache under the
+// snapshot key (byte-identical to the entry the worker wrote locally,
+// both being the same JSON round-trip), and pre-pushes it inside
+// later requests for cells sharing that key dispatched at sessions
+// that do not already hold it — skipping endpoints that share the
+// coordinator's -cachedir, where the disk already carries the
+// snapshot. The worker installs pushed artifacts before running the
+// request, resolving its pretrain singleflight without executing the
+// warm-up. Pre-v5 sessions simply never see a "snaps" field in either
+// direction. Per-endpoint AffinityHits/AffinityMisses/Stolen tallies
+// and pushed-snapshot bytes land in the -v summaries and the
+// -metrics-out artifact beside the dispatch counters.
+//
 // # Cache layout
 //
 // The cache is content-addressed by the SHA-256 hex digest of the

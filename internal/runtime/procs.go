@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	stdruntime "runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -25,6 +26,13 @@ type WireRequest struct {
 	// on big workers fan out inside the worker — and results are
 	// byte-identical for any value, so it never enters cache keys.
 	Inner int `json:"inner,omitempty"`
+	// Snaps pre-pushes serialized pretrain snapshots the coordinator
+	// holds for this job's affinity key (protocol v5): the worker
+	// installs them before running, so a cell stolen or overflowed onto
+	// a cold endpoint deserializes the snapshot instead of re-running
+	// the warm-up. Purely an optimization — an ignored or failed install
+	// re-warms to the identical snapshot.
+	Snaps []SnapshotArtifact `json:"snaps,omitempty"`
 }
 
 // WireResponse is a worker's reply to one WireRequest, in request
@@ -40,6 +48,11 @@ type WireResponse struct {
 	// whether telemetry was recorded. The coordinator folds it into its
 	// own collector, so remote pools are as observable as local ones.
 	Metrics *telemetry.Metrics `json:"metrics,omitempty"`
+	// Snaps returns pretrain snapshots this job's execution built from
+	// scratch (protocol v5; Result.Snaps, excluded from result JSON like
+	// Cached and Metrics). The coordinator persists them and pre-pushes
+	// them with later requests sharing the affinity key.
+	Snaps []SnapshotArtifact `json:"snaps,omitempty"`
 }
 
 // wireEnvelope is the payload of one protocol-v4 binary frame: a batch
@@ -63,9 +76,15 @@ type WorkerOptions struct {
 	// budgets (WireRequest.Inner) before each job runs.
 	SetInner func(n int)
 	// MaxProto caps the protocol generation advertised in the hello
-	// (0 advertises ProtoVersion). Tests pin ProtoV3 to exercise the
-	// JSON fallback a pre-v4 worker would negotiate.
+	// (0 advertises ProtoVersion). Tests pin ProtoV3 or ProtoV4 to
+	// exercise the fallbacks an older worker would negotiate.
 	MaxProto int
+	// Install, when non-nil, installs a coordinator-pushed snapshot
+	// artifact (WireRequest.Snaps, protocol v5) into the worker's
+	// pretrain cache before the request that carried it runs. Best
+	// effort: an install failure is ignored — the worker just re-warms,
+	// producing the identical snapshot.
+	Install func(key string, data json.RawMessage) error
 }
 
 // ServeWorker runs the worker half of the wire protocol on a byte
@@ -138,7 +157,7 @@ func ServeSession(r io.Reader, w io.Writer, run func(key string, spec json.RawMe
 		// The JSON decoder may have read ahead into the first binary
 		// frame; drain its buffer before the raw stream, and skip the
 		// newline the coordinator's ack encoder left behind.
-		return serveBatches(wire.Handoff(io.MultiReader(dec.Buffered(), r)), w, run, opt)
+		return serveBatches(wire.Handoff(io.MultiReader(dec.Buffered(), r)), w, run, opt, first.Proto)
 	}
 	if err := serve(first.WireRequest, 1); err != nil {
 		return err
@@ -156,15 +175,19 @@ func ServeSession(r io.Reader, w io.Writer, run func(key string, spec json.RawMe
 	}
 }
 
-// serveBatches runs the protocol-v4 worker loop: every inbound frame
-// is a compressed envelope of batched requests, executed in order, and
-// every finished spec is answered immediately with its own response
-// frame. Requests batch to amortize dispatch; responses stream so a
-// worker death mid-batch only costs the specs it had not yet answered
-// — the same failure granularity as the v3 one-spec-per-frame loop.
-// Frame indexes restart at 1 on both sides at the binary handoff (the
-// helloAck is handshake, not data).
-func serveBatches(r io.Reader, w io.Writer, run func(key string, spec json.RawMessage) Result, opt WorkerOptions) error {
+// serveBatches runs the protocol v4/v5 worker loop: every inbound
+// frame is a compressed envelope of batched requests, executed in
+// order, and every finished spec is answered immediately with its own
+// response frame. Requests batch to amortize dispatch; responses
+// stream so a worker death mid-batch only costs the specs it had not
+// yet answered — the same failure granularity as the v3
+// one-spec-per-frame loop. Under a negotiated v5 session the worker
+// additionally installs coordinator-pushed snapshot artifacts before
+// each request runs and attaches freshly built snapshots to the
+// response (v4 coordinators never see the Snaps fields). Frame indexes
+// restart at 1 on both sides at the binary handoff (the helloAck is
+// handshake, not data).
+func serveBatches(r io.Reader, w io.Writer, run func(key string, spec json.RawMessage) Result, opt WorkerOptions, proto int) error {
 	lastInner := 0
 	for frame := 1; ; frame++ {
 		payload, _, err := wire.ReadFrame(r, frame)
@@ -187,8 +210,18 @@ func serveBatches(r io.Reader, w io.Writer, run func(key string, spec json.RawMe
 				opt.SetInner(req.Inner)
 				lastInner = req.Inner
 			}
+			if opt.Install != nil {
+				for _, sa := range req.Snaps {
+					// Best effort: a failed install just means this
+					// process re-warms, producing the identical snapshot.
+					_ = opt.Install(sa.Key, sa.Data)
+				}
+			}
 			res := run(req.Key, req.Spec)
 			resp := WireResponse{Key: req.Key, Result: res, Cached: res.Cached, Metrics: res.Telemetry}
+			if proto >= ProtoV5 {
+				resp.Snaps = res.Snaps
+			}
 			b, err := json.Marshal(wireEnvelope{Resps: []WireResponse{resp}})
 			if err != nil {
 				return fmt.Errorf("runtime: worker encode (frame %d): %w", frame, err)
@@ -236,6 +269,14 @@ type ProcConfig struct {
 	// Env, when non-nil, replaces the local workers' environment (nil
 	// inherits the coordinator's).
 	Env []string
+	// Route selects the dispatch policy. "affinity" (the default)
+	// groups each batch by the jobs' affinity keys and routes every
+	// group to a home endpoint weighted by advertised capacity with a
+	// least-loaded tiebreak, falling back to work stealing so
+	// stragglers and dead endpoints still drain; "pull" is the PR 5
+	// pull-order work queue. Results are byte-identical across
+	// policies — routing only ever changes where a cell runs.
+	Route string
 }
 
 // EndpointStats is one endpoint's dispatch counters within a
@@ -267,6 +308,19 @@ type EndpointStats struct {
 	// fair-share cap on v4 sessions.
 	Frames int64 `json:"frames,omitempty"`
 	Specs  int64 `json:"specs,omitempty"`
+	// AffinityHits counts affinity-keyed jobs this endpoint ran as
+	// their group's home (co-located with their pretrain siblings);
+	// AffinityMisses counts affinity-keyed jobs it ran away from their
+	// home (overflowed or stolen singles). Always zero under -route=pull.
+	AffinityHits   int64 `json:"affinityHits,omitempty"`
+	AffinityMisses int64 `json:"affinityMisses,omitempty"`
+	// Stolen counts jobs this endpoint took from another endpoint's
+	// planned share — whole-group adoptions from dead or straggling
+	// endpoints plus snapshot-backed singles.
+	Stolen int64 `json:"stolen,omitempty"`
+	// SnapBytesSent meters serialized snapshot bytes pre-pushed to this
+	// endpoint (protocol v5).
+	SnapBytesSent int64 `json:"snapBytesSent,omitempty"`
 }
 
 // EndpointStatser is implemented by backends that track per-endpoint
@@ -284,6 +338,13 @@ type endpoint struct {
 	// the coordinator's mutex.
 	capacity int
 	stats    EndpointStats
+	// known tracks snapshot keys the worker process behind this
+	// endpoint is known to hold, so the coordinator pushes each
+	// artifact at most once. Only maintained for endpoints whose hello
+	// advertises capacity > 1 (sessions sharing one process); one-shot
+	// subprocess sessions track theirs per session instead. Guarded by
+	// the coordinator's mutex.
+	known map[string]bool
 }
 
 // Coordinator executes batches across worker endpoints behind
@@ -303,9 +364,17 @@ type Coordinator struct {
 	cfg       ProcConfig
 	endpoints []*endpoint
 	col       *telemetry.Collector
+	cache     *Cache
 
 	mu      sync.Mutex
 	lastErr error
+
+	// snapMu guards snaps, the in-memory pool of snapshot artifacts
+	// returned by workers this process lifetime (wire v5). It is a
+	// dedicated lock because the dispatcher's hasSnap callback reads it
+	// while holding the queue lock.
+	snapMu sync.Mutex
+	snaps  map[string]json.RawMessage
 }
 
 // SetCollector attaches a telemetry collector. The coordinator records
@@ -313,6 +382,13 @@ type Coordinator struct {
 // cell's worker-side execution time is included) plus retry and
 // failover counters into it. A nil collector disables recording.
 func (c *Coordinator) SetCollector(col *telemetry.Collector) { c.col = col }
+
+// SetCache attaches the coordinator's run cache so snapshot artifacts
+// returned by workers (wire v5) are persisted under their own keys —
+// a later cold run warm-starts from disk. A nil cache disables
+// persistence; artifacts still ship fleet-wide from the in-memory
+// pool for the coordinator's lifetime. Call before Run.
+func (c *Coordinator) SetCache(cache *Cache) { c.cache = cache }
 
 // ProcBackend is the coordinator's historical name, kept so PR 3 era
 // call sites and docs stay valid.
@@ -388,7 +464,8 @@ func (c *Coordinator) Workers() int {
 }
 
 // EndpointStats snapshots the per-endpoint dispatch counters under one
-// lock, in endpoint order.
+// lock, sorted by endpoint name so every consumer — both -v summaries,
+// the metrics JSON — prints the fleet in the same deterministic order.
 func (c *Coordinator) EndpointStats() []EndpointStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -396,15 +473,118 @@ func (c *Coordinator) EndpointStats() []EndpointStats {
 	for i, ep := range c.endpoints {
 		out[i] = ep.stats
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Endpoint < out[j].Endpoint })
 	return out
 }
 
-// workQueue is the coordinator's shared batch queue: sessions pop the
-// next unstarted job, and a session whose retry budget runs out gives
-// its in-flight job back (requeue) so a surviving endpoint can absorb
-// it. pop blocks while the queue is empty but unfinalized jobs are
-// still in flight elsewhere — one of them may yet be given back — and
-// returns done once every job is finalized.
+// snapshotData returns the pooled artifact bytes for key, or nil.
+func (c *Coordinator) snapshotData(key string) json.RawMessage {
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	return c.snaps[key]
+}
+
+// hasSnapshot reports whether the coordinator holds a shippable
+// artifact for key — the dispatcher's gate for stealing cells out of a
+// group whose home already started warming up.
+func (c *Coordinator) hasSnapshot(key string) bool { return c.snapshotData(key) != nil }
+
+// storeSnapshot pools a worker-returned artifact and persists it to
+// the coordinator's cache under its own key. persisted marks artifacts
+// from workers sharing the coordinator's cache directory, which
+// already published them to disk themselves.
+func (c *Coordinator) storeSnapshot(sa SnapshotArtifact, persisted bool) {
+	if sa.Key == "" || len(sa.Data) == 0 {
+		return
+	}
+	c.snapMu.Lock()
+	if c.snaps == nil {
+		c.snaps = make(map[string]json.RawMessage)
+	}
+	_, seen := c.snaps[sa.Key]
+	c.snaps[sa.Key] = sa.Data
+	c.snapMu.Unlock()
+	if !seen && !persisted && c.cache != nil {
+		// Data is the exact payload JSON a local warm-up would have
+		// cached, so the disk entry is byte-identical either way.
+		c.cache.Put(sa.Key, sa.Data)
+	}
+}
+
+// snapKnown reports whether the worker process behind a session is
+// known to hold the snapshot for key; markSnapKnown records that it
+// now does (pushed to it, built by it, or warmed for one of its
+// jobs). sess is the per-session set; endpoints whose sessions share
+// one process (hello capacity > 1) additionally share the
+// endpoint-level set.
+func (c *Coordinator) snapKnown(ep *endpoint, shared bool, sess map[string]bool, key string) bool {
+	if sess[key] {
+		return true
+	}
+	if !shared {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ep.known[key]
+}
+
+func (c *Coordinator) markSnapKnown(ep *endpoint, shared bool, sess map[string]bool, key string) {
+	sess[key] = true
+	if !shared {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ep.known == nil {
+		ep.known = make(map[string]bool)
+	}
+	ep.known[key] = true
+}
+
+// queueStats is a dispatcher's per-endpoint scheduling tally, folded
+// into EndpointStats and the telemetry counters after the batch.
+type queueStats struct {
+	affinityHits   int64
+	affinityMisses int64
+	stolen         int64
+}
+
+// dispatcher is the coordinator's batch-distribution policy seam. Both
+// implementations share the PR 5 lifecycle — sessions pop jobs, failed
+// sessions requeue their unanswered tail, finalize counts answers, and
+// abandoned drains what no endpoint could run — they differ only in
+// which job a given endpoint's pop returns. Routing never changes
+// results, only placement.
+type dispatcher interface {
+	// pop returns the next job index for endpoint ep, blocking while
+	// one may still become eligible; ok is false once the batch is over.
+	pop(ep int) (int, bool)
+	// take removes up to k more jobs for ep without blocking — the
+	// frame top-up; it never waits for frame-mates.
+	take(ep, k int) []int
+	// requeue gives unanswered jobs back to the fleet.
+	requeue(idxs ...int)
+	// finalize marks one job answered; at zero, blocked pops return done.
+	finalize()
+	// abandoned empties the queue after every session has exited,
+	// returning the jobs nobody could run.
+	abandoned() []int
+	// wake re-examines blocked pops after external state changed (a
+	// snapshot arrived, making stalled groups stealable).
+	wake()
+	// endpointDone marks an endpoint as having no live sessions left,
+	// releasing its planned work for adoption.
+	endpointDone(ep int)
+	// stats returns the endpoint's scheduling tally.
+	stats(ep int) queueStats
+}
+
+// workQueue is the pull-order dispatcher (-route=pull, and the PR 5
+// semantics): one shared FIFO, every endpoint equal. pop blocks while
+// the queue is empty but unfinalized jobs are still in flight
+// elsewhere — one of them may yet be given back — and returns done
+// once every job is finalized.
 type workQueue struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -418,9 +598,7 @@ func newWorkQueue(items []int) *workQueue {
 	return q
 }
 
-// pop returns the next job index, blocking while one may still be
-// given back by a failing session; ok is false once the batch is over.
-func (q *workQueue) pop() (int, bool) {
+func (q *workQueue) pop(int) (int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && q.remaining > 0 {
@@ -434,10 +612,7 @@ func (q *workQueue) pop() (int, bool) {
 	return i, true
 }
 
-// take removes up to k queued jobs without blocking — the batch
-// top-up: a v4 session filling a frame takes whatever is immediately
-// available and never waits for frame-mates.
-func (q *workQueue) take(k int) []int {
+func (q *workQueue) take(_, k int) []int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if k > len(q.items) {
@@ -451,7 +626,6 @@ func (q *workQueue) take(k int) []int {
 	return out
 }
 
-// requeue gives unanswered jobs back to the fleet.
 func (q *workQueue) requeue(idxs ...int) {
 	q.mu.Lock()
 	q.items = append(q.items, idxs...)
@@ -459,7 +633,6 @@ func (q *workQueue) requeue(idxs ...int) {
 	q.cond.Broadcast()
 }
 
-// finalize marks one job answered; at zero, blocked pops return done.
 func (q *workQueue) finalize() {
 	q.mu.Lock()
 	q.remaining--
@@ -470,8 +643,6 @@ func (q *workQueue) finalize() {
 	}
 }
 
-// abandoned empties the queue after every session has exited,
-// returning the jobs nobody could run.
 func (q *workQueue) abandoned() []int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -480,6 +651,10 @@ func (q *workQueue) abandoned() []int {
 	q.remaining = 0
 	return items
 }
+
+func (q *workQueue) wake()                { q.cond.Broadcast() }
+func (q *workQueue) endpointDone(int)     {}
+func (q *workQueue) stats(int) queueStats { return queueStats{} }
 
 // Run executes the batch across the endpoint fleet; see Backend.Run.
 func (c *Coordinator) Run(jobs []Job, done func(int, Result)) []Result {
@@ -511,18 +686,44 @@ func (c *Coordinator) Run(jobs []Job, done func(int, Result)) []Result {
 	if len(idxs) == 0 {
 		return results
 	}
-	queue := newWorkQueue(idxs)
+	queue := c.newDispatcher(jobs, idxs)
 
 	totalCap := c.Workers()
 	var wg sync.WaitGroup
-	for _, ep := range c.endpoints {
+	for epi, ep := range c.endpoints {
 		wg.Add(1)
-		go func(ep *endpoint) {
+		go func(epi int, ep *endpoint) {
 			defer wg.Done()
-			c.runEndpoint(ep, len(idxs), totalCap, jobs, keys, queue, results, done)
-		}(ep)
+			// Releasing the endpoint's planned work on exit — sessions
+			// crashed out or batch done — is the dispatcher's liveness
+			// guarantee: a dead endpoint's groups become adoptable.
+			defer queue.endpointDone(epi)
+			c.runEndpoint(epi, ep, len(idxs), totalCap, jobs, keys, queue, results, done)
+		}(epi, ep)
 	}
 	wg.Wait()
+
+	// Fold the dispatcher's scheduling tallies into the per-endpoint
+	// stats and the batch-level counters.
+	var hits, misses, stolen int64
+	c.mu.Lock()
+	for epi, ep := range c.endpoints {
+		qs := queue.stats(epi)
+		ep.stats.AffinityHits += qs.affinityHits
+		ep.stats.AffinityMisses += qs.affinityMisses
+		ep.stats.Stolen += qs.stolen
+		hits += qs.affinityHits
+		misses += qs.affinityMisses
+		stolen += qs.stolen
+	}
+	c.mu.Unlock()
+	if hits+misses+stolen > 0 {
+		c.col.Count(func(cc *telemetry.Counters) {
+			cc.AffinityHits += hits
+			cc.AffinityMisses += misses
+			cc.StolenJobs += stolen
+		})
+	}
 
 	// Jobs still queued here were abandoned by every session — the
 	// whole fleet exhausted its retry budget first.
@@ -539,6 +740,25 @@ func (c *Coordinator) Run(jobs []Job, done func(int, Result)) []Result {
 		}
 	}
 	return results
+}
+
+// newDispatcher builds the batch's dispatch policy: the affinity
+// scheduler by default, the PR 5 pull-order queue under -route=pull.
+// The affinity scheduler weighs homes by the capacities known right
+// now — TCP endpoints advertise theirs in the hello, so on the very
+// first batch they weigh 1 until probed; whole-group adoption
+// rebalances the difference without splitting any group's warm-up.
+func (c *Coordinator) newDispatcher(jobs []Job, idxs []int) dispatcher {
+	if c.cfg.Route == "pull" || len(c.endpoints) == 0 {
+		return newWorkQueue(idxs)
+	}
+	c.mu.Lock()
+	caps := make([]int, len(c.endpoints))
+	for i, ep := range c.endpoints {
+		caps[i] = ep.capacity
+	}
+	c.mu.Unlock()
+	return newAffinityQueue(jobs, idxs, caps, c.hasSnapshot)
 }
 
 // maxSpecsPerFrame caps how many specs a v4 session packs into one
@@ -570,7 +790,7 @@ func specsPerFrame(batch, totalCap int) int {
 // transports), derives the endpoint's forwarded inner budget from the
 // batch shape, and runs the sessions until the queue drains or every
 // session's retry budget is spent.
-func (c *Coordinator) runEndpoint(ep *endpoint, batch, totalCap int, jobs []Job, keys []string, queue *workQueue, results []Result, done func(int, Result)) {
+func (c *Coordinator) runEndpoint(epi int, ep *endpoint, batch, totalCap int, jobs []Job, keys []string, queue dispatcher, results []Result, done func(int, Result)) {
 	sessions := ep.transport.Sessions()
 	var probe Conn
 	if sessions <= 0 {
@@ -603,7 +823,7 @@ func (c *Coordinator) runEndpoint(ep *endpoint, batch, totalCap int, jobs []Job,
 		wg.Add(1)
 		go func(conn Conn) {
 			defer wg.Done()
-			c.runSession(ep, conn, inner, specs, jobs, keys, queue, results, done)
+			c.runSession(epi, ep, conn, inner, specs, jobs, keys, queue, results, done)
 		}(conn)
 	}
 	wg.Wait()
@@ -673,7 +893,7 @@ func (c *Coordinator) innerBudget(n, endpointCap, totalCap int) wireBudget {
 // budget is spent the session gives its in-flight jobs back to the
 // fleet — a surviving endpoint absorbs them, and only a fleet with no
 // session left turns them into error results (the batch drain).
-func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, specs int, jobs []Job, keys []string, queue *workQueue, results []Result, done func(int, Result)) {
+func (c *Coordinator) runSession(epi int, ep *endpoint, conn Conn, inner wireBudget, specs int, jobs []Job, keys []string, queue dispatcher, results []Result, done func(int, Result)) {
 	var carried []int // in-flight frame's job indexes, carried across a retry
 	failures := 0
 	defer func() {
@@ -686,7 +906,7 @@ func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, spec
 			// Pop a single job before dialing: the frame is topped up to
 			// the session's batch size inside pump, once the negotiated
 			// generation is known.
-			i, ok := queue.pop()
+			i, ok := queue.pop(epi)
 			if !ok {
 				return // batch finished
 			}
@@ -711,7 +931,7 @@ func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, spec
 			}
 		}
 		var err error
-		if carried, err = c.pump(ep, conn, inner, specs, carried, jobs, keys, queue, results, done); err == nil {
+		if carried, err = c.pump(epi, ep, conn, inner, specs, carried, jobs, keys, queue, results, done); err == nil {
 			return // queue drained through this session
 		} else {
 			failures++
@@ -725,36 +945,63 @@ func (c *Coordinator) runSession(ep *endpoint, conn Conn, inner wireBudget, spec
 // pump streams job frames through one established session until the
 // batch finishes or the session fails. Each iteration moves one
 // request frame: a single spec on a v3 session, up to the endpoint's
-// fair-share batch on a v4 BatchConn. Responses stream back per spec
-// and are finalized as they arrive, in request order; a failure
+// fair-share batch on a v4/v5 BatchConn. Responses stream back per
+// spec and are finalized as they arrive, in request order; a failure
 // mid-frame returns only the unanswered tail for requeue, so specs a
 // dying worker already answered are never re-run — the exact failure
-// granularity of the v3 one-spec-per-frame protocol.
-func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, specs int, carried []int, jobs []Job, keys []string, queue *workQueue, results []Result, done func(int, Result)) ([]int, error) {
+// granularity of the v3 one-spec-per-frame protocol. On a v5 session
+// the pump additionally pre-pushes pooled snapshot artifacts with
+// affinity-keyed requests whose worker isn't known to hold them, and
+// pools artifacts the responses return.
+func (c *Coordinator) pump(epi int, ep *endpoint, conn Conn, budget wireBudget, specs int, carried []int, jobs []Job, keys []string, queue dispatcher, results []Result, done func(int, Result)) ([]int, error) {
 	sharesCache := c.cfg.CacheDir != "" && conn.Hello().CacheDir == c.cfg.CacheDir
 	inner := budget.forConn(conn)
 	bc, _ := conn.(BatchConn)
 	if bc == nil {
 		specs = 1 // v3 fallback: one spec per frame, the PR 5 contract
 	}
+	proto := ProtoV3
+	if p, ok := conn.(interface{ Proto() int }); ok {
+		proto = p.Proto()
+	}
+	// A worker sharing the coordinator's cache directory reads shipped
+	// snapshots straight from disk, so pushing bytes at it is pure
+	// waste; everyone else gets the artifact once per process.
+	shipSnaps := proto >= ProtoV5 && !sharesCache
+	shared := conn.Hello().Capacity > 1
+	sessKnown := make(map[string]bool)
 	ws, _ := conn.(WireStatser)
 	var lastSent, lastRecv int64 // 0,0 so the first delta includes the handshake
 	for {
 		frame := carried
 		carried = nil
 		if len(frame) == 0 {
-			i, ok := queue.pop()
+			i, ok := queue.pop(epi)
 			if !ok {
 				return nil, nil
 			}
 			frame = []int{i}
 		}
 		if len(frame) < specs {
-			frame = append(frame, queue.take(specs-len(frame))...)
+			frame = append(frame, queue.take(epi, specs-len(frame))...)
 		}
 		reqs := make([]WireRequest, len(frame))
+		var pushed int64
 		for k, i := range frame {
 			reqs[k] = WireRequest{Key: keys[i], Spec: jobs[i].Payload, Inner: inner}
+			if a := jobs[i].Affinity; shipSnaps && a != "" && !c.snapKnown(ep, shared, sessKnown, a) {
+				if data := c.snapshotData(a); data != nil {
+					reqs[k].Snaps = []SnapshotArtifact{{Key: a, Data: data}}
+					c.markSnapKnown(ep, shared, sessKnown, a)
+					pushed += int64(len(data))
+				}
+			}
+		}
+		if pushed > 0 {
+			c.mu.Lock()
+			ep.stats.SnapBytesSent += pushed
+			c.mu.Unlock()
+			c.col.Count(func(cc *telemetry.Counters) { cc.SnapshotBytesShipped += pushed })
 		}
 		sent := time.Now()
 		var err error
@@ -794,6 +1041,7 @@ func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, specs int
 				return frame[answered:], fmt.Errorf("worker answered %d specs for a frame of %d", answered+len(resps), len(frame))
 			}
 			elapsed := time.Since(sent)
+			snapsArrived := false
 			for _, resp := range resps {
 				i := frame[answered]
 				if resp.Key != keys[i] {
@@ -804,6 +1052,17 @@ func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, specs int
 				r := resp.Result
 				r.Cached = resp.Cached
 				r.Telemetry = resp.Metrics
+				for _, sa := range resp.Snaps {
+					c.storeSnapshot(sa, sharesCache)
+					c.markSnapKnown(ep, shared, sessKnown, sa.Key)
+					snapsArrived = true
+				}
+				// A finished affinity job means the worker process now
+				// holds its group's snapshot in memory — no need to ever
+				// push it there.
+				if a := jobs[i].Affinity; a != "" && r.Err == "" {
+					c.markSnapKnown(ep, shared, sessKnown, a)
+				}
 				// A worker sharing the coordinator's cache directory already
 				// published the entry (best effort — a failed worker write
 				// costs a future re-run, exactly like a failed coordinator
@@ -815,6 +1074,11 @@ func (c *Coordinator) pump(ep *endpoint, conn Conn, budget wireBudget, specs int
 					done(i, r)
 				}
 				queue.finalize()
+			}
+			if snapsArrived {
+				// Pooled artifacts make touched groups stealable; re-wake
+				// sessions idling for eligible work.
+				queue.wake()
 			}
 		}
 		if ws != nil {

@@ -46,6 +46,13 @@ type Result struct {
 	// JSON — telemetry must never change cached bytes — and travels the
 	// wire separately, in WireResponse's metrics field.
 	Telemetry *telemetry.Metrics `json:"-"`
+	// Snaps carries serialized pretrain snapshots this job's execution
+	// built from scratch (at most one today). Like Telemetry it is
+	// excluded from result JSON — snapshots are cache artifacts
+	// addressed by their own keys, never part of a cell's cached bytes —
+	// and travels the wire separately, in WireResponse's snaps field,
+	// so the coordinator can persist and re-ship them to cold endpoints.
+	Snaps []SnapshotArtifact `json:"-"`
 	// Provenance tags the result's wall-clock measurements as
 	// ProvenanceMeasured or ProvenanceReplayed. It is set by the
 	// experiment runtime after execution — never by job bodies or
@@ -53,6 +60,16 @@ type Result struct {
 	// and wire frames carry no provenance and stay byte-identical across
 	// cold and warm runs; only the -results store JSON sees the tag.
 	Provenance string `json:"provenance,omitempty"`
+}
+
+// SnapshotArtifact is one serialized content-addressed snapshot moving
+// over the wire: Key is the artifact's canonical cache key (a pretrain
+// key today) and Data its cache-payload JSON. Shipping it is pure
+// transport — the artifact is persisted under exactly the key it would
+// have been cached under had it been built locally.
+type SnapshotArtifact struct {
+	Key  string          `json:"key"`
+	Data json.RawMessage `json:"data"`
 }
 
 // SetExtra marshals v into the Extra payload.

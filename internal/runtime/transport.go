@@ -15,25 +15,37 @@ import (
 // telemetry snapshot back to the coordinator; version 4 moves the job
 // stream to length-prefixed compressed binary frames (see the wire
 // package) whose payloads are envelopes batching several specs per
-// frame.
+// frame; version 5 adds snapshot shipping on top of the v4 framing —
+// request envelopes may pre-push serialized pretrain snapshots
+// (WireRequest.Snaps) and responses return snapshots the worker built
+// (WireResponse.Snaps), so a cell landing on a cold endpoint
+// deserializes instead of re-warming.
 //
 // Negotiation is backward compatible in both directions. A worker's
 // hello always carries Proto == ProtoV3 — the baseline every
 // coordinator since PR 5 accepts — plus MaxProto advertising the
-// highest generation it speaks. A v4-capable coordinator answers a
-// v4-capable hello with a JSON helloAck frame and both sides switch to
+// highest generation it speaks. A v4+-capable coordinator answers a
+// v4+-capable hello with a JSON helloAck frame naming the negotiated
+// generation (min(MaxProto, ProtoVersion)) and both sides switch to
 // binary framing; a v3-only worker (no MaxProto) gets plain v3 JSON
 // frames and no ack, and a v3-only coordinator ignores the unknown
 // MaxProto field and never sends one. A worker distinguishes the two
-// by its first inbound frame: helloAck or a plain WireRequest.
+// by its first inbound frame: helloAck or a plain WireRequest. V5
+// shares v4's framing — only the envelope fields differ — so a v5
+// coordinator talking to a v4 worker simply never populates Snaps, and
+// a v4 coordinator talking to a v5 worker negotiates v4, under which
+// the worker never attaches them.
 const (
 	// ProtoV3 is the newline-delimited JSON baseline: one WireRequest
 	// frame per cell, one WireResponse frame back, in order.
 	ProtoV3 = 3
 	// ProtoV4 is the batched binary framing generation.
 	ProtoV4 = 4
+	// ProtoV5 adds snapshot shipping (Snaps on requests and responses)
+	// over the v4 framing.
+	ProtoV5 = 5
 	// ProtoVersion is the highest generation this build speaks.
-	ProtoVersion = ProtoV4
+	ProtoVersion = ProtoV5
 )
 
 // WireHello is the first frame of every wire session, sent by the

@@ -79,6 +79,11 @@ type ServeConfig struct {
 	// worker budgets (WireRequest.Inner). It may be called from
 	// concurrent sessions and must be safe for concurrent use.
 	SetInner func(n int)
+	// Install, when non-nil, installs coordinator-pushed snapshot
+	// artifacts (WireRequest.Snaps, protocol v5) into the pool's
+	// pretrain cache. It may be called from concurrent sessions and
+	// must be safe for concurrent use.
+	Install func(key string, data json.RawMessage) error
 	// Logf, when non-nil, receives per-session lifecycle and error
 	// lines.
 	Logf func(format string, args ...any)
@@ -181,6 +186,7 @@ func Serve(ctx context.Context, lis net.Listener, cfg ServeConfig) error {
 				Capacity: cfg.Capacity,
 				CacheDir: cfg.CacheDir,
 				SetInner: cfg.SetInner,
+				Install:  cfg.Install,
 			})
 			if err != nil && ctx.Err() == nil {
 				logf("session %s: %v", nc.RemoteAddr(), err)

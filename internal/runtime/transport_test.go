@@ -225,7 +225,8 @@ func TestCoordinatorHealthySiblingAbsorbsBatch(t *testing.T) {
 			t.Errorf("job %d failed: %s", i, r.Err)
 		}
 	}
-	if st := c.EndpointStats(); st[0].Dispatched != int64(len(jobs)) || st[1].Dispatched != 0 {
+	// EndpointStats sorts by name: "fake:down" first, "fake:ok" second.
+	if st := c.EndpointStats(); st[0].Dispatched != 0 || st[1].Dispatched != int64(len(jobs)) {
 		t.Errorf("endpoint stats = %+v", st)
 	}
 }

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net"
@@ -224,6 +225,15 @@ func TestMixedVersionFleetFailoverAccounting(t *testing.T) {
 	}
 	var conns sync.Map
 	answered := make(chan struct{}, 64)
+	// The schedule is pinned by handshake so it holds under
+	// race-detector load: every v4 cell and the v3 endpoint's first
+	// cell block until the kill goroutine has closed the v3 listener
+	// and every accepted conn. The v4 sibling therefore cannot drain
+	// the queue before the v3 endpoint holds a job in flight, and the
+	// v3 worker's response write is guaranteed to fail — the
+	// coordinator must requeue that job (retry) and, with the listener
+	// gone, hand it off (failover).
+	killed := make(chan struct{})
 	go func() {
 		for {
 			nc, err := lis.Accept()
@@ -234,16 +244,39 @@ func TestMixedVersionFleetFailoverAccounting(t *testing.T) {
 			go func(nc net.Conn) {
 				_ = ServeSession(nc, nc, func(key string, spec json.RawMessage) Result {
 					answered <- struct{}{}
-					time.Sleep(10 * time.Millisecond)
+					<-killed
 					return echoRun(key, spec)
 				}, WorkerOptions{Capacity: 1, MaxProto: ProtoV3})
 			}(nc)
 		}
 	}()
 
-	v4Addr, v4Shutdown := tcpServe(t, 1, "")
+	v4Lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4Ctx, v4Cancel := context.WithCancel(context.Background())
+	v4Errc := make(chan error, 1)
+	go func() {
+		v4Errc <- Serve(v4Ctx, v4Lis, ServeConfig{
+			Capacity: 1,
+			Run: func(key string, spec json.RawMessage) Result {
+				<-killed
+				return echoRun(key, spec)
+			},
+		})
+	}()
+	v4Shutdown := func() error {
+		v4Cancel()
+		select {
+		case err := <-v4Errc:
+			return err
+		case <-time.After(5 * time.Second):
+			return io.ErrNoProgress
+		}
+	}
 	jobs := specJobs(12)
-	c := NewProcBackend(ProcConfig{Workers: []string{lis.Addr().String(), v4Addr}})
+	c := NewProcBackend(ProcConfig{Workers: []string{lis.Addr().String(), v4Lis.Addr().String()}})
 	go func() {
 		<-answered
 		_ = lis.Close()
@@ -251,6 +284,7 @@ func TestMixedVersionFleetFailoverAccounting(t *testing.T) {
 			_ = k.(net.Conn).Close()
 			return true
 		})
+		close(killed)
 	}()
 	results := c.Run(jobs, nil)
 	for i, r := range results {

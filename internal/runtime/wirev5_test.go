@@ -1,0 +1,167 @@
+package runtime
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"fedgpo/internal/fl"
+)
+
+// Two current-generation peers negotiate protocol v5: snapshot
+// artifacts pushed with a request install on the worker before the
+// request runs, and artifacts a job builds return with its response.
+func TestWireSessionV5SnapshotRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	run := func(key string, spec json.RawMessage) Result {
+		mu.Lock()
+		order = append(order, "run:"+key)
+		mu.Unlock()
+		var s snapSpec
+		if err := json.Unmarshal(spec, &s); err != nil {
+			return Result{Key: key, Err: err.Error()}
+		}
+		res := Result{Key: key, Sim: fl.Result{PPW: s.PPW}}
+		if s.Snap != "" {
+			res.Snaps = []SnapshotArtifact{{Key: s.Snap, Data: snapArtifact}}
+		}
+		return res
+	}
+	conn, wait := pipeSession(t, WorkerOptions{
+		Capacity: 1,
+		Install: func(key string, data json.RawMessage) error {
+			mu.Lock()
+			order = append(order, "install:"+key)
+			mu.Unlock()
+			return nil
+		},
+	}, run)
+	defer conn.Close()
+	if p, ok := conn.(interface{ Proto() int }); !ok || p.Proto() != ProtoV5 {
+		t.Fatalf("negotiated protocol = %v, want %d", conn, ProtoV5)
+	}
+	bc := conn.(BatchConn)
+
+	builder := snapJob(0, "pk", "pk") // builds the snapshot
+	consumer := snapJob(1, "pk", "")  // gets it pushed
+	reqs := []WireRequest{
+		{Key: builder.Key(), Spec: builder.Payload},
+		{Key: consumer.Key(), Spec: consumer.Payload,
+			Snaps: []SnapshotArtifact{{Key: "pk", Data: snapArtifact}}},
+	}
+	if err := bc.SendBatch(reqs); err != nil {
+		t.Fatal(err)
+	}
+	resps, err := bc.RecvBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 1 || len(resps[0].Snaps) != 1 || resps[0].Snaps[0].Key != "pk" ||
+		string(resps[0].Snaps[0].Data) != string(snapArtifact) {
+		t.Errorf("builder response snaps = %+v, want the built artifact under key pk", resps[0].Snaps)
+	}
+	if resps, err = bc.RecvBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if len(resps[0].Snaps) != 0 {
+		t.Errorf("consumer response carried %d snaps, want none (it built nothing)", len(resps[0].Snaps))
+	}
+	mu.Lock()
+	got := append([]string(nil), order...)
+	mu.Unlock()
+	want := []string{"run:" + builder.Key(), "install:pk", "run:" + consumer.Key()}
+	if len(got) != len(want) {
+		t.Fatalf("event order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v (installs precede the request that shipped them)", got, want)
+		}
+	}
+	if err := wait(); err != nil {
+		t.Errorf("worker session: %v", err)
+	}
+}
+
+// A worker capped at protocol v4 (the previous generation) negotiates
+// v4 with a v5 coordinator: batched binary framing still works, and
+// the worker never puts snapshot artifacts on the wire even when its
+// execution builds one.
+func TestWireSessionV4CapInteropSuppressesSnaps(t *testing.T) {
+	run := func(key string, spec json.RawMessage) Result {
+		var s snapSpec
+		_ = json.Unmarshal(spec, &s)
+		res := Result{Key: key, Sim: fl.Result{PPW: s.PPW}}
+		if s.Snap != "" {
+			res.Snaps = []SnapshotArtifact{{Key: s.Snap, Data: snapArtifact}}
+		}
+		return res
+	}
+	conn, wait := pipeSession(t, WorkerOptions{Capacity: 1, MaxProto: ProtoV4}, run)
+	defer conn.Close()
+	if p, ok := conn.(interface{ Proto() int }); !ok || p.Proto() != ProtoV4 {
+		t.Fatalf("v4-capped worker negotiated protocol %v, want %d", conn, ProtoV4)
+	}
+	bc, ok := conn.(BatchConn)
+	if !ok {
+		t.Fatalf("v4 interop session is %T, want a BatchConn", conn)
+	}
+	j := snapJob(0, "pk", "pk")
+	if err := bc.SendBatch([]WireRequest{{Key: j.Key(), Spec: j.Payload}}); err != nil {
+		t.Fatal(err)
+	}
+	resps, err := bc.RecvBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Key != j.Key() || resps[0].Result.Sim.PPW != 0 {
+		t.Errorf("v4 interop response = %+v", resps[0])
+	}
+	if len(resps[0].Snaps) != 0 {
+		t.Errorf("v4 session carried %d snapshot artifacts; Snaps is a v5-only field", len(resps[0].Snaps))
+	}
+	if err := wait(); err != nil {
+		t.Errorf("worker session: %v", err)
+	}
+}
+
+// The coordinator must not ship snapshots to pre-v5 sessions: a fleet
+// mixing a v4-capped worker with a current one completes batches
+// correctly and only the v5 endpoint ever meters pushed snapshot
+// bytes. (The fakeConn-based tests cover v3: a conn without Proto() is
+// treated as the baseline and never shipped to.)
+func TestCoordinatorSkipsSnapshotShippingToV4Workers(t *testing.T) {
+	var installs sync.Map
+	v5Addr, v5Shutdown := tcpServeSnaps(t, &installs)
+	defer v5Shutdown()
+
+	// Batch 1 on the v5 pool builds and pools the artifact.
+	c := NewProcBackend(ProcConfig{Workers: []string{v5Addr}})
+	if res := c.Run([]Job{snapJob(0, "pk", "pk")}, nil); res[0].Err != "" {
+		t.Fatalf("builder job failed: %s", res[0].Err)
+	}
+
+	// Batch 2 against a v4-capped pool: affinity-keyed work flows, but
+	// no artifact may be pushed at a session that cannot decode it.
+	v4Addr, v4Shutdown := tcpServeV3(t, 1) // v3-capped is the strictest pre-v5 worker
+	defer v4Shutdown()
+	c2 := NewCoordinator(ProcConfig{}, &TCPTransport{Addr: v4Addr})
+	c2.snapMu.Lock()
+	c2.snaps = map[string]json.RawMessage{"pk": snapArtifact}
+	c2.snapMu.Unlock()
+	jobs := specJobs(3)
+	for i := range jobs {
+		jobs[i].Affinity = "pk"
+	}
+	for i, r := range c2.Run(jobs, nil) {
+		if r.Err != "" {
+			t.Errorf("job %d on pre-v5 worker failed: %s", i, r.Err)
+		}
+	}
+	for _, ep := range c2.EndpointStats() {
+		if ep.SnapBytesSent != 0 {
+			t.Errorf("coordinator pushed %d snapshot bytes at a pre-v5 worker", ep.SnapBytesSent)
+		}
+	}
+}

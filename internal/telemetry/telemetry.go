@@ -82,6 +82,24 @@ type Counters struct {
 	// Failovers counts jobs a session gave up on (retry budget spent)
 	// and handed back to the fleet for another endpoint to absorb.
 	Failovers int64 `json:"failovers"`
+	// PretrainRuns counts FedGPO Q-table warm-ups that actually executed
+	// anywhere in the fleet (each warm-up is counted once, by the worker
+	// process that ran it, and carried home over the wire like every
+	// other counter). Under affinity routing a cold sweep over S
+	// scenarios performs exactly S of them.
+	PretrainRuns int64 `json:"pretrainRuns"`
+	// AffinityHits / AffinityMisses count jobs carrying a pretrain
+	// affinity key that were dispatched at (hits) or away from (misses)
+	// their group's home endpoint.
+	AffinityHits   int64 `json:"affinityHits"`
+	AffinityMisses int64 `json:"affinityMisses"`
+	// StolenJobs counts jobs an endpoint pulled from another endpoint's
+	// assignment (work stealing: dead-endpoint adoption, idle-thief
+	// group adoption, or snapshot-covered singles).
+	StolenJobs int64 `json:"stolenJobs"`
+	// SnapshotBytesShipped counts serialized pretrain-snapshot bytes the
+	// coordinator pre-pushed to workers (wire protocol v5).
+	SnapshotBytesShipped int64 `json:"snapshotBytesShipped"`
 }
 
 // Histogram is a log-bucketed latency distribution. Bucket i counts
@@ -147,10 +165,10 @@ func (h Histogram) MeanSeconds() float64 {
 // request to Recv of its response, so it includes the cell's execution
 // time on the worker).
 type Endpoint struct {
-	Endpoint   string    `json:"endpoint"`
-	Dispatched int64     `json:"dispatched"`
-	Retried    int64     `json:"retried"`
-	Failed     int64     `json:"failed"`
+	Endpoint   string `json:"endpoint"`
+	Dispatched int64  `json:"dispatched"`
+	Retried    int64  `json:"retried"`
+	Failed     int64  `json:"failed"`
 	// BytesSent / BytesRecv are raw wire bytes through the endpoint's
 	// sessions, handshakes and framing included.
 	BytesSent int64 `json:"bytesSent,omitempty"`
@@ -158,18 +176,29 @@ type Endpoint struct {
 	// Frames counts request frames; Specs counts the specs inside them.
 	// Specs/Frames is the realized batch density (1.0 on a v3 session,
 	// up to the coordinator's fair-share batch on v4).
-	Frames  int64     `json:"frames,omitempty"`
-	Specs   int64     `json:"specs,omitempty"`
-	Latency Histogram `json:"latency"`
+	Frames int64 `json:"frames,omitempty"`
+	Specs  int64 `json:"specs,omitempty"`
+	// AffinityHits / AffinityMisses split the endpoint's
+	// affinity-keyed jobs by whether they ran at their group's home;
+	// Stolen counts jobs this endpoint pulled from another endpoint's
+	// assignment; SnapBytesSent counts pretrain-snapshot bytes
+	// pre-pushed to this endpoint.
+	AffinityHits   int64     `json:"affinityHits,omitempty"`
+	AffinityMisses int64     `json:"affinityMisses,omitempty"`
+	Stolen         int64     `json:"stolen,omitempty"`
+	SnapBytesSent  int64     `json:"snapBytesSent,omitempty"`
+	Latency        Histogram `json:"latency"`
 }
 
 // EndpointCounts carries one endpoint's coordinator-authoritative
 // dispatch counters into SetEndpointCounts — everything in Endpoint
 // except the name and the latency histogram.
 type EndpointCounts struct {
-	Dispatched, Retried, Failed int64
-	BytesSent, BytesRecv        int64
-	Frames, Specs               int64
+	Dispatched, Retried, Failed  int64
+	BytesSent, BytesRecv         int64
+	Frames, Specs                int64
+	AffinityHits, AffinityMisses int64
+	Stolen, SnapBytesSent        int64
 }
 
 // Metrics is one serializable telemetry snapshot: what the CLIs write
@@ -200,6 +229,10 @@ func (m *Metrics) SetEndpointCounts(name string, c EndpointCounts) {
 		ep.BytesRecv = c.BytesRecv
 		ep.Frames = c.Frames
 		ep.Specs = c.Specs
+		ep.AffinityHits = c.AffinityHits
+		ep.AffinityMisses = c.AffinityMisses
+		ep.Stolen = c.Stolen
+		ep.SnapBytesSent = c.SnapBytesSent
 	}
 	for i := range m.Endpoints {
 		if m.Endpoints[i].Endpoint == name {
@@ -222,6 +255,10 @@ func (m Metrics) Summary() string {
 	fmt.Fprintf(&b, "telemetry: %d sims executed, %d cache hits (%d mem / %d disk reads, %d misses), %d evictions, %d retries, %d failovers\n",
 		c.SimsExecuted, c.CacheHits, c.CacheMemHits, c.CacheDiskHits, c.CacheMisses,
 		c.Evictions, c.Retries, c.Failovers)
+	if c.PretrainRuns+c.AffinityHits+c.AffinityMisses+c.StolenJobs+c.SnapshotBytesShipped > 0 {
+		fmt.Fprintf(&b, "  scheduling: %d fleet pretrain runs, %d affinity hits / %d misses, %d stolen, %d snapshot B shipped\n",
+			c.PretrainRuns, c.AffinityHits, c.AffinityMisses, c.StolenJobs, c.SnapshotBytesShipped)
+	}
 	if len(m.Phases) > 0 {
 		names := make([]string, 0, len(m.Phases))
 		for n := range m.Phases {
@@ -246,11 +283,19 @@ func (m Metrics) Summary() string {
 // suffix, empty when the endpoint moved no frames (an in-process pool
 // has no wire).
 func (ep Endpoint) wireSummary() string {
-	if ep.Frames == 0 {
-		return ""
+	var s string
+	if ep.Frames > 0 {
+		s = fmt.Sprintf(", %d frames (%.1f specs/frame), %d B sent / %d B recv",
+			ep.Frames, float64(ep.Specs)/float64(ep.Frames), ep.BytesSent, ep.BytesRecv)
 	}
-	return fmt.Sprintf(", %d frames (%.1f specs/frame), %d B sent / %d B recv",
-		ep.Frames, float64(ep.Specs)/float64(ep.Frames), ep.BytesSent, ep.BytesRecv)
+	if ep.AffinityHits+ep.AffinityMisses+ep.Stolen > 0 {
+		s += fmt.Sprintf(", %d/%d affinity hits, %d stolen",
+			ep.AffinityHits, ep.AffinityHits+ep.AffinityMisses, ep.Stolen)
+	}
+	if ep.SnapBytesSent > 0 {
+		s += fmt.Sprintf(", %d snap B pushed", ep.SnapBytesSent)
+	}
+	return s
 }
 
 // Collector accumulates a Metrics snapshot. It is safe for concurrent
@@ -335,6 +380,11 @@ func (c *Collector) Add(m Metrics) {
 	cc.Evictions += mc.Evictions
 	cc.Retries += mc.Retries
 	cc.Failovers += mc.Failovers
+	cc.PretrainRuns += mc.PretrainRuns
+	cc.AffinityHits += mc.AffinityHits
+	cc.AffinityMisses += mc.AffinityMisses
+	cc.StolenJobs += mc.StolenJobs
+	cc.SnapshotBytesShipped += mc.SnapshotBytesShipped
 	for _, mep := range m.Endpoints {
 		ep, ok := c.endpoints[mep.Endpoint]
 		if !ok {
@@ -348,6 +398,10 @@ func (c *Collector) Add(m Metrics) {
 		ep.BytesRecv += mep.BytesRecv
 		ep.Frames += mep.Frames
 		ep.Specs += mep.Specs
+		ep.AffinityHits += mep.AffinityHits
+		ep.AffinityMisses += mep.AffinityMisses
+		ep.Stolen += mep.Stolen
+		ep.SnapBytesSent += mep.SnapBytesSent
 		ep.Latency.merge(mep.Latency)
 	}
 	c.mu.Unlock()
