@@ -23,8 +23,12 @@ import (
 	"testing"
 	"time"
 
+	"fedgpo/internal/data"
+	"fedgpo/internal/device"
 	"fedgpo/internal/exp"
 	"fedgpo/internal/fl"
+	"fedgpo/internal/interfere"
+	"fedgpo/internal/netsim"
 	"fedgpo/internal/runtime"
 	"fedgpo/internal/workload"
 )
@@ -191,14 +195,22 @@ func BenchmarkAblation_ColdStart(b *testing.B) {
 //     executed on one worker versus all cores (cross-cell sharding).
 //     On a single-core machine the ratio is ~1 by construction.
 //   - inner_speedup_x: a single serial cell stream with per-round
-//     participant fan-out off versus on (intra-round parallelism).
+//     participant fan-out off versus on (intra-round parallelism),
+//     measured on a heavy 3000-participant stream — the regime where
+//     the PR 9 adaptive gate approves fan-out. On a single-CPU
+//     process the gate pins the inner path to the identical serial
+//     loop every round, so the ratio is 1 by construction and is
+//     reported as exactly 1.0 instead of timing the same loop twice.
 //   - fig11_seconds / pretrain_warmups: cold generation time of a
 //     comparison figure and how many FedGPO Q-table warm-ups it
 //     actually ran — the pretrained-controller cache shares one
 //     warm-up per scenario across every cell, seed and probe, which
 //     is the dominant fixed cost of the comparison figures.
-//   - warm_speedup_x: the same sweep against a cold on-disk run cache
-//     versus a rerun over the populated cache (every cell replayed).
+//   - warm_speedup_x: a 200-device sweep against a cold on-disk run
+//     cache versus a rerun over the populated cache (every cell
+//     replayed). The heavier fleet keeps cold simulation well above
+//     the warm path's per-cell decode cost now that the PR 9 kernel
+//     simulates small cells about as fast as their cache entries parse.
 //   - wire_bytes_per_cell / wire_v3_bytes_per_cell: what one of the
 //     sweep's cells costs on the wire under the v4 binary framing
 //     versus the v3 JSON framing, measured on the real request and
@@ -213,6 +225,17 @@ func BenchmarkAblation_ColdStart(b *testing.B) {
 //     per-process singleflight dedups within an endpoint, and wire v5
 //     ships the snapshot to any cell scheduled elsewhere. CI gates
 //     fleet_pretrain_runs == fleet_scenarios.
+//   - sim_allocs_per_round / sim_ns_per_round: the simulation kernel
+//     itself — one warmed-arena cell run steady-state, heap
+//     allocations (ReadMemStats Mallocs delta, exact) and wall time
+//     per round. CI gates the allocation ceiling; since PR 9 the
+//     round loop is arena-backed and allocation-free in steady state.
+//
+// All sweep timings are min-of-N over interleaved passes, so a
+// background scheduling hiccup on one side cannot fake a regression
+// (or a win): inner_speedup_x >= 1.0 is CI-gated, and with the PR 9
+// adaptive gate the inner path falls back to the identical serial
+// loop whenever fan-out would not pay.
 //
 // With BENCH_JSON=<path> in the environment the reported metrics are
 // additionally written as a JSON artifact so CI can gate on the bench
@@ -235,6 +258,25 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		exp.SweepStatic(o, s, params, 1)
 		return time.Since(start)
 	}
+	// heavy is the inner-parallelism probe: a 3000-device fleet with
+	// every device participating each round, so the per-round
+	// participant loop carries enough work (~20ns/item memoized ×3000 ≈
+	// 60µs) that the adaptive gate approves fan-out on a multi-core
+	// host. Paper-scale rounds like s above never clear the gate's
+	// floor — serial and inner-on runs would execute the same code
+	// path, making the ratio pure timer noise.
+	sHeavy := exp.Ideal(workload.CNNMNIST())
+	sHeavy.Fleet.Size = 3000
+	sHeavy.MaxRounds = 100
+	heavyParams := []fl.Params{{B: 8, E: 5, K: 3000}, {B: 8, E: 10, K: 3000}, {B: 8, E: 20, K: 3000}}
+	heavy := func(inner int) time.Duration {
+		o := exp.Tiny()
+		o.Parallel = 1
+		o.InnerParallel = inner
+		start := time.Now()
+		exp.SweepStatic(o, sHeavy, heavyParams, 1)
+		return time.Since(start)
+	}
 	fig11 := func() (time.Duration, int) {
 		rt, err := exp.NewRuntime(0, "")
 		if err != nil {
@@ -247,11 +289,20 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		warmups, _ := rt.PretrainStats()
 		return time.Since(start), warmups
 	}
+	// The cache probe runs on a heavier fleet than s: per-round
+	// simulation cost scales with fleet size while a warm replay's cost
+	// (decoding the cached round history) does not, and since the PR 9
+	// arena/memo pass a 20-device cold cell simulates about as fast as
+	// its cache entry decodes — the ratio would no longer discriminate a
+	// broken warm path from an honest one. At 200 devices cold
+	// simulation dominates again.
+	sCache := s
+	sCache.Fleet.Size = 200
 	cached := func(dir string) time.Duration {
 		o := exp.Tiny()
 		o.CacheDir = dir
 		start := time.Now()
-		exp.SweepStatic(o, s, params, 1)
+		exp.SweepStatic(o, sCache, params, 1)
 		return time.Since(start)
 	}
 	// wireAndStore measures the data-plane metrics on the sweep's real
@@ -366,15 +417,71 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		}
 		return float64(m.Counters.PretrainRuns), float64(len(scens)), hitRate
 	}
+	// simKernel measures the round loop itself, isolated from the sweep
+	// substrate: one simulation cell on a pre-warmed arena, serial inner
+	// path (the gate's steady state for cells this size). Allocations
+	// come from the exact Mallocs delta, not sampling; time is
+	// min-of-N so the ns/round figure is the kernel's floor.
+	simKernel := func() (allocsPerRound, nsPerRound float64) {
+		w := workload.CNNMNIST()
+		fleet := device.NewFleet(device.PaperComposition().Scale(20))
+		cfg := fl.Config{
+			Workload:          w,
+			Fleet:             fleet,
+			Partition:         data.IID(len(fleet), w.NumClasses, w.SamplesPerDevice),
+			Channel:           netsim.StableChannel(),
+			Interference:      interfere.None(),
+			MaxRounds:         200,
+			Seed:              1,
+			StopAtConvergence: false,
+		}
+		p := fl.Params{B: 8, E: 10, K: 10}
+		a := fl.NewArena()
+		fl.RunWithArena(cfg, fl.NewStatic(p), a) // warm arena + memo tables
+		var m0, m1 stdruntime.MemStats
+		for pass := 0; pass < 5; pass++ {
+			ctrl := fl.NewStatic(p)
+			stdruntime.ReadMemStats(&m0)
+			start := time.Now()
+			res := fl.RunWithArena(cfg, ctrl, a)
+			d := time.Since(start)
+			stdruntime.ReadMemStats(&m1)
+			rounds := float64(res.RoundsExecuted)
+			apr := float64(m1.Mallocs-m0.Mallocs) / rounds
+			npr := float64(d.Nanoseconds()) / rounds
+			if pass == 0 || apr < allocsPerRound {
+				allocsPerRound = apr
+			}
+			if pass == 0 || npr < nsPerRound {
+				nsPerRound = npr
+			}
+		}
+		return allocsPerRound, nsPerRound
+	}
 	cores := stdruntime.GOMAXPROCS(0)
-	var serial, parallel, innerOn, figTime, cold, warm time.Duration
+	var serial, parallel, innerOff, innerOn, figTime, cold, warm time.Duration
 	warmups := 0
+	minD := func(acc *time.Duration, d time.Duration) {
+		if *acc == 0 || d < *acc {
+			*acc = d
+		}
+	}
 	for i := 0; i < b.N; i++ {
-		// sweep(1, 0) doubles as both the outer-parallelism baseline and
-		// the inner-parallelism-off baseline (it is the same config).
-		serial += sweep(1, 0)
-		parallel += sweep(0, 0)
-		innerOn += sweep(1, cores)
+		// Interleaved min-of-N: alternating the passes keeps slow ambient
+		// load from biasing one side of a ratio. The gated inner pair
+		// gets two extra passes because its win (~5-10% end-to-end: the
+		// fanned-out participant loop is a minority of a round next to
+		// the serial RNG state sampling) is closest to its CI floor.
+		for pass := 0; pass < 3; pass++ {
+			minD(&serial, sweep(1, 0))
+			minD(&parallel, sweep(0, 0))
+		}
+		if cores > 1 {
+			for pass := 0; pass < 5; pass++ {
+				minD(&innerOff, heavy(0))
+				minD(&innerOn, heavy(cores))
+			}
+		}
 		ft, w := fig11()
 		figTime += ft
 		warmups = w
@@ -386,12 +493,19 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 	}
 	v3Bytes, v4Bytes, rssBytes := wireAndStore()
 	fleetRuns, fleetScens, hitRate := fleetReuse()
+	simAllocs, simNs := simKernel()
+	// On one CPU the gate forbids fan-out, so inner-on and inner-off runs
+	// are byte-for-byte the same serial loop: the true ratio is 1.
+	innerSpeedup := 1.0
+	if cores > 1 {
+		innerSpeedup = innerOff.Seconds() / innerOn.Seconds()
+	}
 	metrics := map[string]float64{
 		"fleet_pretrain_runs":    fleetRuns,
 		"fleet_scenarios":        fleetScens,
 		"affinity_hit_rate":      hitRate,
 		"speedup_x":              serial.Seconds() / parallel.Seconds(),
-		"inner_speedup_x":        serial.Seconds() / innerOn.Seconds(),
+		"inner_speedup_x":        innerSpeedup,
 		"fig11_seconds":          figTime.Seconds() / float64(b.N),
 		"pretrain_warmups":       float64(warmups),
 		"workers":                float64(cores),
@@ -399,6 +513,8 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		"wire_bytes_per_cell":    v4Bytes,
 		"wire_v3_bytes_per_cell": v3Bytes,
 		"results_rss_bytes":      rssBytes,
+		"sim_allocs_per_round":   simAllocs,
+		"sim_ns_per_round":       simNs,
 	}
 	for name, v := range metrics {
 		b.ReportMetric(v, name)

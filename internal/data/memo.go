@@ -1,0 +1,103 @@
+package data
+
+// Memo caches a Partition's pure per-device signals (sample counts,
+// non-IID degrees, class counts) and owns the scratch buffer behind
+// coverage queries, so the simulation round loop stops re-deriving
+// identical entropy sums for every participant of every round. All
+// queries return bit-identical values to the Partition methods they
+// shadow — enforced by TestMemoMatchesPartition.
+//
+// Reset is not safe for concurrent use; the query methods that take no
+// scratch (DeviceSamples, NonIIDDegree, DeviceClassCount,
+// DeviceClassFraction) are read-only after Reset and may be called from
+// many goroutines. ParticipantSkew and ParticipantCoverage reuse
+// internal scratch and must stay on one goroutine.
+type Memo struct {
+	p         Partition
+	samples   []int
+	degrees   []float64
+	classCnt  []int
+	classFrac []float64
+	covered   []bool
+}
+
+// Reset points the memo at p and precomputes every per-device signal.
+// It reuses the memo's backing arrays when they are large enough.
+func (m *Memo) Reset(p Partition) {
+	m.p = p
+	n := p.NumDevices()
+	if cap(m.samples) < n {
+		m.samples = make([]int, n)
+		m.degrees = make([]float64, n)
+		m.classCnt = make([]int, n)
+		m.classFrac = make([]float64, n)
+	}
+	m.samples = m.samples[:n]
+	m.degrees = m.degrees[:n]
+	m.classCnt = m.classCnt[:n]
+	m.classFrac = m.classFrac[:n]
+	for d := 0; d < n; d++ {
+		m.samples[d] = p.DeviceSamples(d)
+		m.degrees[d] = p.NonIIDDegree(d)
+		m.classCnt[d] = p.DeviceClassCount(d)
+		m.classFrac[d] = p.DeviceClassFraction(d)
+	}
+	if cap(m.covered) < p.NumClasses {
+		m.covered = make([]bool, p.NumClasses)
+	}
+	m.covered = m.covered[:p.NumClasses]
+}
+
+// DeviceSamples is Partition.DeviceSamples, memoized.
+func (m *Memo) DeviceSamples(d int) int { return m.samples[d] }
+
+// NonIIDDegree is Partition.NonIIDDegree, memoized.
+func (m *Memo) NonIIDDegree(d int) float64 { return m.degrees[d] }
+
+// DeviceClassCount is Partition.DeviceClassCount, memoized.
+func (m *Memo) DeviceClassCount(d int) int { return m.classCnt[d] }
+
+// DeviceClassFraction is Partition.DeviceClassFraction, memoized.
+func (m *Memo) DeviceClassFraction(d int) float64 { return m.classFrac[d] }
+
+// ParticipantSkew is Partition.ParticipantSkew over the memoized
+// per-device signals: the accumulation order matches the original, so
+// the result is bit-identical.
+func (m *Memo) ParticipantSkew(devices []int) float64 {
+	totalSamples := 0
+	weighted := 0.0
+	for _, d := range devices {
+		n := m.samples[d]
+		totalSamples += n
+		weighted += float64(n) * m.degrees[d]
+	}
+	if totalSamples == 0 {
+		return 0
+	}
+	return weighted / float64(totalSamples)
+}
+
+// ParticipantCoverage is Partition.ParticipantCoverage with the
+// coverage bitmap drawn from the memo's scratch instead of a per-call
+// allocation.
+func (m *Memo) ParticipantCoverage(devices []int) float64 {
+	if m.p.NumClasses == 0 {
+		return 0
+	}
+	covered := m.covered
+	clear(covered)
+	for _, d := range devices {
+		for c, n := range m.p.Counts[d] {
+			if n > 0 {
+				covered[c] = true
+			}
+		}
+	}
+	n := 0
+	for _, v := range covered {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(m.p.NumClasses)
+}

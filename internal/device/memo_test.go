@@ -1,0 +1,69 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+// memoTestShapes span the workload space without importing the
+// workload package (which imports device): a compute-bound CNN-like
+// shape, a memory-bound LSTM-like shape, and a heavyweight
+// MobileNet-like shape whose working set stresses low-end RAM.
+var memoTestShapes = map[string]WorkloadShape{
+	"cnn":  {FLOPsPerSample: 2e7, BytesPerSample: 3e5, ModelBytes: 6e6, MemoryIntensity: 0.2},
+	"lstm": {FLOPsPerSample: 6e7, BytesPerSample: 5e6, ModelBytes: 3.2e6, MemoryIntensity: 0.8},
+	"mob":  {FLOPsPerSample: 1.1e9, BytesPerSample: 2e7, ModelBytes: 1.7e7, MemoryIntensity: 0.45},
+}
+
+// TestCostModelMatchesComputeSeconds is the memo's contract: warmed or
+// not, Seconds must be bit-identical to the direct computation for
+// every profile, workload shape, batch size and interference level.
+func TestCostModelMatchesComputeSeconds(t *testing.T) {
+	intfs := []Interference{
+		{},
+		{CPUUsage: 0.3},
+		{MemUsage: 0.5},
+		{CPUUsage: 0.9, MemUsage: 0.9},
+		{CPUUsage: 1.5, MemUsage: 2.0}, // beyond-range values exercise the clamps
+	}
+	for name, w := range memoTestShapes {
+		for cat, p := range Profiles() {
+			m := NewCostModel(p, w)
+			for _, b := range []int{1, 2, 8, 32, 256, maxWarmBatch, maxWarmBatch + 100} {
+				// Check both the unwarmed fallback and the warmed path.
+				for pass := 0; pass < 2; pass++ {
+					if pass == 1 {
+						m.Warm(b)
+					}
+					for _, e := range []int{0, 1, 5, 20} {
+						for _, samples := range []int{0, 1, 300, 5000} {
+							for _, intf := range intfs {
+								want := ComputeSeconds(p, w, b, e, samples, intf)
+								got := m.Seconds(b, e, samples, intf)
+								if math.Float64bits(got) != math.Float64bits(want) {
+									t.Fatalf("%s/%v b=%d e=%d samples=%d intf=%+v pass=%d: memo %v != direct %v",
+										name, cat, b, e, samples, intf, pass, got, want)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCostModelWarmBounds(t *testing.T) {
+	p := Profiles()[High]
+	m := NewCostModel(p, memoTestShapes["cnn"])
+	m.Warm(0)
+	m.Warm(-5)
+	m.Warm(maxWarmBatch + 1)
+	if len(m.perB) != 0 {
+		t.Fatalf("out-of-range Warm grew the table to %d entries", len(m.perB))
+	}
+	m.Warm(16)
+	if len(m.perB) != 17 || !m.perB[16].warmed {
+		t.Fatalf("Warm(16) did not populate the table (len=%d)", len(m.perB))
+	}
+}

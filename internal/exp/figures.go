@@ -398,9 +398,3 @@ func Fig7(o Options) Table {
 	return t
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -160,7 +160,7 @@ func Sec54(o Options) Table {
 	}
 
 	perRound := func(ns int64) string {
-		return fmt.Sprintf("%.1f us", float64(ns)/1e9/float64(maxInt(1, ex.OverheadRounds))*1e6)
+		return fmt.Sprintf("%.1f us", float64(ns)/1e9/float64(max(1, ex.OverheadRounds))*1e6)
 	}
 	t.AddRow("identify per-device states", perRound(ex.IdentifyStatesNS), "496.8 us")
 	t.AddRow("choose global parameters", perRound(ex.ChooseParamsNS), "0.2 us")
@@ -169,7 +169,7 @@ func Sec54(o Options) Table {
 	totalNS := ex.IdentifyStatesNS + ex.ChooseParamsNS + ex.CalcRewardNS + ex.UpdateTablesNS
 	t.AddRow("total controller overhead", perRound(totalNS), "499.6 us")
 	t.AddRow("overhead share of round time",
-		fmtPct(100*float64(totalNS)/1e9/float64(maxInt(1, ex.OverheadRounds))/res.AvgRoundSeconds), "0.7%")
+		fmtPct(100*float64(totalNS)/1e9/float64(max(1, ex.OverheadRounds))/res.AvgRoundSeconds), "0.7%")
 	t.AddRow("Q-table memory", fmt.Sprintf("%.1f KB", float64(ex.MemBytes)/1024), "~400 KB (0.4 MB)")
 	t.Notes = append(t.Notes,
 		"overhead is wall-clock measured inside the controller; the simulator's round time is virtual, so the share-of-round-time row divides real microseconds by simulated seconds exactly as the paper divides measured microseconds by real round seconds",
@@ -177,9 +177,3 @@ func Sec54(o Options) Table {
 	return t
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -465,7 +465,7 @@ func fedgpoVariantContender(s ScenarioSpec, name string, mutate func(*core.Confi
 		Name:       name,
 		Core:       &cfg,
 		WarmSeed:   warmupSeed,
-		WarmRounds: minInt(150, s.rounds()),
+		WarmRounds: min(150, s.rounds()),
 	}
 }
 

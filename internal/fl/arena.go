@@ -1,0 +1,173 @@
+package fl
+
+import (
+	"sync"
+
+	"fedgpo/internal/data"
+	"fedgpo/internal/device"
+	"fedgpo/internal/netsim"
+)
+
+// costKey identifies one memoized compute-cost table. Profile and
+// WorkloadShape are flat comparable structs, so the pair is a valid map
+// key and two fleets with identical hardware share tables for free.
+type costKey struct {
+	prof  device.Profile
+	shape device.WorkloadShape
+}
+
+// Arena owns every buffer the simulation round loop touches, so that a
+// run — and every run after it that reuses the arena — executes its
+// steady-state rounds without allocating. Run draws arenas from a
+// package-level sync.Pool, which in practice gives each outer worker a
+// long-lived arena carried across the simulation cells it executes;
+// RunWithArena accepts an explicit arena for benchmarks and tests.
+//
+// Reuse is safe because RunWithArena rewrites every slot it later
+// reads: per-fleet tables are refilled by beginRun, the participant
+// buffers are fully overwritten each round (parts via composite
+// literals, so stale Dropped/energy fields cannot leak), and the memo
+// tables are keyed by value. The only state deliberately carried
+// across runs is the compute-cost memo, which is pure per
+// (profile, workload, batch) — reusing it cannot change any result,
+// only skip re-deriving it. A dirty arena therefore yields
+// byte-identical output to a fresh one (enforced by
+// TestRunWithDirtyArenaByteIdentical).
+//
+// An Arena belongs to one goroutine at a time. The slices handed to
+// controllers through Observation/RoundResult point into it — see the
+// ownership contract on those types.
+type Arena struct {
+	// Per-fleet tables, refilled by beginRun.
+	profiles []device.Profile
+	samples  []int
+	devCost  []*device.CostModel
+	states   []DeviceState
+	perm     []int
+
+	// sel double-buffers participant selection: the previous round's
+	// buffer stays intact while the current one is written, so
+	// Observation.PrevParticipants remains valid through the round it
+	// describes.
+	sel [2][]int
+
+	// Per-round participant buffers (sized to the fleet once).
+	parts       []DeviceRound
+	commJoules  []float64
+	times       []float64
+	selectedSet []bool
+	aggIDs      []int
+
+	// Per-run accumulators.
+	cumTime   []float64
+	cumEnergy []float64
+
+	part data.Memo
+	comm netsim.CommModel
+	gate Gate
+	kern roundKernel
+
+	// costs persists across runs: compute-cost tables are pure in
+	// (profile, workload, batch), so cells sharing hardware and
+	// workload reuse them outright.
+	costs map[costKey]*device.CostModel
+}
+
+// NewArena returns an empty arena. Buffers grow on first use and are
+// reused afterwards.
+func NewArena() *Arena {
+	return &Arena{costs: make(map[costKey]*device.CostModel)}
+}
+
+// arenaPool recycles arenas across Run calls. sync.Pool is per-P under
+// the hood, so an outer worker goroutine keeps getting its own arena
+// back while it walks its shard of simulation cells.
+var arenaPool = sync.Pool{New: func() any { return NewArena() }}
+
+// beginRun sizes the arena for cfg's fleet and precomputes the per-run
+// memo tables (partition signals, per-device cost models, channel
+// power bands).
+func (a *Arena) beginRun(cfg *Config) {
+	n := len(cfg.Fleet)
+	if cap(a.profiles) < n {
+		a.profiles = make([]device.Profile, n)
+		a.samples = make([]int, n)
+		a.devCost = make([]*device.CostModel, n)
+		a.states = make([]DeviceState, n)
+		a.perm = make([]int, n)
+		a.sel[0] = make([]int, n)
+		a.sel[1] = make([]int, n)
+		a.parts = make([]DeviceRound, n)
+		a.commJoules = make([]float64, n)
+		a.times = make([]float64, n)
+		a.selectedSet = make([]bool, n)
+		a.aggIDs = make([]int, 0, n)
+	}
+	a.profiles = a.profiles[:n]
+	a.samples = a.samples[:n]
+	a.devCost = a.devCost[:n]
+	a.states = a.states[:n]
+	a.perm = a.perm[:n]
+	a.parts = a.parts[:n]
+	a.commJoules = a.commJoules[:n]
+	a.times = a.times[:n]
+	a.selectedSet = a.selectedSet[:n]
+
+	a.part.Reset(cfg.Partition)
+	for i, d := range cfg.Fleet {
+		a.profiles[i] = d.Profile
+		a.samples[i] = a.part.DeviceSamples(d.ID)
+		key := costKey{prof: d.Profile, shape: cfg.Workload.Shape}
+		cm := a.costs[key]
+		if cm == nil {
+			cm = device.NewCostModel(d.Profile, cfg.Workload.Shape)
+			a.costs[key] = cm
+		}
+		a.devCost[i] = cm
+	}
+	a.comm = cfg.Channel.Model()
+	a.gate.Reset()
+
+	if cap(a.cumTime) < cfg.MaxRounds {
+		a.cumTime = make([]float64, 0, cfg.MaxRounds)
+		a.cumEnergy = make([]float64, 0, cfg.MaxRounds)
+	}
+	a.cumTime = a.cumTime[:0]
+	a.cumEnergy = a.cumEnergy[:0]
+}
+
+// roundKernel is the arena-resident closure state of executeRound's
+// phase 2 (the deterministic per-participant modeling). It is a struct
+// with a method rather than a func literal so the serial path can call
+// it without materializing a closure: a literal passed to a function
+// that may hand it to goroutines is heap-allocated at its definition
+// site every round, even on rounds that never fan out.
+type roundKernel struct {
+	parts      []DeviceRound
+	states     []DeviceState
+	samples    []int
+	devCost    []*device.CostModel
+	comm       *netsim.CommModel
+	part       *data.Memo
+	commJoules []float64
+	modelBytes float64
+}
+
+// model computes participant i's deterministic round terms. It writes
+// only index-i slots (plus the device-indexed read-only tables), which
+// is what makes fanning it out byte-identical to the serial loop.
+func (k *roundKernel) model(i int) {
+	p := &k.parts[i]
+	id := p.DeviceID
+	st := &k.states[id]
+	comp := k.devCost[id].Seconds(p.Local.B, p.Local.E, k.samples[id], st.Interference)
+	rt := k.comm.RoundTrip(k.modelBytes, st.Network)
+	p.ComputeSec = comp
+	p.CommSec = rt.Seconds
+	p.TotalSec = comp + rt.Seconds
+	p.Samples = k.samples[id]
+	p.SkewDegree = k.part.NonIIDDegree(id)
+	p.Interfered = st.Interference.CPUUsage > 0 || st.Interference.MemUsage > 0
+	p.NetworkBad = !st.Network.Regular()
+	k.commJoules[i] = rt.Joules
+}

@@ -26,6 +26,12 @@ type DeviceState struct {
 
 // Observation is the controller's view of the federation at the start
 // of an aggregation round.
+//
+// Ownership: the States and PrevParticipants slices point into the
+// run's scratch arena and are only valid until the next round begins
+// (they are always valid for the duration of the Plan call and the
+// round it plans). A controller that wants to keep them across rounds
+// must copy them; every value field is retention-safe.
 type Observation struct {
 	// Round is the 1-based aggregation round about to execute.
 	Round int
@@ -77,6 +83,12 @@ type DeviceRound struct {
 
 // RoundResult is the controller feedback after a round completes: the
 // measurements FedGPO's reward (paper Eq. 1) is computed from.
+//
+// Ownership: the Participants and States slices point into the run's
+// scratch arena and are only valid during the Observe call they are
+// passed to — the next round overwrites them in place. A controller
+// that retains them must copy; scalar fields and the EnergyByCategory
+// array are value-copied and retention-safe.
 type RoundResult struct {
 	Round int
 	// Plan echoes the K the controller requested.
@@ -92,8 +104,12 @@ type RoundResult struct {
 	// EnergyGlobalJ is Eq. 6: the sum of all N devices' energy for the
 	// round, participants and idlers alike.
 	EnergyGlobalJ float64
-	// EnergyByCategory splits EnergyGlobalJ by device category.
-	EnergyByCategory map[device.Category]float64
+	// EnergyByCategory splits EnergyGlobalJ by device category,
+	// indexed by device.Category. A fixed array rather than a map: the
+	// round loop fills it allocation-free, and controllers copy it by
+	// value (Result's summarize step converts to the map form reports
+	// expect).
+	EnergyByCategory [device.NumCategories]float64
 	// Accuracy and PrevAccuracy are the test accuracies after and
 	// before the round.
 	Accuracy     float64
@@ -122,6 +138,11 @@ type Controller interface {
 type Static struct {
 	P     Params
 	Label string
+	// local caches the constant assignment closure so Plan stops
+	// allocating one per round (grid sweeps call Plan millions of
+	// times). Built lazily from P on first use; P must not change
+	// after the first Plan call.
+	local func(device.Device, DeviceState) LocalParams
 }
 
 // NewStatic returns a Static controller for p.
@@ -137,8 +158,11 @@ func (s *Static) Name() string {
 
 // Plan returns the fixed parameters.
 func (s *Static) Plan(Observation) Plan {
-	lp := LocalParams{B: s.P.B, E: s.P.E}
-	return Plan{K: s.P.K, Local: func(device.Device, DeviceState) LocalParams { return lp }}
+	if s.local == nil {
+		lp := LocalParams{B: s.P.B, E: s.P.E}
+		s.local = func(device.Device, DeviceState) LocalParams { return lp }
+	}
+	return Plan{K: s.P.K, Local: s.local}
 }
 
 // Observe is a no-op: a static policy does not learn.

@@ -305,6 +305,9 @@ func TestObservationStatesCoverFleet(t *testing.T) {
 }
 
 // probeController forwards to an inner controller and records results.
+// RoundResult's slices are arena-owned and only valid during Observe
+// (see the ownership contract on RoundResult), so retaining the result
+// across rounds requires deep-copying them.
 type probeController struct {
 	inner Controller
 	sink  *[]RoundResult
@@ -313,7 +316,10 @@ type probeController struct {
 func (p *probeController) Name() string            { return p.inner.Name() }
 func (p *probeController) Plan(o Observation) Plan { return p.inner.Plan(o) }
 func (p *probeController) Observe(r RoundResult) {
-	*p.sink = append(*p.sink, r)
+	kept := r
+	kept.Participants = append([]DeviceRound(nil), r.Participants...)
+	kept.States = append([]DeviceState(nil), r.States...)
+	*p.sink = append(*p.sink, kept)
 	p.inner.Observe(r)
 }
 

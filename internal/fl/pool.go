@@ -1,6 +1,10 @@
 package fl
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+	"time"
+)
 
 // Pool is the bounded inner worker budget shared by every simulation
 // run wired to it: a token bucket of "extra" goroutines that
@@ -47,17 +51,27 @@ func (p *Pool) Extra() int {
 // afterwards, in index order. A panic in any chunk is re-raised on the
 // calling goroutine after the remaining helpers drain.
 func (p *Pool) ForEach(n int, fn func(int)) {
+	p.forEachUpTo(n, n-1, fn)
+}
+
+// forEachUpTo is ForEach with a caller-imposed ceiling on how many
+// helpers to borrow (the adaptive gate's lever: maxHelpers <= 0 runs
+// serial without touching the token bucket). It returns the number of
+// goroutines that executed chunks, including the caller.
+func (p *Pool) forEachUpTo(n, maxHelpers int, fn func(int)) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	helpers := 0
-	if p != nil {
-		max := n - 1
-		if max > cap(p.sem) {
-			max = cap(p.sem)
+	if p != nil && maxHelpers > 0 {
+		if maxHelpers > n-1 {
+			maxHelpers = n - 1
+		}
+		if maxHelpers > cap(p.sem) {
+			maxHelpers = cap(p.sem)
 		}
 	acquire:
-		for helpers < max {
+		for helpers < maxHelpers {
 			select {
 			case p.sem <- struct{}{}:
 				helpers++
@@ -70,7 +84,7 @@ func (p *Pool) ForEach(n int, fn func(int)) {
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
-		return
+		return 1
 	}
 	workers := helpers + 1
 	var (
@@ -106,4 +120,102 @@ func (p *Pool) ForEach(n int, fn func(int)) {
 	if panicVal != nil {
 		panic(panicVal)
 	}
+	return workers
+}
+
+// Gate gating thresholds. Spawning and joining a helper goroutine plus
+// the token-bucket traffic costs a handful of microseconds; fanning out
+// only pays when the work dwarfs that.
+const (
+	// gateEMAAlpha is the weight of the newest per-item cost sample.
+	gateEMAAlpha = 0.4
+	// gateMinFanoutNs is the minimum estimated total work (ns) worth
+	// fanning out at all: spawn+join costs a few microseconds, so
+	// paper-scale rounds (tens of participants at ~300ns each) stay
+	// serial while big-fleet rounds fan out.
+	gateMinFanoutNs = 20_000.0
+	// gateMinChunkNs is the minimum estimated work (ns) each extra
+	// worker should carry; it caps the helper count so chunks stay
+	// coarse enough to amortize the spawn/join overhead.
+	gateMinChunkNs = 10_000.0
+)
+
+// Gate is the adaptive serial/parallel decision for a run's inner
+// per-participant loop. It learns the per-item cost of the loop body
+// from an EMA over observed round timings and only approves fanning
+// out when the estimated total work clears gateMinFanoutNs, capping
+// the helper count so every chunk is worth at least gateMinChunkNs
+// (PR 8's BENCH recorded inner_speedup_x = 0.93: unconditional fan-out
+// of micro-rounds was a net loss).
+//
+// The gate only chooses *whether and how wide* to fan out; the loop
+// contract (per-index writes, serial merge in index order) makes the
+// outcome byte-identical for every decision, so gating can never
+// change a run's result.
+//
+// A Gate belongs to one run at a time and is not safe for concurrent
+// use.
+type Gate struct {
+	perItemNs float64
+	// Procs overrides runtime.GOMAXPROCS(0) in tests; 0 means ask the
+	// runtime.
+	Procs int
+}
+
+// Reset clears the learned cost estimate (call at run start: a new
+// config's per-participant cost is unrelated to the previous run's).
+func (g *Gate) Reset() { g.perItemNs = 0 }
+
+// Observe feeds the measured wall time of a loop pass that processed n
+// items across `workers` goroutines. The per-item estimate scales the
+// elapsed time by the worker count, so parallel rounds keep the
+// estimate calibrated too.
+func (g *Gate) Observe(d time.Duration, n, workers int) {
+	if n <= 0 || d < 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	per := float64(d.Nanoseconds()) * float64(workers) / float64(n)
+	if g.perItemNs == 0 {
+		g.perItemNs = per
+	} else {
+		g.perItemNs += gateEMAAlpha * (per - g.perItemNs)
+	}
+}
+
+// Budget returns the helper ceiling worth borrowing for an n-item
+// pass: 0 (run serial) on a single-CPU process, while the cost is
+// still unknown (first round calibrates serially), or when the
+// estimated total work is below gateMinFanoutNs; otherwise enough
+// helpers that each worker's chunk carries at least gateMinChunkNs,
+// never exceeding the CPUs actually available (oversubscribing a
+// deterministic compute loop only adds scheduling churn).
+func (g *Gate) Budget(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	procs := g.Procs
+	if procs == 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	if procs <= 1 {
+		return 0
+	}
+	if g.perItemNs <= 0 {
+		return 0
+	}
+	total := g.perItemNs * float64(n)
+	if total < gateMinFanoutNs {
+		return 0
+	}
+	helpers := int(total/gateMinChunkNs) - 1
+	if helpers > procs-1 {
+		helpers = procs - 1
+	}
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	return helpers
 }

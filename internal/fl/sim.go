@@ -135,7 +135,22 @@ type Result struct {
 // Run executes one simulated FL training run under the given controller.
 // It panics on an invalid config (programmer error); stochastic outcomes
 // are all derived from cfg.Seed.
+//
+// Run draws its scratch arena from a process-wide pool, so an outer
+// worker goroutine executing many cells back-to-back reuses one arena
+// across all of them. Reuse never changes results — see Arena.
 func Run(cfg Config, ctrl Controller) Result {
+	a := arenaPool.Get().(*Arena)
+	res := RunWithArena(cfg, ctrl, a)
+	arenaPool.Put(a)
+	return res
+}
+
+// RunWithArena is Run against a caller-owned arena. The result is
+// byte-identical whether a is fresh or dirty from any number of prior
+// runs; callers that hold an arena explicitly (benchmarks, tests) can
+// measure or exercise steady-state reuse deterministically.
+func RunWithArena(cfg Config, ctrl Controller, a *Arena) Result {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -148,37 +163,29 @@ func Run(cfg Config, ctrl Controller) Result {
 	tracker := convmodel.NewTracker(cfg.Workload)
 
 	n := len(cfg.Fleet)
-	profiles := make([]device.Profile, n)
-	samples := make([]int, n)
-	for i, d := range cfg.Fleet {
-		profiles[i] = d.Profile
-		samples[i] = cfg.Partition.DeviceSamples(d.ID)
-	}
+	a.beginRun(&cfg)
 
 	res := Result{
 		Controller:       ctrl.Name(),
 		ConvergenceRound: -1,
-		EnergyByCategory: make(map[device.Category]float64, device.NumCategories),
+		History:          make([]RoundRecord, 0, cfg.MaxRounds),
 	}
-	var cumTime, cumEnergy []float64
 	var overhead time.Duration
+	// catEnergy accumulates the per-category energy across rounds in a
+	// fixed array; the Result's map form is built once at the end so
+	// its JSON bytes are unchanged from the per-round-map era.
+	var catEnergy [device.NumCategories]float64
 	prevAcc := cfg.Workload.Learn.InitialAccuracy
 	prevParticipants := []int(nil)
 	// chronicDrop tracks the long-run fraction of selected data that
 	// misses round deadlines (see convmodel.RoundInputs).
 	chronicDrop := stats.NewEMA(0.05)
 
-	// Round-local scratch reused across the loop: these buffers never
-	// escape a round (unlike parts/states/energyByCat, which travel out
-	// through RoundResult into the controller and the history), so
-	// reallocating them per round was pure allocator churn on the inner
-	// hot path.
-	var scr roundScratch
-
 	for round := 1; round <= cfg.MaxRounds; round++ {
 		roundStart := time.Now()
 		// 1. Observe the environment.
-		states := observeStates(cfg, samples, envRNG)
+		states := a.states
+		observeStates(&cfg, &a.part, a.samples, states, envRNG)
 		obs := Observation{
 			Round:            round,
 			Workload:         cfg.Workload,
@@ -202,19 +209,25 @@ func Run(cfg Config, ctrl Controller) Result {
 			k = n
 		}
 
-		// 3. Random participant selection (paper Algorithm 1).
-		selected := selRNG.SampleWithoutReplacement(n, k)
+		// 3. Random participant selection (paper Algorithm 1). PermInto
+		// consumes exactly the draws SampleWithoutReplacement did, so
+		// the selection stream is unchanged; the double-buffered
+		// selection slice keeps the previous round's PrevParticipants
+		// intact while this round's is written.
+		selected := a.sel[round&1][:k]
+		selRNG.PermInto(a.perm)
+		copy(selected, a.perm[:k])
 		sort.Ints(selected)
 
 		// 4. Execute the round.
-		rr := executeRound(cfg, plan, selected, states, profiles, samples, &scr)
+		rr := executeRound(&cfg, plan, selected, a)
 		rr.Round = round
 		rr.PlannedK = k
 		rr.PrevAccuracy = prevAcc
 		rr.States = states
 
 		// 5. Advance the learning model with what was aggregated.
-		in := aggregateInputs(cfg, rr, samples)
+		in := aggregateInputs(rr, a)
 		in.ChronicDropFraction = chronicDrop.Add(1 - in.DataFraction)
 		acc := model.Step(in)
 		rr.Accuracy = acc
@@ -239,13 +252,15 @@ func Run(cfg Config, ctrl Controller) Result {
 			Dropped:      len(selected) - rr.AggregatedK,
 		})
 		prevT, prevE := 0.0, 0.0
-		if len(cumTime) > 0 {
-			prevT, prevE = cumTime[len(cumTime)-1], cumEnergy[len(cumEnergy)-1]
+		if len(a.cumTime) > 0 {
+			prevT, prevE = a.cumTime[len(a.cumTime)-1], a.cumEnergy[len(a.cumEnergy)-1]
 		}
-		cumTime = append(cumTime, prevT+rr.RoundSeconds)
-		cumEnergy = append(cumEnergy, prevE+rr.EnergyGlobalJ)
-		for cat, e := range rr.EnergyByCategory {
-			res.EnergyByCategory[cat] += e
+		a.cumTime = append(a.cumTime, prevT+rr.RoundSeconds)
+		a.cumEnergy = append(a.cumEnergy, prevE+rr.EnergyGlobalJ)
+		// Per-category adds happen key-by-key in round order, exactly
+		// as they did when this was a map-over-map accumulation.
+		for cat := range catEnergy {
+			catEnergy[cat] += rr.EnergyByCategory[cat]
 		}
 
 		converged := tracker.Observe(acc)
@@ -261,64 +276,51 @@ func Run(cfg Config, ctrl Controller) Result {
 	if res.Converged {
 		res.ConvergenceRound = tracker.ConvergenceRound()
 		idx := res.ConvergenceRound - 1
-		if idx >= len(cumTime) {
-			idx = len(cumTime) - 1
+		if idx >= len(a.cumTime) {
+			idx = len(a.cumTime) - 1
 		}
-		res.TimeToConvergenceSec = cumTime[idx]
-		res.EnergyToConvergenceJ = cumEnergy[idx]
+		res.TimeToConvergenceSec = a.cumTime[idx]
+		res.EnergyToConvergenceJ = a.cumEnergy[idx]
 	} else {
-		res.TimeToConvergenceSec = cumTime[len(cumTime)-1]
-		res.EnergyToConvergenceJ = cumEnergy[len(cumEnergy)-1]
+		res.TimeToConvergenceSec = a.cumTime[len(a.cumTime)-1]
+		res.EnergyToConvergenceJ = a.cumEnergy[len(a.cumEnergy)-1]
 	}
 	counted := res.RoundsExecuted
 	if res.Converged {
-		counted = minInt(res.ConvergenceRound, res.RoundsExecuted)
+		counted = min(res.ConvergenceRound, res.RoundsExecuted)
 	}
-	res.AvgRoundSeconds = res.TimeToConvergenceSec / float64(maxInt(1, counted))
+	res.AvgRoundSeconds = res.TimeToConvergenceSec / float64(max(1, counted))
 	res.PPW = computePPW(cfg.Workload, res)
-	res.ControllerOverheadSec = overhead.Seconds() / float64(maxInt(1, res.RoundsExecuted))
+	res.ControllerOverheadSec = overhead.Seconds() / float64(max(1, res.RoundsExecuted))
+
+	// The result's map keys are the categories present in the fleet —
+	// the same key set the old per-round maps accumulated — so the
+	// marshalled Result bytes are unchanged.
+	res.EnergyByCategory = make(map[device.Category]float64, device.NumCategories)
+	var present [device.NumCategories]bool
+	for i := range a.profiles {
+		present[a.profiles[i].Category] = true
+	}
+	for _, cat := range device.Categories() {
+		if present[cat] {
+			res.EnergyByCategory[cat] = catEnergy[cat]
+		}
+	}
 	return res
 }
 
-// observeStates samples this round's per-device environment.
-func observeStates(cfg Config, samples []int, rng *stats.RNG) []DeviceState {
-	n := len(cfg.Fleet)
-	states := make([]DeviceState, n)
+// observeStates samples this round's per-device environment into the
+// arena-provided states slice (one fleet-sized allocation per run was
+// pure churn at this call rate).
+func observeStates(cfg *Config, pm *data.Memo, samples []int, states []DeviceState, rng *stats.RNG) {
 	for i := range states {
 		states[i] = DeviceState{
 			Interference:  cfg.Interference.Sample(rng),
 			Network:       cfg.Channel.Sample(rng),
-			ClassCount:    cfg.Partition.DeviceClassCount(i),
-			ClassFraction: cfg.Partition.DeviceClassFraction(i),
+			ClassCount:    pm.DeviceClassCount(i),
+			ClassFraction: pm.DeviceClassFraction(i),
 			Samples:       samples[i],
 		}
-	}
-	return states
-}
-
-// roundScratch holds executeRound's round-local buffers, reused across
-// a simulation's rounds. Nothing here may escape the round: buffers
-// that travel out through RoundResult (participants, states, per-round
-// energy maps) are allocated fresh each round instead.
-type roundScratch struct {
-	commJoules []float64 // per-participant communication joules
-	times      []float64 // per-participant total seconds
-	selected   []bool    // device id -> selected this round
-}
-
-// reset sizes the buffers for k participants over an n-device fleet
-// and clears the selected set.
-func (s *roundScratch) reset(k, n int) {
-	if cap(s.commJoules) < k {
-		s.commJoules = make([]float64, k)
-		s.times = make([]float64, k)
-	}
-	s.commJoules = s.commJoules[:k]
-	s.times = s.times[:k]
-	if len(s.selected) != n {
-		s.selected = make([]bool, n)
-	} else {
-		clear(s.selected)
 	}
 }
 
@@ -335,13 +337,17 @@ func (s *roundScratch) reset(k, n int) {
 // semantics, energy accounting, aggregation), so every float
 // accumulation happens in the same order for any pool size and the
 // round outcome is byte-identical with or without inner parallelism.
-func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
-	profiles []device.Profile, samples []int, scr *roundScratch) RoundResult {
-	scr.reset(len(selected), len(profiles))
+func executeRound(cfg *Config, plan Plan, selected []int, a *Arena) RoundResult {
+	k := len(selected)
+	parts := a.parts[:k]
+	commJoules := a.commJoules[:k]
+	states := a.states
 
 	// Phase 1: controller assignments (serial; may mutate controller
-	// state and consume controller randomness).
-	parts := make([]DeviceRound, len(selected))
+	// state and consume controller randomness). The composite literal
+	// overwrites every DeviceRound field, so arena reuse cannot leak a
+	// previous round's Dropped/energy values. Warming the cost memo
+	// here — before any fan-out — keeps phase 2 read-only.
 	for i, id := range selected {
 		lp := plan.Local(cfg.Fleet[id], states[id])
 		if lp.B < 1 {
@@ -350,7 +356,8 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 		if lp.E < 1 {
 			lp.E = 1
 		}
-		parts[i] = DeviceRound{DeviceID: id, Category: profiles[id].Category, Local: lp}
+		a.devCost[id].Warm(lp.B)
+		parts[i] = DeviceRound{DeviceID: id, Category: a.profiles[id].Category, Local: lp}
 	}
 
 	// Phase 2: deterministic per-participant modeling (parallelizable).
@@ -358,27 +365,37 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 	// both its seconds and its joules below: the two are one physical
 	// transfer, and a second model call would silently diverge the
 	// moment the channel model becomes stochastic per call.
-	commJoules := scr.commJoules
-	cfg.Inner.ForEach(len(selected), func(i int) {
-		p := &parts[i]
-		id := p.DeviceID
-		st := states[id]
-		comp := device.ComputeSeconds(profiles[id], cfg.Workload.Shape, p.Local.B, p.Local.E,
-			samples[id], st.Interference)
-		comm := cfg.Channel.CommRoundTrip(cfg.Workload.Shape.ModelBytes, st.Network)
-		p.ComputeSec = comp
-		p.CommSec = comm.Seconds
-		p.TotalSec = comp + comm.Seconds
-		p.Samples = samples[id]
-		p.SkewDegree = cfg.Partition.NonIIDDegree(id)
-		p.Interfered = st.Interference.CPUUsage > 0 || st.Interference.MemUsage > 0
-		p.NetworkBad = !st.Network.Regular()
-		commJoules[i] = comm.Joules
-	})
+	//
+	// The kernel lives in the arena (a struct method, not a closure) so
+	// the serial path allocates nothing; the gate decides per round
+	// whether borrowing pool helpers is worth the spawn/join overhead.
+	// Either way each index writes only its own slots and the merge
+	// below runs serially in index order, so the outcome is
+	// byte-identical for every gating decision and pool size.
+	a.kern = roundKernel{
+		parts:      parts,
+		states:     states,
+		samples:    a.samples,
+		devCost:    a.devCost,
+		comm:       &a.comm,
+		part:       &a.part,
+		commJoules: commJoules,
+		modelBytes: cfg.Workload.Shape.ModelBytes,
+	}
+	t0 := time.Now()
+	workers := 1
+	if budget := a.gate.Budget(k); budget > 0 && cfg.Inner != nil {
+		workers = cfg.Inner.forEachUpTo(k, budget, a.kern.model)
+	} else {
+		for i := 0; i < k; i++ {
+			a.kern.model(i)
+		}
+	}
+	a.gate.Observe(time.Since(t0), k, workers)
 
 	// Phase 3: serial merge in fixed device order.
 	mergeStart := time.Now()
-	times := scr.times
+	times := a.times[:k]
 	for i := range parts {
 		times[i] = parts[i].TotalSec
 	}
@@ -399,9 +416,13 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 	// The server-side aggregation tax extends the round for everyone.
 	roundSec := execSec + cfg.AggregationOverheadSec
 
-	// Energy accounting (paper Eqs. 2–6).
-	energyByCat := make(map[device.Category]float64, device.NumCategories)
-	selectedSet := scr.selected
+	// Energy accounting (paper Eqs. 2–6). The per-category split lives
+	// in a fixed-size array (zeroed on the stack each round); the adds
+	// land in the same order the old per-round map saw, so totals are
+	// bit-identical.
+	var energyByCat [device.NumCategories]float64
+	selectedSet := a.selectedSet
+	clear(selectedSet)
 	for _, id := range selected {
 		selectedSet[id] = true
 	}
@@ -409,7 +430,7 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 	var wB, wE, wSamples float64
 	for i := range parts {
 		p := &parts[i]
-		prof := profiles[p.DeviceID]
+		prof := a.profiles[p.DeviceID]
 		busyComp, commJ := p.ComputeSec, commJoules[i]
 		waitIdle := roundSec - p.TotalSec
 		if p.Dropped {
@@ -438,17 +459,19 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 			wSamples += float64(p.Samples)
 		}
 	}
-	for id, prof := range profiles {
+	for id := range a.profiles {
 		if selectedSet[id] {
 			continue
 		}
-		energyByCat[prof.Category] += device.IdleJoules(prof, roundSec)
+		prof := &a.profiles[id]
+		energyByCat[prof.Category] += device.IdleJoules(*prof, roundSec)
 	}
-	// Sum in fixed category order: map iteration order would vary the
-	// float addition order and make runs non-reproducible (the total
-	// feeds the controllers' rewards).
+	// Sum in fixed category order (array index order == the canonical
+	// device.Categories() order): a varying float addition order would
+	// make runs non-reproducible (the total feeds the controllers'
+	// rewards).
 	totalEnergy := 0.0
-	for _, cat := range device.Categories() {
+	for cat := range energyByCat {
 		totalEnergy += energyByCat[cat]
 	}
 
@@ -470,11 +493,14 @@ func executeRound(cfg Config, plan Plan, selected []int, states []DeviceState,
 }
 
 // aggregateInputs converts a round's aggregation outcome into the
-// convergence model's inputs.
-func aggregateInputs(cfg Config, rr RoundResult, samples []int) convmodel.RoundInputs {
-	aggIDs := make([]int, 0, rr.AggregatedK)
+// convergence model's inputs. The aggregated-ID list and the partition
+// signals come from the arena (the partition memo returns bit-identical
+// values to the Partition methods it shadows).
+func aggregateInputs(rr RoundResult, a *Arena) convmodel.RoundInputs {
+	aggIDs := a.aggIDs[:0]
 	selSamples, aggSamples := 0, 0
-	for _, p := range rr.Participants {
+	for i := range rr.Participants {
+		p := &rr.Participants[i]
 		selSamples += p.Samples
 		if !p.Dropped {
 			aggIDs = append(aggIDs, p.DeviceID)
@@ -489,8 +515,8 @@ func aggregateInputs(cfg Config, rr RoundResult, samples []int) convmodel.RoundI
 		MeanB:        rr.MeanB,
 		MeanE:        rr.MeanE,
 		K:            rr.AggregatedK,
-		Skew:         cfg.Partition.ParticipantSkew(aggIDs),
-		Coverage:     cfg.Partition.ParticipantCoverage(aggIDs),
+		Skew:         a.part.ParticipantSkew(aggIDs),
+		Coverage:     a.part.ParticipantCoverage(aggIDs),
 		DataFraction: frac,
 	}
 }
@@ -531,18 +557,4 @@ func computePPW(w workload.Workload, res Result) float64 {
 		scale = 1
 	}
 	return 1 / (res.EnergyToConvergenceJ * scale)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

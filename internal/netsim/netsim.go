@@ -190,3 +190,44 @@ func (ch Channel) CommRoundTrip(modelBytes float64, cond Condition) RoundTrip {
 	j := 2 * ch.TxJoules(modelBytes, cond)
 	return RoundTrip{Seconds: sec, Joules: j}
 }
+
+// CommModel memoizes the channel's pure per-signal-band transmission
+// power (the math.Pow in TxWatts) so the simulation round loop stops
+// re-deriving it for every participant of every round. RoundTrip is
+// bit-identical to Channel.CommRoundTrip — enforced by
+// TestCommModelMatchesCommRoundTrip — and safe for concurrent use once
+// built.
+type CommModel struct {
+	ch      Channel
+	txWatts [3]float64 // indexed by SignalStrength
+}
+
+// Model builds the memoized form of the channel.
+func (ch Channel) Model() CommModel {
+	m := CommModel{ch: ch}
+	for s := SignalStrong; s <= SignalWeak; s++ {
+		m.txWatts[s] = ch.TxWatts(s)
+	}
+	return m
+}
+
+// RoundTrip is Channel.CommRoundTrip with the per-band power memoized.
+func (m *CommModel) RoundTrip(modelBytes float64, cond Condition) RoundTrip {
+	t := TxSeconds(modelBytes, cond)
+	sec := 2 * t
+	if math.IsInf(t, 1) {
+		// Replicates TxJoules' explicit guard: the original returns Inf
+		// here, where watts*Inf could produce NaN for a zero-power
+		// channel.
+		return RoundTrip{Seconds: sec, Joules: math.Inf(1)}
+	}
+	w := 0.0
+	if cond.Signal >= 0 && int(cond.Signal) < len(m.txWatts) {
+		w = m.txWatts[cond.Signal]
+	} else {
+		// Out-of-range bands cannot come from Sample, but a
+		// hand-constructed Condition still gets the unmemoized answer.
+		w = m.ch.TxWatts(cond.Signal)
+	}
+	return RoundTrip{Seconds: sec, Joules: 2 * (w * t)}
+}

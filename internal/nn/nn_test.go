@@ -84,7 +84,7 @@ func numericalGradCheck(t *testing.T, layer Layer, x *Tensor, tol float64) {
 	analytic := layer.Backward(ones)
 
 	const h = 1e-5
-	for i := 0; i < len(x.Data); i += maxInt(1, len(x.Data)/20) {
+	for i := 0; i < len(x.Data); i += max(1, len(x.Data)/20) {
 		orig := x.Data[i]
 		x.Data[i] = orig + h
 		up := sum(layer.Forward(x).Data)
@@ -107,12 +107,6 @@ func sum(xs []float64) float64 {
 	return s
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
 
 func randTensor(rng *stats.RNG, shape ...int) *Tensor {
 	x := NewTensor(shape...)

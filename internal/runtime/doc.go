@@ -241,6 +241,42 @@
 // device order, so results are byte-identical for any inner budget;
 // the budget therefore never appears in a cache key.
 //
+// # Simulation kernel: scratch arenas and adaptive inner gating
+//
+// The cell bodies those workers execute run on fl's zero-allocation
+// kernel. Every fl.Run borrows a per-run scratch arena (fl.Arena) from
+// a process-wide sync.Pool — effectively one arena per outer worker —
+// holding every buffer the round loop touches: participant rounds,
+// device states, selection permutations (double-buffered so a
+// controller's Observation can reference the previous round's
+// participants), aggregation scratch, and a fixed
+// [device.NumCategories]float64 energy accumulator that is only
+// expanded into the Result's category map once at summarize time. The
+// arena also carries bit-identical memo tables for the pure
+// per-(profile, workload, params) cost terms — device.CostModel for
+// batch compute times, netsim.CommModel for round-trip comm cost,
+// data.Memo for partition skew/coverage signals — so steady-state
+// rounds neither allocate nor re-derive invariant math (CI gates
+// sim_allocs_per_round and tracks sim_ns_per_round in BENCH_PR9.json).
+// Reuse is safe across cells of any shape: beginRun resizes and
+// re-derives every table from the new config, and byte-identity of
+// dirty-arena reruns is tested directly.
+//
+// Whether a round's participant loop actually borrows pool helpers is
+// decided adaptively by fl.Gate. The gate learns the loop's
+// per-participant cost from an EMA over observed round timings
+// (normalized by realized worker count) and approves fan-out only when
+// the estimated total work clears a floor worth a goroutine
+// spawn/join, capping helpers so each chunk amortizes its dispatch and
+// never exceeding available CPUs. Paper-scale rounds (tens of
+// participants at tens of nanoseconds each) therefore run serial —
+// unconditional fan-out measurably lost time (BENCH_PR8's
+// inner_speedup_x = 0.93) — while big-fleet rounds fan out and win;
+// the CI gate inner_speedup_x >= 1.0 holds the "never lose" property.
+// Gating decisions shape wall-clock only: the per-index write contract
+// and serial in-order merge keep results byte-identical for every
+// budget and every gate decision, so neither enters a cache key.
+//
 // # Scheduling and snapshot shipping
 //
 // Jobs may carry a scheduling-affinity hint (Job.Affinity — for warm

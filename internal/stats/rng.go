@@ -184,6 +184,23 @@ func (g *RNG) Categorical(weights []float64) int {
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
+// PermInto fills p with a random permutation of [0, len(p)), consuming
+// exactly the same draws as Perm(len(p)) — the result and the RNG's
+// subsequent stream are identical, only the allocation is the caller's.
+// It exists for the simulator's per-round participant selection, which
+// would otherwise allocate a fresh permutation every round.
+func (g *RNG) PermInto(p []int) {
+	// This replicates math/rand.(*Rand).Perm exactly, including the
+	// redundant i=0 iteration: that iteration draws from the source, so
+	// skipping it would fork the stream (the same Go 1 compatibility
+	// note appears in math/rand itself).
+	for i := 0; i < len(p); i++ {
+		j := g.r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+}
+
 // SampleWithoutReplacement returns k distinct indices drawn uniformly
 // from [0, n). It panics if k > n or k < 0.
 func (g *RNG) SampleWithoutReplacement(n, k int) []int {

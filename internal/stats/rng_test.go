@@ -230,3 +230,24 @@ func TestDirichletPropertySimplex(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 50, 200} {
+		a, b := NewRNG(99), NewRNG(99)
+		want := a.Perm(n)
+		got := make([]int, n)
+		b.PermInto(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: PermInto[%d]=%d, Perm=%d", n, i, got[i], want[i])
+			}
+		}
+		// The two generators must also have consumed identical draws, so
+		// their subsequent streams agree.
+		for i := 0; i < 5; i++ {
+			if x, y := a.Int63(), b.Int63(); x != y {
+				t.Fatalf("n=%d: stream diverged after permutation (draw %d: %d vs %d)", n, i, x, y)
+			}
+		}
+	}
+}
