@@ -225,6 +225,16 @@ func BenchmarkAblation_ColdStart(b *testing.B) {
 //     per-process singleflight dedups within an endpoint, and wire v5
 //     ships the snapshot to any cell scheduled elsewhere. CI gates
 //     fleet_pretrain_runs == fleet_scenarios.
+//   - warm_ns_per_cell: the warm rerun's absolute per-cell cost —
+//     the cache plane's replay latency on its own scale, not hidden
+//     inside a ratio against cold simulation time.
+//   - cache_bytes_per_cell / json_cache_bytes_per_cell: what one of
+//     the sweep's cells costs on disk under the binary cache envelope
+//     versus the legacy JSON envelope, measured on the real results
+//     (round histories included). CI gates binary <= 0.6x JSON.
+//   - key_allocs_per_op: heap allocations of one warm-path key
+//     resolution (AppendKey into a reused buffer + in-place SHA-256 +
+//     shard placement). CI gates this at exactly zero.
 //   - sim_allocs_per_round / sim_ns_per_round: the simulation kernel
 //     itself — one warmed-arena cell run steady-state, heap
 //     allocations (ReadMemStats Mallocs delta, exact) and wall time
@@ -307,9 +317,10 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 	}
 	// wireAndStore measures the data-plane metrics on the sweep's real
 	// cells: encode every request and its actual result both ways for
-	// bytes-per-cell, and record the results in a buffered store for
-	// the retention footprint the streaming store avoids.
-	wireAndStore := func() (v3, v4, rss float64) {
+	// bytes-per-cell (wire framing v3 vs v4, and cache envelope JSON vs
+	// binary), and record the results in a buffered store for the
+	// retention footprint the streaming store avoids.
+	wireAndStore := func() (v3, v4, rss, jsonCache, binCache float64) {
 		rt, err := exp.NewRuntime(0, "")
 		if err != nil {
 			b.Fatal(err)
@@ -331,9 +342,33 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		jsonCache, binCache, err = runtime.CacheBytesPerCell(results)
+		if err != nil {
+			b.Fatal(err)
+		}
 		store := runtime.NewStore()
 		store.Add(results...)
-		return v3, v4, float64(store.RetainedBytes())
+		return v3, v4, float64(store.RetainedBytes()), jsonCache, binCache
+	}
+	// keyAllocs measures the per-job canonical-key resolution the
+	// executor performs on the warm path — AppendKey into a reused
+	// buffer, SHA-256 in place, shard placement from the digest. CI
+	// gates this at exactly zero.
+	keyAllocs := func() float64 {
+		rt, err := exp.NewRuntime(1, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		job := rt.Job(exp.JobSpec{Kind: exp.KindSim, Scenario: s,
+			Contender: exp.ContenderSpec{Type: exp.ContStatic, Name: "Fixed" + params[0].String(), Params: params[0]}, Seed: 1})
+		buf := make([]byte, 0, 1024)
+		var sink int
+		allocs := testing.AllocsPerRun(200, func() {
+			buf = job.AppendKey(buf[:0])
+			sink = runtime.ShardOfHashed(runtime.HashKeyBytes(buf), 8)
+		})
+		_ = sink
+		return allocs
 	}
 	// fleetReuse runs a cold warm-FedGPO sweep over S scenarios against
 	// a 2-endpoint localhost fleet and reports how many Q-table
@@ -491,8 +526,9 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		cold += cached(dir)
 		warm += cached(dir)
 	}
-	v3Bytes, v4Bytes, rssBytes := wireAndStore()
+	v3Bytes, v4Bytes, rssBytes, jsonCacheBytes, binCacheBytes := wireAndStore()
 	fleetRuns, fleetScens, hitRate := fleetReuse()
+	keyAllocsPerOp := keyAllocs()
 	simAllocs, simNs := simKernel()
 	// On one CPU the gate forbids fan-out, so inner-on and inner-off runs
 	// are byte-for-byte the same serial loop: the true ratio is 1.
@@ -501,20 +537,24 @@ func BenchmarkRuntimeSpeedup(b *testing.B) {
 		innerSpeedup = innerOff.Seconds() / innerOn.Seconds()
 	}
 	metrics := map[string]float64{
-		"fleet_pretrain_runs":    fleetRuns,
-		"fleet_scenarios":        fleetScens,
-		"affinity_hit_rate":      hitRate,
-		"speedup_x":              serial.Seconds() / parallel.Seconds(),
-		"inner_speedup_x":        innerSpeedup,
-		"fig11_seconds":          figTime.Seconds() / float64(b.N),
-		"pretrain_warmups":       float64(warmups),
-		"workers":                float64(cores),
-		"warm_speedup_x":         cold.Seconds() / warm.Seconds(),
-		"wire_bytes_per_cell":    v4Bytes,
-		"wire_v3_bytes_per_cell": v3Bytes,
-		"results_rss_bytes":      rssBytes,
-		"sim_allocs_per_round":   simAllocs,
-		"sim_ns_per_round":       simNs,
+		"fleet_pretrain_runs":       fleetRuns,
+		"fleet_scenarios":           fleetScens,
+		"affinity_hit_rate":         hitRate,
+		"speedup_x":                 serial.Seconds() / parallel.Seconds(),
+		"inner_speedup_x":           innerSpeedup,
+		"fig11_seconds":             figTime.Seconds() / float64(b.N),
+		"pretrain_warmups":          float64(warmups),
+		"workers":                   float64(cores),
+		"warm_speedup_x":            cold.Seconds() / warm.Seconds(),
+		"warm_ns_per_cell":          float64(warm.Nanoseconds()) / float64(b.N*len(params)),
+		"wire_bytes_per_cell":       v4Bytes,
+		"wire_v3_bytes_per_cell":    v3Bytes,
+		"results_rss_bytes":         rssBytes,
+		"cache_bytes_per_cell":      binCacheBytes,
+		"json_cache_bytes_per_cell": jsonCacheBytes,
+		"key_allocs_per_op":         keyAllocsPerOp,
+		"sim_allocs_per_round":      simAllocs,
+		"sim_ns_per_round":          simNs,
 	}
 	for name, v := range metrics {
 		b.ReportMetric(v, name)

@@ -115,6 +115,9 @@ func main() {
 		fmt.Print(table.Markdown())
 		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", e.ID, time.Since(start).Seconds())
 	}
+	// Flush deferred cache maintenance before snapshotting telemetry so
+	// the touch-flush counters cover the whole run.
+	_ = rt.Close()
 	st := rt.Stats()
 	pretrainRuns, pretrainKeys := rt.PretrainStats()
 	fmt.Fprintf(os.Stderr, "runtime: %s backend, %d workers (+%d inner), %d cells simulated, %d served from cache, %d/%d pretrain warm-ups executed\n",

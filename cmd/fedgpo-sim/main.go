@@ -69,6 +69,7 @@ func main() {
 	start := time.Now()
 	table := e.Run(opts)
 	fmt.Print(table.String())
+	_ = rt.Close()
 	st := rt.Stats()
 	fmt.Printf("(%s in %.1fs; %s backend, %d workers, %d cells simulated, %d cached)\n",
 		e.ID, time.Since(start).Seconds(), rtFlags.Backend, rt.Workers(), st.Runs, st.Hits)

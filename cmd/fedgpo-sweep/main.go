@@ -216,6 +216,9 @@ func parseParams(s string) (fl.Params, error) {
 // greps), the per-endpoint dispatch stats under -v, writes the
 // -metrics-out artifact, and finalizes the -results store.
 func finish(rt *exp.Runtime, rtFlags *cli.RuntimeFlags, verbose bool, results string, streaming bool) {
+	// Flush deferred cache maintenance before snapshotting telemetry so
+	// the touch-flush counters cover the whole run.
+	_ = rt.Close()
 	st := rt.Stats()
 	fmt.Fprintf(os.Stderr, "runtime: %d cells simulated, %d served from cache\n", st.Runs, st.Hits)
 	if verbose {

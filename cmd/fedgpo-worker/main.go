@@ -134,6 +134,10 @@ func main() {
 				fmt.Fprintf(os.Stderr, "fedgpo-worker: "+format+"\n", args...)
 			},
 		})
+		// Drained (or failed): flush the LRU mtime touches this pool's
+		// cache hits queued, so the shared directory's eviction order
+		// reflects the sessions it served.
+		_ = rt.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fedgpo-worker:", err)
 			os.Exit(1)
@@ -148,6 +152,7 @@ func main() {
 		SetInner: setInner,
 		Install:  rt.InstallSnapshot,
 	})
+	_ = rt.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fedgpo-worker:", err)
 		os.Exit(1)

@@ -141,6 +141,12 @@ func NewRuntimeWithBackend(b runtime.Backend, cache *runtime.Cache) *Runtime {
 // Stats returns the executor's lifetime cache-hit/run counters.
 func (r *Runtime) Stats() runtime.Stats { return r.exec.Stats() }
 
+// Close flushes the runtime's deferred cache maintenance (queued LRU
+// mtime touches). Call it when a process is done running batches —
+// after the last figure of a report, or when a worker's serve loop
+// returns. The runtime stays usable afterwards.
+func (r *Runtime) Close() error { return r.exec.Close() }
+
 // SetTraceLevel sets the RL decision-trace level stamped onto every
 // job this runtime compiles: telemetry.TraceDecisions enables
 // per-round decision recording for traceable cells, "" (the default)

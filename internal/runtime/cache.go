@@ -13,29 +13,66 @@ import (
 	"fedgpo/internal/telemetry"
 )
 
-// envelope is the on-disk cache entry: the canonical key travels with
-// the payload so a disk hit can be verified against the requested key.
+// envelope is the legacy on-disk cache entry: a JSON object carrying
+// the canonical key next to the payload. New entries are written as
+// binary envelopes (see cachecodec.go); this layout survives only as a
+// read-fallback so cache directories produced by earlier versions stay
+// warm, and entries it serves are migrated to the binary format.
 type envelope struct {
 	Key     string          `json:"key"`
 	Payload json.RawMessage `json:"payload"`
 }
 
+// DefaultPayloadCacheBytes is the byte cap on the decoded-payload
+// layer: large enough to hold every snapshot and trace artifact a
+// paper-scale sweep re-reads, small enough that a report over a
+// multi-gigabyte cache directory never mirrors it into process memory.
+const DefaultPayloadCacheBytes = 64 << 20
+
+// lookup source classes, in priority order of the read path.
+const (
+	srcMiss    = iota // no entry in any layer or format
+	srcMem     = iota // memory-only mode map hit
+	srcPayload = iota // decoded-payload layer hit (no disk read)
+	srcDisk    = iota // envelope read from disk (either format)
+	srcCorrupt = iota // a file existed but failed validation; discarded
+)
+
 // Cache is the content-addressed run cache. Without a directory it
 // keeps payloads in an in-memory map of key-hash to JSON; with one,
-// entries live in <dir>/<hash>.json files only — hits re-read from
-// disk rather than pinning every cell's round history in process
-// memory for the report's lifetime. It is safe for concurrent use.
+// entries live in <dir>/<hash>.binz binary envelopes (legacy
+// <dir>/<hash>.json entries remain readable and are migrated on hit).
+// Disk hits pass through a byte-capped decoded-payload LRU so cells
+// re-read within one run cost one file read, and LRU mtime touches are
+// queued and coalesced off the hit path (flushed at executor shutdown,
+// Prune, or asynchronously past a threshold). It is safe for
+// concurrent use.
 type Cache struct {
 	mu  sync.RWMutex
 	mem map[string][]byte // hash -> payload JSON (memory-only mode)
 	dir string
 	col *telemetry.Collector
+
+	payloadMu sync.Mutex
+	payloads  *payloadLRU
+
+	touch   toucher
+	flushWG sync.WaitGroup // in-flight async touch flushes
 }
 
 // SetCollector attaches a telemetry collector recording cache-level
-// events: per-read mem/disk hit and miss counters, read/write phase
-// time, and Prune evictions. A nil collector disables recording.
+// events: per-read source counters (mem/payload/disk hits, misses,
+// corrupt discards), read/decode/write phase time, touch-flush
+// activity, and Prune evictions. A nil collector disables recording.
 func (c *Cache) SetCollector(col *telemetry.Collector) { c.col = col }
+
+// SetPayloadCacheBytes resizes the decoded-payload layer's byte cap
+// (<= 0 disables the layer). The layer is cleared on resize.
+func (c *Cache) SetPayloadCacheBytes(maxBytes int64) {
+	c.payloadMu.Lock()
+	c.payloads = newPayloadLRU(maxBytes)
+	c.payloadMu.Unlock()
+}
 
 // NewCache returns a cache. dir == "" keeps entries in memory only;
 // otherwise entries persist under dir (created if missing).
@@ -45,7 +82,11 @@ func NewCache(dir string) (*Cache, error) {
 			return nil, fmt.Errorf("runtime: cache dir: %w", err)
 		}
 	}
-	return &Cache{mem: make(map[string][]byte), dir: dir}, nil
+	return &Cache{
+		mem:      make(map[string][]byte),
+		dir:      dir,
+		payloads: newPayloadLRU(DefaultPayloadCacheBytes),
+	}, nil
 }
 
 // Dir returns the on-disk directory, or "" for a memory-only cache.
@@ -62,73 +103,162 @@ func (c *Cache) Get(key string, v any) bool {
 // re-running SHA-256 per cache touch. hash must equal HashKey(key).
 func (c *Cache) GetHashed(key, hash string, v any) bool {
 	start := time.Now()
-	hit, disk := c.get(key, hash, v)
+	src := c.get(key, hash, v)
 	c.col.RecordPhase(telemetry.PhaseCacheRead, time.Since(start))
 	c.col.Count(func(cc *telemetry.Counters) {
-		switch {
-		case hit && disk:
-			cc.CacheDiskHits++
-		case hit:
+		switch src {
+		case srcMem:
 			cc.CacheMemHits++
+		case srcPayload:
+			cc.CachePayloadHits++
+		case srcDisk:
+			cc.CacheDiskHits++
+		case srcCorrupt:
+			cc.CacheCorrupt++
 		default:
 			cc.CacheMisses++
 		}
 	})
-	return hit
+	return src == srcMem || src == srcPayload || src == srcDisk
 }
 
-// get is Get's lookup body; disk reports which storage mode served a
-// hit.
-func (c *Cache) get(key, hash string, v any) (hit, disk bool) {
+// get is Get's lookup body; the returned source classifies which layer
+// served the read (or how it failed). The disk read path is: decoded-
+// payload layer, then the binary envelope, then the legacy JSON
+// envelope — a legacy hit is migrated to the binary format in place so
+// a pre-existing directory converges to one format as it is re-read.
+func (c *Cache) get(key, hash string, v any) int {
 	if c.dir == "" {
 		c.mu.RLock()
 		payload, ok := c.mem[hash]
 		c.mu.RUnlock()
 		if !ok {
-			return false, false
+			return srcMiss
 		}
-		return json.Unmarshal(payload, v) == nil, false
+		if !c.unmarshalPayload(payload, v) {
+			return srcCorrupt
+		}
+		return srcMem
 	}
-	b, err := os.ReadFile(c.path(hash))
+	c.payloadMu.Lock()
+	payload, ok := c.payloads.get(hash)
+	c.payloadMu.Unlock()
+	if ok {
+		if c.unmarshalPayload(payload, v) {
+			c.queueTouch(hash)
+			return srcPayload
+		}
+		// The layer only holds payloads that already unmarshalled once,
+		// so this is unreachable short of caller-side type skew; drop the
+		// entry and fall through to disk.
+		c.payloadMu.Lock()
+		c.payloads.drop(hash)
+		c.payloadMu.Unlock()
+	}
+	if b, err := os.ReadFile(c.path(hash)); err == nil {
+		// A corrupted or foreign file — truncated, wrong magic, an
+		// envelope whose key does not match (hash collision) — is a
+		// miss, not an error: the cell just re-runs.
+		payload, ok := decodeBinaryEnvelope(b, key)
+		if !ok || !c.unmarshalPayload(payload, v) {
+			return srcCorrupt
+		}
+		c.cachePayload(hash, payload)
+		c.queueTouch(hash)
+		return srcDisk
+	}
+	b, err := os.ReadFile(c.legacyPath(hash))
 	if err != nil {
-		return false, true
+		return srcMiss
 	}
 	var env envelope
-	// A corrupted or foreign file — including an envelope whose key
-	// does not match (hash collision) — is a miss, not an error.
 	if json.Unmarshal(b, &env) != nil || env.Key != key {
-		return false, true
+		return srcCorrupt
 	}
-	if json.Unmarshal(env.Payload, v) != nil {
-		return false, true
+	if !c.unmarshalPayload(env.Payload, v) {
+		return srcCorrupt
 	}
-	// Touch the entry so mtime tracks last use, making Prune's
-	// oldest-mtime-first order an LRU eviction. Best effort: a failed
-	// touch only skews future eviction order.
-	now := time.Now()
-	_ = os.Chtimes(c.path(hash), now, now)
-	return true, true
+	// Migrate the entry: publish the binary envelope, then retire the
+	// legacy file. Both steps are best effort — a failed write leaves
+	// the legacy entry serving reads exactly as before.
+	if c.writeBinary(key, hash, env.Payload) == nil {
+		_ = os.Remove(c.legacyPath(hash))
+	}
+	c.cachePayload(hash, env.Payload)
+	c.queueTouch(hash)
+	return srcDisk
+}
+
+// unmarshalPayload decodes payload into v under the cacheDecode phase
+// timer, so envelope I/O and JSON decode are separable in a profile.
+func (c *Cache) unmarshalPayload(payload []byte, v any) bool {
+	start := time.Now()
+	err := json.Unmarshal(payload, v)
+	c.col.RecordPhase(telemetry.PhaseCacheDecode, time.Since(start))
+	return err == nil
+}
+
+// cachePayload admits a disk hit's payload bytes to the decoded-payload
+// layer. Only disk hits are admitted — never Put write-through — so a
+// corrupted disk entry is still caught by the next uncached read.
+func (c *Cache) cachePayload(hash string, payload []byte) {
+	c.payloadMu.Lock()
+	c.payloads.put(hash, payload)
+	c.payloadMu.Unlock()
+}
+
+// queueTouch records that hash's entry was used, deferring the mtime
+// write. Past touchFlushThreshold pending entries the queue drains on
+// a background goroutine so long-lived workers keep mtimes fresh
+// without ever paying the syscall on a hit path.
+func (c *Cache) queueTouch(hash string) {
+	if c.touch.queue(hash) {
+		c.col.Count(func(cc *telemetry.Counters) { cc.CacheTouchesCoalesced++ })
+		return
+	}
+	if c.touch.pendingLen() >= touchFlushThreshold {
+		c.flushWG.Add(1)
+		go func() {
+			defer c.flushWG.Done()
+			c.flushTouches()
+		}()
+	}
+}
+
+// FlushTouches applies every queued LRU mtime touch and waits for any
+// in-flight background flush, returning how many entries this call
+// touched. The executor calls it at Close; Prune calls it before
+// scanning so eviction order reflects every recorded use.
+func (c *Cache) FlushTouches() int {
+	n := c.flushTouches()
+	c.flushWG.Wait()
+	return n
 }
 
 // Prune enforces a byte budget on the on-disk cache: entries are
 // removed oldest-mtime-first until the surviving total is at most
 // maxBytes, and orphaned put-* temp files (writers killed mid-publish)
-// are cleared. Get touches entries on every hit, so mtime order is
-// LRU order. It returns the number of entries removed (temp files not
-// counted). Memory-only caches and maxBytes <= 0 are no-ops. Call it
-// at startup, before workers share the directory — it does not
-// coordinate with concurrent writers beyond each removal being
-// atomic.
+// are cleared. Both envelope formats count against the budget and
+// compete in the same mtime order. Queued touches are flushed first,
+// so mtime order is LRU order over every recorded use; removed hashes
+// are also dropped from the decoded-payload layer so an evicted entry
+// cannot be served from memory. It returns the number of entries
+// removed (temp files not counted). Memory-only caches and
+// maxBytes <= 0 are no-ops. Call it at startup, before workers share
+// the directory — it does not coordinate with concurrent writers
+// beyond each removal being atomic.
 func (c *Cache) Prune(maxBytes int64) (int, error) {
 	if c.dir == "" || maxBytes <= 0 {
 		return 0, nil
 	}
+	c.FlushTouches()
 	dirents, err := os.ReadDir(c.dir)
 	if err != nil {
 		return 0, fmt.Errorf("runtime: cache prune: %w", err)
 	}
 	type entry struct {
 		path  string
+		hash  string
 		mtime time.Time
 		size  int64
 	}
@@ -146,14 +276,20 @@ func (c *Cache) Prune(maxBytes int64) (int, error) {
 			_ = os.Remove(filepath.Join(c.dir, de.Name()))
 			continue
 		}
-		if !strings.HasSuffix(de.Name(), ".json") {
+		ext := filepath.Ext(de.Name())
+		if ext != binExt && ext != legacyExt {
 			continue
 		}
 		info, err := de.Info()
 		if err != nil {
 			continue // deleted under us: nothing to evict
 		}
-		entries = append(entries, entry{filepath.Join(c.dir, de.Name()), info.ModTime(), info.Size()})
+		entries = append(entries, entry{
+			path:  filepath.Join(c.dir, de.Name()),
+			hash:  strings.TrimSuffix(de.Name(), ext),
+			mtime: info.ModTime(),
+			size:  info.Size(),
+		})
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.After(entries[j].mtime) })
 	var total int64
@@ -165,6 +301,9 @@ func (c *Cache) Prune(maxBytes int64) (int, error) {
 		}
 		if err := os.Remove(e.path); err == nil || os.IsNotExist(err) {
 			removed++
+			c.payloadMu.Lock()
+			c.payloads.drop(e.hash)
+			c.payloadMu.Unlock()
 		}
 	}
 	c.col.Count(func(cc *telemetry.Counters) { cc.Evictions += int64(removed) })
@@ -177,7 +316,8 @@ func (c *Cache) Put(key string, v any) error {
 }
 
 // PutHashed is Put for callers that already hold the key's content
-// address; hash must equal HashKey(key).
+// address; hash must equal HashKey(key). On-disk entries are written
+// as binary envelopes.
 func (c *Cache) PutHashed(key, hash string, v any) error {
 	start := time.Now()
 	defer func() { c.col.RecordPhase(telemetry.PhaseCacheWrite, time.Since(start)) }()
@@ -191,12 +331,22 @@ func (c *Cache) PutHashed(key, hash string, v any) error {
 		c.mu.Unlock()
 		return nil
 	}
-	b, err := json.Marshal(envelope{Key: key, Payload: payload})
+	// An overwrite invalidates whatever the decoded-payload layer holds
+	// for this hash; the next disk hit re-admits the fresh bytes.
+	c.payloadMu.Lock()
+	c.payloads.drop(hash)
+	c.payloadMu.Unlock()
+	return c.writeBinary(key, hash, payload)
+}
+
+// writeBinary publishes a binary envelope for (key, payload)
+// atomically: a concurrent reader sees either nothing or the complete
+// entry, never a torn write.
+func (c *Cache) writeBinary(key, hash string, payload []byte) error {
+	b, err := encodeBinaryEnvelope(key, payload)
 	if err != nil {
 		return err
 	}
-	// Atomic publish: a concurrent reader sees either nothing or the
-	// complete entry, never a torn write.
 	tmp, err := os.CreateTemp(c.dir, "put-*")
 	if err != nil {
 		return err
@@ -214,5 +364,9 @@ func (c *Cache) PutHashed(key, hash string, v any) error {
 }
 
 func (c *Cache) path(hash string) string {
-	return filepath.Join(c.dir, hash+".json")
+	return filepath.Join(c.dir, hash+binExt)
+}
+
+func (c *Cache) legacyPath(hash string) string {
+	return filepath.Join(c.dir, hash+legacyExt)
 }

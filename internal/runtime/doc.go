@@ -322,33 +322,55 @@
 // and pushed-snapshot bytes land in the -v summaries and the
 // -metrics-out artifact beside the dispatch counters.
 //
-// # Cache layout
+// # Cache format
 //
 // The cache is content-addressed by the SHA-256 hex digest of the
 // canonical job key. Without a directory, entries live in an
 // in-memory map; when one is configured (the CLIs' -cachedir flag)
-// entries live on disk only — hits re-read the file rather than
-// pinning every cell's history in process memory — persisted as
-// <dir>/<hash>.json files holding a small envelope
+// entries live on disk, persisted as <dir>/<hash>.binz binary
+// envelopes:
 //
-//	{"key": "<canonical key>", "payload": <result JSON>}
+//	"FGC1" | uvarint(key length) | canonical key | wire frame(result JSON)
 //
-// written atomically (temp file + rename, so a crash mid-write can
-// never publish a torn entry). On a disk hit the envelope key is
-// compared against the requested key — a mismatch (hash collision or
-// a corrupted/foreign file) is treated as a miss and the cell re-runs,
-// repairing the entry in place. Results that ended in an error are
-// never cached.
+// The canonical key rides uncompressed ahead of the payload, so a
+// reader rejects a foreign entry (hash collision, copied file) before
+// inflating a byte and on-disk entries stay greppable by key; the
+// payload is one wire-package frame — the same bounded, length-
+// prefixed DEFLATE framing the transport plane uses — which carries a
+// cell's round history in roughly a quarter of the legacy JSON
+// envelope's bytes. Writes are atomic (temp file + rename, so a crash
+// mid-write can never publish a torn entry). Any malformed file —
+// wrong magic, truncation, a key mismatch — is treated as a miss and
+// the cell re-runs, repairing the entry in place. Results that ended
+// in an error are never cached.
+//
+// Directories written by earlier versions hold <hash>.json envelopes
+// ({"key": ..., "payload": ...}); the read path falls back to them
+// transparently, so a pre-existing -cachedir serves a warm rerun
+// hit-only, and every legacy entry it serves is migrated in place to
+// the binary format (binary written, JSON removed). Disk hits also
+// pass through a byte-capped in-process LRU over decoded payload
+// bytes (64 MB by default, Cache.SetPayloadCacheBytes), so a cell
+// re-read within one run — pretrain snapshots, shared sweep cells —
+// costs one file read. The layer admits disk hits only, never Put
+// write-through, so a corrupted disk entry is still caught by the
+// next fresh read.
 //
 // # Cache eviction
 //
 // Disk entries no longer live forever: Cache.Prune (the CLIs'
 // -cache-max-bytes flag) removes entries oldest-mtime-first at
-// startup until the directory fits the byte budget. Get touches an
-// entry's mtime on every hit, so mtime order approximates LRU — a
-// cell a warm report still reads outlives a newer cell nothing asks
-// for. Pruning is a coordinator-startup job only; worker subprocesses
-// never prune the directory they share.
+// startup until the directory fits the byte budget; both envelope
+// formats count against the budget and compete in one mtime order.
+// A hit queues an mtime touch instead of paying the syscall inline:
+// duplicate touches coalesce, and the pending set drains at executor
+// shutdown (Executor.Close / exp.Runtime.Close), before a Prune scan,
+// or asynchronously past a threshold — so mtime order approximates
+// LRU and a cell a warm report still reads outlives a newer cell
+// nothing asks for. Prune also drops evicted hashes from the
+// decoded-payload layer, so an evicted entry cannot be served from
+// memory. Pruning is a coordinator-startup job only; worker
+// subprocesses never prune the directory they share.
 //
 // # Pretrained-controller cache
 //
@@ -408,11 +430,15 @@
 //     attached to a Result (Result.Telemetry) are folded in at the
 //     same point, whether the cell ran in-process or arrived over the
 //     wire's "metrics" field.
-//   - The cache times every Get/Put as cacheRead/cacheWrite phases,
-//     splits hits into CacheMemHits and CacheDiskHits, counts
-//     CacheMisses, and reports Prune removals as Evictions. Cache-level
-//     counters can exceed job-level ones: pretrain snapshots and trace
-//     artifacts are cache traffic but not jobs.
+//   - The cache times every Get/Put as cacheRead/cacheWrite phases
+//     (payload JSON decode separately as cacheDecode), splits hits
+//     into CacheMemHits, CachePayloadHits (decoded-payload layer) and
+//     CacheDiskHits, counts clean CacheMisses apart from CacheCorrupt
+//     discards, tallies flushed and coalesced mtime touches
+//     (CacheTouches/CacheTouchesCoalesced), and reports Prune removals
+//     as Evictions. Cache-level counters can exceed job-level ones:
+//     pretrain snapshots and trace artifacts are cache traffic but not
+//     jobs.
 //   - The coordinator times each dispatch Send→Recv into a
 //     per-endpoint latency histogram (exponential 1ms-base buckets)
 //     and counts Retries and Failovers as sessions fail. Sessions

@@ -98,6 +98,18 @@ func (e *Executor) SetCollector(col *telemetry.Collector) { e.col = col }
 // the nominal batch size.
 func (e *Executor) SetDispatch(fn func(misses int)) { e.onDispatch = fn }
 
+// Close flushes deferred cache maintenance — today the queued LRU
+// mtime touches coalesced off the hit path. It does not shut the
+// backend down (backends own their own lifecycle) and the executor
+// remains usable afterwards; call it when a run's batches are done so
+// eviction order on disk reflects every hit this process served.
+func (e *Executor) Close() error {
+	if e.cache != nil {
+		e.cache.FlushTouches()
+	}
+	return nil
+}
+
 // Stats returns one consistent snapshot of the lifetime
 // hit/run/error counters, with the backend's per-endpoint dispatch
 // counters attached when it tracks them.
@@ -171,11 +183,17 @@ func (e *Executor) RunAll(jobs []Job) []Result {
 	// for the whole batch: the key assembly and SHA-256 digest are on
 	// the warm-rerun hot path (every lookup and write-back needs them),
 	// and per-touch recomputation was measurable on paper-scale batches.
+	// The key is built into one reused buffer and hashed in place
+	// (AppendKey + HashKeyBytes allocate nothing once the buffer fits),
+	// so the only per-job allocations left are the key and hash strings
+	// the cache API retains.
 	keys := make([]string, len(jobs))
 	hashes := make([]string, len(jobs))
+	var keyBuf []byte
 	for i := range jobs {
-		keys[i] = jobs[i].Key()
-		hashes[i] = HashKey(keys[i])
+		keyBuf = jobs[i].AppendKey(keyBuf[:0])
+		keys[i] = string(keyBuf)
+		hashes[i] = HexHash(HashKeyBytes(keyBuf))
 	}
 
 	// Serve cache hits first — checked in parallel (a warm disk-cache

@@ -5,7 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
-	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -68,11 +68,24 @@ type Job struct {
 }
 
 // Key returns the stable canonical key naming this cell.
-func (j Job) Key() string {
-	return strings.Join([]string{
-		keyVersion, j.Kind, j.Scenario, j.Controller,
-		fmt.Sprintf("seed=%d", j.Seed),
-	}, "|")
+func (j Job) Key() string { return string(j.AppendKey(nil)) }
+
+// AppendKey appends the canonical key to dst and returns the extended
+// slice, byte-identical to Key(). It is the batch hot path: an
+// executor resolving a warm batch reuses one per-batch buffer across
+// every job, so key assembly allocates nothing once the buffer has
+// grown to the batch's longest key (Key, by contrast, allocates a
+// fresh string per call).
+func (j Job) AppendKey(dst []byte) []byte {
+	dst = append(dst, keyVersion...)
+	dst = append(dst, '|')
+	dst = append(dst, j.Kind...)
+	dst = append(dst, '|')
+	dst = append(dst, j.Scenario...)
+	dst = append(dst, '|')
+	dst = append(dst, j.Controller...)
+	dst = append(dst, "|seed="...)
+	return strconv.AppendInt(dst, j.Seed, 10)
 }
 
 // Hash returns the content address of the cell: the SHA-256 hex digest
@@ -91,15 +104,32 @@ func HashKey(key string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// HashKeyBytes content-addresses a canonical key held in a byte
+// buffer, returning the raw digest without allocating — the
+// AppendKey-side twin of HashKey. Render it with HexHash where a
+// string address is needed, or feed it to ShardOfHashed directly.
+func HashKeyBytes(key []byte) [sha256.Size]byte { return sha256.Sum256(key) }
+
+// HexHash renders a raw key digest as the hex content address used in
+// cache paths and wire messages: HexHash(HashKeyBytes(k)) ==
+// HashKey(string(k)).
+func HexHash(sum [sha256.Size]byte) string { return hex.EncodeToString(sum[:]) }
+
 // ShardOf deterministically assigns a canonical key to one of n
 // shards. It reuses the content-address digest, so a cell lands on the
 // same shard in every process and on every run — the property that
 // lets a coordinator partition a batch across workers without
 // coordination.
 func ShardOf(key string, n int) int {
+	return ShardOfHashed(sha256.Sum256([]byte(key)), n)
+}
+
+// ShardOfHashed is ShardOf for callers that already hold the key's
+// digest (HashKeyBytes), so a batch that hashed each key once never
+// re-runs SHA-256 to place the cell.
+func ShardOfHashed(sum [sha256.Size]byte, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	sum := sha256.Sum256([]byte(key))
 	return int(binary.BigEndian.Uint32(sum[:4]) % uint32(n))
 }

@@ -664,10 +664,13 @@ func (c *Coordinator) Run(jobs []Job, done func(int, Result)) []Result {
 	}
 	// Canonical keys are resolved exactly once per job here — sends,
 	// response validation and error annotation all read the slice
-	// instead of re-joining the key per use.
+	// instead of re-joining the key per use — built into one reused
+	// buffer so assembly itself allocates nothing.
 	keys := make([]string, len(jobs))
+	var keyBuf []byte
 	for i, j := range jobs {
-		keys[i] = j.Key()
+		keyBuf = j.AppendKey(keyBuf[:0])
+		keys[i] = string(keyBuf)
 	}
 	idxs := make([]int, 0, len(jobs))
 	for i, j := range jobs {

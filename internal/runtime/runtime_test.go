@@ -146,8 +146,8 @@ func TestCacheDiskRoundTripAndVerification(t *testing.T) {
 	}
 	// Corrupt the file: the entry must degrade to a miss, not an error.
 	hash := HashKey("some|canonical|key")
-	path := filepath.Join(dir, hash+".json")
-	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+	path := filepath.Join(dir, hash+binExt)
+	if err := os.WriteFile(path, []byte("{not a binary envelope"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	c3, _ := NewCache(dir)
@@ -156,7 +156,11 @@ func TestCacheDiskRoundTripAndVerification(t *testing.T) {
 	}
 	// An envelope whose key does not match the requested key (a
 	// collision or foreign file) must also miss.
-	if err := os.WriteFile(path, []byte(`{"key":"evil","payload":{}}`), 0o644); err != nil {
+	foreign, err := encodeBinaryEnvelope("evil", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, foreign, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	c4, _ := NewCache(dir)
@@ -194,12 +198,17 @@ func TestCorruptDiskEntryIsDiscardedAndRecomputed(t *testing.T) {
 		t.Fatalf("job ran %d times, want 1", runs)
 	}
 
-	// Tear the entry the way an interrupted write would.
-	path := filepath.Join(dir, job.Hash()+".json")
+	// Tear the entry the way an interrupted write would: the magic and
+	// key header survive but the payload frame is cut short.
+	path := filepath.Join(dir, job.Hash()+binExt)
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("cache entry not on disk: %v", err)
 	}
-	if err := os.WriteFile(path, []byte(`{"key":"v2|sim|corrupt-te`), 0o644); err != nil {
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, whole[:len(whole)-3], 0o644); err != nil {
 		t.Fatal(err)
 	}
 

@@ -38,6 +38,11 @@ const (
 	// including payload unmarshal; serialize + atomic publish).
 	PhaseCacheRead  = "cacheRead"
 	PhaseCacheWrite = "cacheWrite"
+	// PhaseCacheDecode is the payload-unmarshal slice of a cache hit —
+	// JSON bytes into the caller's value — timed separately from the
+	// envelope read so decode-bound warm paths are visible. It nests
+	// inside PhaseCacheRead, so the two must not be summed.
+	PhaseCacheDecode = "cacheDecode"
 )
 
 // Trace levels for the opt-in RL decision traces (the CLIs'
@@ -70,8 +75,23 @@ type Counters struct {
 	// storage mode (cache-level; includes non-job artifacts).
 	CacheMemHits  int64 `json:"cacheMemHits"`
 	CacheDiskHits int64 `json:"cacheDiskHits"`
-	// CacheMisses counts failed cache reads (cache-level).
+	// CachePayloadHits counts disk-mode reads served by the in-process
+	// decoded-payload layer — the entry's payload bytes were already
+	// decoded by an earlier hit, so no file was read (cache-level).
+	CachePayloadHits int64 `json:"cachePayloadHits"`
+	// CacheMisses counts clean cache misses: no entry exists under the
+	// key in any format (cache-level).
 	CacheMisses int64 `json:"cacheMisses"`
+	// CacheCorrupt counts reads that found an entry but discarded it —
+	// torn writes, foreign-key envelopes, undecodable payloads. Split
+	// from CacheMisses so a directory quietly shedding entries is
+	// distinguishable from one that never held them.
+	CacheCorrupt int64 `json:"cacheCorrupt"`
+	// CacheTouches counts mtime-touch syscalls flushed by the cache's
+	// async toucher; CacheTouchesCoalesced counts touches absorbed by
+	// an already-pending one (the syscalls the coalescing saved).
+	CacheTouches          int64 `json:"cacheTouches"`
+	CacheTouchesCoalesced int64 `json:"cacheTouchesCoalesced"`
 	// SimsExecuted counts jobs whose body actually ran (job-level).
 	SimsExecuted int64 `json:"simsExecuted"`
 	// Evictions counts cache entries removed by Prune.
@@ -252,9 +272,13 @@ func (m *Metrics) SetEndpointCounts(name string, c EndpointCounts) {
 func (m Metrics) Summary() string {
 	var b strings.Builder
 	c := m.Counters
-	fmt.Fprintf(&b, "telemetry: %d sims executed, %d cache hits (%d mem / %d disk reads, %d misses), %d evictions, %d retries, %d failovers\n",
-		c.SimsExecuted, c.CacheHits, c.CacheMemHits, c.CacheDiskHits, c.CacheMisses,
-		c.Evictions, c.Retries, c.Failovers)
+	fmt.Fprintf(&b, "telemetry: %d sims executed, %d cache hits (%d mem / %d payload / %d disk reads, %d misses, %d corrupt), %d evictions, %d retries, %d failovers\n",
+		c.SimsExecuted, c.CacheHits, c.CacheMemHits, c.CachePayloadHits, c.CacheDiskHits,
+		c.CacheMisses, c.CacheCorrupt, c.Evictions, c.Retries, c.Failovers)
+	if c.CacheTouches+c.CacheTouchesCoalesced > 0 {
+		fmt.Fprintf(&b, "  cache touches: %d flushed, %d coalesced\n",
+			c.CacheTouches, c.CacheTouchesCoalesced)
+	}
 	if c.PretrainRuns+c.AffinityHits+c.AffinityMisses+c.StolenJobs+c.SnapshotBytesShipped > 0 {
 		fmt.Fprintf(&b, "  scheduling: %d fleet pretrain runs, %d affinity hits / %d misses, %d stolen, %d snapshot B shipped\n",
 			c.PretrainRuns, c.AffinityHits, c.AffinityMisses, c.StolenJobs, c.SnapshotBytesShipped)
@@ -375,7 +399,11 @@ func (c *Collector) Add(m Metrics) {
 	cc.CacheHits += mc.CacheHits
 	cc.CacheMemHits += mc.CacheMemHits
 	cc.CacheDiskHits += mc.CacheDiskHits
+	cc.CachePayloadHits += mc.CachePayloadHits
 	cc.CacheMisses += mc.CacheMisses
+	cc.CacheCorrupt += mc.CacheCorrupt
+	cc.CacheTouches += mc.CacheTouches
+	cc.CacheTouchesCoalesced += mc.CacheTouchesCoalesced
 	cc.SimsExecuted += mc.SimsExecuted
 	cc.Evictions += mc.Evictions
 	cc.Retries += mc.Retries
